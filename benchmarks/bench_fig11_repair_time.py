@@ -1,0 +1,63 @@
+"""Figure 11 — time to repair each cryptographic routine, ours vs
+SC-Eliminator.
+
+Paper result: over the benchmarks SC-Eliminator handles, the paper's tool
+takes 7.159 s total (mean 0.341 s) against SC-Eliminator's 56.366 s (mean
+2.684 s) — a 7.87x total speedup.  The reproduction compares Python
+wall-clock of the two passes; the claim under test is the *ratio* and the
+per-benchmark ordering, not the absolute milliseconds.
+"""
+
+from __future__ import annotations
+
+from repro.bench.figures import fig11_repair_times, fig11_summary
+from repro.bench.runner import time_repair
+from repro.bench.stats import format_table, mean
+from repro.bench.suite import load_module
+
+
+def test_fig11_repair_time_table(bench_reps, capsys, benchmark):
+    rows = benchmark.pedantic(
+        lambda: fig11_repair_times(repetitions=bench_reps),
+        rounds=1, iterations=1,
+    )
+    summary = fig11_summary(rows)
+
+    table = format_table(
+        ["benchmark", "ours (ms)", "sc-eliminator (ms)"],
+        [
+            [
+                ("*" if r.sce_seconds is None else "") + r.name,
+                f"{r.ours_seconds * 1000:.1f}",
+                "FAILED" if r.sce_seconds is None else f"{r.sce_seconds * 1000:.1f}",
+            ]
+            for r in rows
+        ],
+    )
+    with capsys.disabled():
+        print("\n== Figure 11: repair time per benchmark ==")
+        print(table)
+        print(
+            f"common set ({summary['common_benchmarks']} benchmarks): "
+            f"ours {summary['ours_total_s']:.2f}s total / "
+            f"{summary['ours_mean_s'] * 1000:.0f}ms mean, "
+            f"SC-Eliminator {summary['sce_total_s']:.2f}s total / "
+            f"{summary['sce_mean_s'] * 1000:.0f}ms mean, "
+            f"speedup {summary['speedup']:.2f}x "
+            f"(paper: 7.87x)"
+        )
+
+    # Shape assertions from the paper: our pass is faster in aggregate, and
+    # SC-Eliminator fails on some benchmarks while we handle all 24.
+    assert summary["speedup"] > 1.5
+    assert any(r.sce_seconds is None for r in rows)
+    assert all(r.ours_seconds > 0 for r in rows)
+
+
+def test_fig11_single_repair_benchmark(benchmark):
+    """pytest-benchmark hook: repair time for a representative routine."""
+    module = load_module("xtea")
+    benchmark.pedantic(
+        lambda: time_repair(module, repetitions=1),
+        rounds=3, iterations=1,
+    )

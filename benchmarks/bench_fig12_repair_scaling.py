@@ -1,0 +1,50 @@
+"""Figure 12 — time to repair oFdF as a function of the input-array size N.
+
+Paper result: both tools scale linearly in N; the paper's fits are
+C_t = 0.0002 N - 0.0313 (ours) and C_m = 0.001 N - 0.215 (SC-Eliminator),
+both with R² > 0.94 — i.e. the baseline's slope is ~5x steeper.  The
+reproduction checks linearity (R²) and that our slope is smaller.
+"""
+
+from __future__ import annotations
+
+from repro.bench.figures import fig12_repair_scaling
+from repro.bench.stats import format_table
+from repro.core import repair_module
+from repro.frontend import compile_source
+from repro.bench.suite import make_ofdf_source
+
+
+#: Fig. 12 probes asymptotics, so it sweeps further than the other figures.
+_FIG12_SIZES = (32, 64, 128, 256, 384, 512, 768, 1024)
+
+
+def test_fig12_scaling_series(bench_reps, capsys, benchmark):
+    rows, fit_ours, fit_sce = benchmark.pedantic(
+        lambda: fig12_repair_scaling(
+            sizes=_FIG12_SIZES, repetitions=max(bench_reps, 5)
+        ),
+        rounds=1, iterations=1,
+    )
+    table = format_table(
+        ["N", "ours (ms)", "sc-eliminator (ms)"],
+        [
+            [r.size, f"{r.ours_seconds * 1000:.1f}", f"{r.sce_seconds * 1000:.1f}"]
+            for r in rows
+        ],
+    )
+    with capsys.disabled():
+        print("\n== Figure 12: repair time vs oFdF size ==")
+        print(table)
+        print(f"ours: {fit_ours}")
+        print(f"sce : {fit_sce}")
+        print("paper: C_t = 0.0002*N - 0.03 vs C_m = 0.001*N - 0.2, R^2 > 0.94")
+
+    assert fit_ours.r_squared > 0.9, "our repair time should be linear in N"
+    assert fit_sce.r_squared > 0.75, "baseline repair time should be near-linear"
+    assert fit_ours.slope < fit_sce.slope, "our slope must be smaller (paper)"
+
+
+def test_fig12_repair_ofdf_256(benchmark):
+    module = compile_source(make_ofdf_source(256), name="ofdf256")
+    benchmark.pedantic(lambda: repair_module(module), rounds=3, iterations=1)

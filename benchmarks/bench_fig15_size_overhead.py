@@ -1,0 +1,61 @@
+"""Figure 15 — code-size overhead of repair (instruction counts).
+
+Paper result: unoptimised, the paper's repair grows code by 154% (geomean)
+vs SC-Eliminator's 331%; in absolute numbers 141,945 → 427,145 instructions
+(ours) vs 786,235 (SC-E), and optimisation shrinks the repaired total to
+150,782 vs 661,735.  The claims under test: ours grows less than the
+baseline, and -O1 reclaims most of our overhead but much less of the
+baseline's (its preloads are not removable).
+"""
+
+from __future__ import annotations
+
+from repro.bench.figures import fig15_size_overhead, fig15_summary
+from repro.bench.runner import get_artifacts
+from repro.bench.stats import format_table
+
+
+def test_fig15_size_table(capsys, benchmark):
+    rows = benchmark.pedantic(fig15_size_overhead, rounds=1, iterations=1)
+    summary = fig15_summary(rows)
+
+    def fmt(value):
+        return "FAILED" if value is None else str(value)
+
+    table = format_table(
+        ["benchmark", "orig", "ours", "sce", "orig-O1", "ours-O1", "sce-O1"],
+        [
+            [("*" if r.sce is None else "") + r.name,
+             r.orig, r.ours, fmt(r.sce), r.orig_o1, r.ours_o1, fmt(r.sce_o1)]
+            for r in rows
+        ],
+    )
+    with capsys.disabled():
+        print("\n== Figure 15: program size (IR instructions) ==")
+        print(table)
+        print(
+            f"growth geomean: ours +{summary['ours_growth_geomean'] * 100:.0f}% "
+            f"(paper +154%), sce +{summary['sce_growth_geomean'] * 100:.0f}% "
+            f"(paper +331%)"
+        )
+        print(
+            f"totals: orig {summary['orig_total']}, ours {summary['ours_total']}, "
+            f"sce {summary['sce_total_common']} (common set); at -O1: "
+            f"orig {summary['orig_total_o1']}, ours {summary['ours_total_o1']}, "
+            f"sce {summary['sce_total_o1_common']}"
+        )
+
+    assert summary["ours_growth_geomean"] > 0
+    assert summary["ours_growth_geomean"] < summary["sce_growth_geomean"]
+    # -O1 reclaims a larger share of our overhead than of the baseline's.
+    ours_reclaim = summary["ours_total_o1"] / summary["ours_total"]
+    sce_reclaim = summary["sce_total_o1_common"] / summary["sce_total_common"]
+    assert ours_reclaim < sce_reclaim
+
+
+def test_fig15_measure_repair_growth(benchmark):
+    def grow():
+        artifacts = get_artifacts("aes")
+        return artifacts.repaired.instruction_count()
+
+    result = benchmark.pedantic(grow, rounds=1, iterations=1)

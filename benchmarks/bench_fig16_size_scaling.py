@@ -1,0 +1,43 @@
+"""Figure 16 — code size of oFdF vs input size, original vs repaired.
+
+Paper result: unoptimised, repaired size is a perfect linear function of
+original size (R² = 1) at about 3.8x; at -O1 the ratio drops to about 1.8x
+with much higher variance (R² = 0.26 in the paper).
+"""
+
+from __future__ import annotations
+
+from repro.bench.figures import fig16_size_scaling
+from repro.bench.stats import format_table
+from repro.core import repair_module
+from repro.frontend import compile_source
+from repro.bench.suite import make_ofdf_source
+
+
+def test_fig16_size_series(bench_sizes, capsys, benchmark):
+    rows, fit, ratio, ratio_o1 = benchmark.pedantic(
+        lambda: fig16_size_scaling(sizes=bench_sizes), rounds=1, iterations=1,
+    )
+    table = format_table(
+        ["N", "orig", "ours", "orig-O1", "ours-O1"],
+        [[r.size, r.orig, r.ours, r.orig_o1, r.ours_o1] for r in rows],
+    )
+    with capsys.disabled():
+        print("\n== Figure 16: oFdF size vs N (IR instructions) ==")
+        print(table)
+        print(f"fit ours vs orig (unoptimised): {fit} (paper: slope 3.8, R^2 = 1)")
+        print(f"size ratio: {ratio:.2f}x unoptimised (paper 3.8x), "
+              f"{ratio_o1:.2f}x at -O1 (paper 1.8x)")
+
+    assert fit.r_squared > 0.99, "unoptimised growth must be essentially linear"
+    assert 2.0 < ratio < 6.0
+    assert ratio_o1 < ratio, "-O1 must reclaim part of the overhead"
+
+
+def test_fig16_size_of_repaired_ofdf_256(benchmark):
+    module = compile_source(make_ofdf_source(256), name="ofdf256")
+
+    def build_and_measure():
+        return repair_module(module).instruction_count()
+
+    benchmark.pedantic(build_and_measure, rounds=3, iterations=1)

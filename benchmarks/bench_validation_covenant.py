@@ -1,0 +1,76 @@
+"""Section IV "Validation" — the cachegrind/valgrind certification pass.
+
+Paper result: every repaired benchmark is operation invariant and memory
+safe for all tested inputs; 12 of 24 are data invariant, 11 cannot be
+(inputs index memory), and 1 fails only because the static analysis found
+no symbolic bound (fixable by hand).  SC-Eliminator fails on 3 CTBench
+benchmarks and produces incorrect code on loki91 and oFdF.
+
+This reproduction's suite has the same composition by construction except
+the bound-analysis failure: MiniC arrays always have findable bounds, so
+our split is 14 data-invariant / 10 inherently-inconsistent (the manual-
+contract path is exercised separately in the unit tests).
+"""
+
+from __future__ import annotations
+
+from repro.bench.figures import validation_rows, validation_summary
+from repro.bench.stats import format_table
+from repro.bench.suite import get_benchmark, load_module
+from repro.verify import adapt_inputs, check_cache_invariance
+from repro.core import repair_module
+
+
+def test_validation_table(capsys, benchmark):
+    rows = benchmark.pedantic(
+        lambda: validation_rows(input_count=4), rounds=1, iterations=1,
+    )
+    summary = validation_summary(rows)
+    table = format_table(
+        ["benchmark", "semantics", "op-inv", "data-inv", "mem-safe", "sce"],
+        [
+            [r.name,
+             "ok" if r.semantics_preserved else "BROKEN",
+             "yes" if r.operation_invariant else "NO",
+             "yes" if r.data_invariant else "no",
+             "yes" if r.memory_safe else "NO",
+             r.sce_outcome]
+            for r in rows
+        ],
+    )
+    with capsys.disabled():
+        print("\n== Validation: Covenant 1 across the suite ==")
+        print(table)
+        print(
+            f"{summary['data_invariant_count']}/{summary['benchmarks']} data "
+            f"invariant (paper 12/24), "
+            f"{summary['inherently_inconsistent_count']} inherently "
+            f"inconsistent (paper 11), SC-Eliminator: "
+            f"{summary['sce_failures']} failures (paper 3) + "
+            f"{summary['sce_incorrect']} incorrect (paper 2)"
+        )
+
+    assert summary["all_semantics_preserved"]
+    assert summary["all_operation_invariant"]
+    assert summary["all_memory_safe"]
+    assert summary["sce_failures"] == 3
+    assert summary["sce_incorrect"] == 2
+    # Expected-vs-measured data invariance agrees per benchmark.
+    for row in rows:
+        assert row.data_invariant == row.expected_data_invariant, row.name
+
+
+def test_cachegrind_style_check_on_tea(benchmark):
+    """The paper's literal methodology: hit/miss counts must be input-
+    independent for the repaired program under the cache simulator."""
+    bench = get_benchmark("tea")
+    module = load_module("tea")
+    repaired = repair_module(module)
+    inputs = adapt_inputs(module, bench.entry, bench.make_inputs(3))
+
+    def check():
+        report = check_cache_invariance(repaired, bench.entry, inputs)
+        assert report.cache_invariant
+        return report
+
+    benchmark.pedantic(check, rounds=1, iterations=1)

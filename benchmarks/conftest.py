@@ -1,0 +1,39 @@
+"""Shared configuration for the figure-regeneration benchmarks.
+
+Each ``bench_fig*.py`` module regenerates one figure of the paper's
+evaluation: it prints the figure's data series (captured by ``-s`` or in
+the pytest header) and registers a pytest-benchmark measurement for the
+headline quantity.
+
+Environment knobs:
+
+* ``REPRO_BENCH_REPS``  — repetitions for repair-time measurements
+  (default 3; the paper used 50);
+* ``REPRO_BENCH_SIZES`` — comma-separated oFdF sizes for the asymptotic
+  experiments (default "16,32,64,96,128,192,256").
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def repetitions() -> int:
+    return int(os.environ.get("REPRO_BENCH_REPS", "3"))
+
+
+def sweep_sizes() -> tuple[int, ...]:
+    raw = os.environ.get("REPRO_BENCH_SIZES", "16,32,64,96,128,192,256")
+    return tuple(int(part) for part in raw.split(",") if part)
+
+
+@pytest.fixture(scope="session")
+def bench_reps() -> int:
+    return repetitions()
+
+
+@pytest.fixture(scope="session")
+def bench_sizes() -> tuple[int, ...]:
+    return sweep_sizes()

@@ -1,0 +1,74 @@
+"""Full pipeline on a real cipher: repair TEA, optimise, validate under the
+cache simulator (the paper's cachegrind methodology), and compare with the
+SC-Eliminator baseline on an S-box cipher where preloading shows its cost.
+
+Run:  python examples/cipher_pipeline.py
+"""
+
+from repro import compile_minic, optimize_module, repair_module
+from repro.baseline import sc_eliminate
+from repro.bench.suite import get_benchmark, load_module
+from repro.exec import Interpreter
+from repro.verify import adapt_inputs, check_cache_invariance, check_invariance
+
+
+def tea_pipeline() -> None:
+    bench = get_benchmark("tea")
+    module = load_module("tea")
+    repaired = repair_module(module)
+    optimized = optimize_module(repaired)
+
+    print("== TEA (data consistent: full isochronicity) ==")
+    print(f"original {module.instruction_count()} -> repaired "
+          f"{repaired.instruction_count()} -> repaired -O1 "
+          f"{optimized.instruction_count()} instructions")
+
+    inputs = adapt_inputs(module, bench.entry, bench.make_inputs(3))
+    invariance = check_invariance(optimized, bench.entry, inputs)
+    print(f"traces: {invariance.summary()}")
+
+    cache = check_cache_invariance(optimized, bench.entry, inputs)
+    print(f"cachegrind-style check: hit/miss signatures "
+          f"{'identical' if cache.cache_invariant else 'DIFFER'} across inputs")
+    for signature in cache.signatures[:1]:
+        fetches, i1_miss, reads, writes, read_miss, write_miss = signature
+        print(f"  I refs {fetches} (misses {i1_miss}), D reads {reads} "
+              f"(misses {read_miss}), D writes {writes} (misses {write_miss})")
+
+    # Ciphertext must be unchanged by the whole pipeline.
+    v, k = [0x01234567, 0x89ABCDEF], [1, 2, 3, 4]
+    original_ct = Interpreter(module).run(bench.entry, [list(v), list(k)])
+    repaired_ct = Interpreter(optimized).run(
+        bench.entry, adapt_inputs(module, bench.entry, [[list(v), list(k)]])[0]
+    )
+    assert original_ct.arrays[0] == repaired_ct.arrays[0]
+    print(f"ciphertext preserved: {[hex(x) for x in repaired_ct.arrays[0]]}")
+
+
+def aes_baseline_comparison() -> None:
+    bench = get_benchmark("aes")
+    module = load_module("aes")
+    repaired = repair_module(module)
+    baseline = sc_eliminate(module)
+
+    print("\n== AES-128 (inherently data inconsistent) ==")
+    args = bench.make_inputs(1)[0]
+    ours_args = adapt_inputs(module, bench.entry, [args])[0]
+
+    orig = Interpreter(module, record_trace=False).run(
+        bench.entry, [list(a) if isinstance(a, list) else a for a in args])
+    ours = Interpreter(repaired, record_trace=False).run(bench.entry, ours_args)
+    sce = Interpreter(baseline, record_trace=False, strict_memory=False).run(
+        bench.entry, [list(a) if isinstance(a, list) else a for a in args])
+
+    print(f"cycles: original {orig.cycles}, repaired (ours) {ours.cycles}, "
+          f"SC-Eliminator {sce.cycles} (its 4 KiB table preload dominates)")
+    print(f"sizes : original {module.instruction_count()}, ours "
+          f"{repaired.instruction_count()}, SC-Eliminator "
+          f"{baseline.instruction_count()}")
+    assert ours.arrays[0] == orig.arrays[0] == sce.arrays[0]
+
+
+if __name__ == "__main__":
+    tea_pipeline()
+    aes_baseline_comparison()

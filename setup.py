@@ -1,0 +1,10 @@
+"""Setup shim: lets ``pip install -e .`` work offline (no wheel package).
+
+All metadata lives in pyproject.toml; this file only enables the legacy
+editable-install path (``--no-use-pep517``) in environments without network
+access to fetch build dependencies.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,35 @@
+"""repro — reproduction of *Memory-Safe Elimination of Side Channels* (CGO 2021).
+
+The package implements the paper's ``lif`` isochronification transformation
+together with every substrate it needs: an SSA IR modelled on the paper's
+baseline language, a MiniC front end, an optimiser, a tracing interpreter
+with a bounds-checked memory model, a cache simulator, isochronicity
+verifiers, and a reimplementation of the SC-Eliminator baseline.
+
+Typical use::
+
+    from repro import compile_minic, repair_module, run_function
+
+    module = compile_minic(source)
+    repaired = repair_module(module)
+    result = run_function(repaired, "compare", [[1, 2, 3], [1, 2, 3]])
+"""
+
+__version__ = "1.0.0"
+
+from repro.api import (
+    check_isochronous,
+    compile_minic,
+    optimize_module,
+    repair_module,
+    run_function,
+)
+
+__all__ = [
+    "__version__",
+    "check_isochronous",
+    "compile_minic",
+    "optimize_module",
+    "repair_module",
+    "run_function",
+]

@@ -1,0 +1,118 @@
+"""Symbolic array-size analysis (paper Section III-C2).
+
+This is the stand-in for the pointer range analysis of Paisante et al. that
+the paper uses to fill in memory contracts at call sites.  For every
+pointer-valued SSA name in a function it tries to find a *symbolic length*:
+an IR expression, valid where the pointer is in scope, that evaluates to the
+number of words the pointer addresses.
+
+Sources of size facts (a forward must-analysis):
+
+* a global array has a constant size;
+* ``x = alloc e`` gives ``x`` length ``e``;
+* a pointer parameter with a memory contract ``(f, a, n)`` has length ``n``
+  (this is how the analysis becomes interprocedural: the paper observes that
+  "the function argument following each pointer represents that pointer's
+  maximum offset");
+* ``ctsel``/``phi`` joining pointers of statically equal length keep it;
+  otherwise the length is unknown.
+
+Unknown lengths are reported as ``None``; the repair then binds the contract
+to 0, which — per the paper — still preserves operation invariance and
+memory safety, but forfeits data invariance.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.ir.function import Function
+from repro.ir.instructions import Alloc, Call, CtSel, Expr, Load, Mov, Phi
+from repro.ir.module import Module
+from repro.ir.values import Const, Value, Var
+
+
+def infer_array_sizes(
+    module: Module,
+    function: Function,
+    contracts: Optional[dict[str, str]] = None,
+) -> dict[str, Optional[Expr]]:
+    """Map every pointer-like name of ``function`` to a symbolic length.
+
+    ``contracts`` maps pointer parameter names to the integer parameter
+    carrying their length (empty for un-repaired functions).
+    """
+    contracts = contracts or {}
+    sizes: dict[str, Optional[Expr]] = {}
+
+    for array in module.globals.values():
+        sizes[array.name] = Const(array.size)
+
+    for param in function.params:
+        if param.is_pointer:
+            length_param = contracts.get(param.name)
+            sizes[param.name] = Var(length_param) if length_param else None
+
+    # One forward pass suffices: the program is in SSA form and (after
+    # preprocessing) acyclic, so definitions appear before uses in block
+    # order within a topological traversal.
+    from repro.ir.cfg import topological_order
+
+    try:
+        order = topological_order(function)
+    except ValueError:
+        order = list(function.blocks)
+
+    for label in order:
+        for instr in function.blocks[label].instructions:
+            if isinstance(instr, Alloc):
+                sizes[instr.dest] = instr.size
+            elif isinstance(instr, Mov) and isinstance(instr.expr, Var):
+                if instr.expr.name in sizes:
+                    sizes[instr.dest] = sizes[instr.expr.name]
+            elif isinstance(instr, CtSel):
+                joined = _join_pointers(
+                    sizes, [instr.if_true, instr.if_false]
+                )
+                if joined is not NOT_A_POINTER:
+                    sizes[instr.dest] = joined
+            elif isinstance(instr, Phi):
+                joined = _join_pointers(sizes, [v for v, _ in instr.incomings])
+                if joined is not NOT_A_POINTER:
+                    sizes[instr.dest] = joined
+    return sizes
+
+
+#: Sentinel distinguishing "not a pointer" from "pointer of unknown size".
+NOT_A_POINTER = object()
+
+
+def _join_pointers(sizes: dict[str, Optional[Expr]], values: list[Value]):
+    """Must-join of the lengths of joined pointers.
+
+    Returns ``NOT_A_POINTER`` when the operands are not (all) known pointers;
+    a common symbolic length when they agree; ``None`` otherwise.
+    """
+    lengths: list[Optional[Expr]] = []
+    for value in values:
+        if not isinstance(value, Var) or value.name not in sizes:
+            return NOT_A_POINTER
+        lengths.append(sizes[value.name])
+    first = lengths[0]
+    if any(length is None for length in lengths):
+        return None
+    if all(length == first for length in lengths):
+        return first
+    constants = [l for l in lengths if isinstance(l, Const)]
+    if len(constants) == len(lengths):
+        return Const(min(c.value for c in constants))
+    return None
+
+
+def size_at_call_site(
+    sizes: dict[str, Optional[Expr]], argument: Value
+) -> Optional[Expr]:
+    """Symbolic length of a pointer argument at a call site (or ``None``)."""
+    if isinstance(argument, Var):
+        return sizes.get(argument.name)
+    return None

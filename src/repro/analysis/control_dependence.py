@@ -1,0 +1,47 @@
+"""Control-dependence analysis (Ferrante–Ottenstein–Warren).
+
+Block B is control-dependent on a branch in block A when A has a successor
+S such that B postdominates S but B does not postdominate A: the branch in A
+decides whether B runs.  The sensitivity analysis uses this to track
+*implicit* information flows (a variable assigned under a secret-dependent
+branch is itself secret), following the FlowTracker approach the paper cites
+for side-channel detection.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.dominators import compute_postdominators
+from repro.ir.function import Function
+from repro.ir.instructions import Br
+
+
+def compute_control_dependence(function: Function) -> dict[str, set[str]]:
+    """Map each block label to the labels of the branch blocks it depends on.
+
+    Requires a single-exit function (run the single-return canonicalisation
+    first); raises ``ValueError`` otherwise.
+    """
+    postdom = compute_postdominators(function)
+    if postdom is None:
+        raise ValueError(
+            f"@{function.name}: control dependence requires a single exit block"
+        )
+
+    depends_on: dict[str, set[str]] = {label: set() for label in function.blocks}
+    for block in function.blocks.values():
+        if not isinstance(block.terminator, Br):
+            continue
+        for successor in set(block.terminator.successors()):
+            # Walk up the postdominator tree from the successor to (but not
+            # including) the branch block's own postdominator parent; every
+            # node on the way is control-dependent on this branch.
+            runner = successor
+            stop = postdom.idom.get(block.label)
+            while runner is not None and runner != stop:
+                if runner != block.label:
+                    depends_on[runner].add(block.label)
+                parent = postdom.idom.get(runner)
+                if parent == runner:
+                    break
+                runner = parent
+    return depends_on

@@ -1,0 +1,135 @@
+"""Data-consistency classification (paper Definition 1 and Section IV).
+
+A program is *data consistent* when it touches the same **set** of data
+addresses regardless of inputs.  Covenant 1 promises data invariance for the
+repaired version of every data-consistent program; for the others, the paper
+still delivers operation invariance and memory safety.
+
+The evaluation (Section IV, "Validation") splits the 24 benchmarks into:
+
+* programs the repair makes data invariant,
+* programs that are *inherently* data inconsistent, because the input itself
+  indexes memory (e.g. S-box lookups keyed by secret bytes),
+* programs whose array bounds the static analysis cannot find.
+
+This classifier reproduces that triage statically: an access is inherently
+inconsistent when its index is tainted by an input; an access prevents the
+data-invariance guarantee when the accessed array has no symbolic bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.analysis.array_sizes import infer_array_sizes
+from repro.analysis.path_conditions import compute_path_conditions
+from repro.analysis.sensitivity import analyze_sensitivity
+from repro.ir.function import Function
+from repro.ir.instructions import Load, Store
+from repro.ir.module import Module
+from repro.ir.values import Var
+
+
+@dataclass(frozen=True)
+class AccessClassification:
+    """Static classification of one memory access."""
+
+    block: str
+    description: str
+    input_indexed: bool  # index depends on an input (inherent inconsistency)
+    guarded: bool        # executes only on some paths
+    bound_known: bool    # the accessed array has a symbolic size
+
+
+@dataclass
+class ConsistencyReport:
+    function: str
+    accesses: list[AccessClassification] = field(default_factory=list)
+
+    @property
+    def inherently_inconsistent(self) -> bool:
+        """Inputs index memory: no transformation can give data invariance."""
+        return any(a.input_indexed for a in self.accesses)
+
+    @property
+    def has_unknown_bounds(self) -> bool:
+        return any(not a.bound_known for a in self.accesses)
+
+    @property
+    def source_data_consistent(self) -> bool:
+        """Definition 1 on the *original* program: every access runs on every
+        path and no index depends on inputs."""
+        return all(
+            not a.input_indexed and not a.guarded for a in self.accesses
+        )
+
+    @property
+    def repaired_data_invariant(self) -> bool:
+        """Will the repaired program be data invariant?
+
+        Yes when no index is input-dependent and every zombie access can be
+        kept on its original address by a known contract (paper Covenant 1
+        plus the Section III-C compromise).
+        """
+        return not self.inherently_inconsistent and not self.has_unknown_bounds
+
+
+def classify_data_consistency(
+    module: Module,
+    function_name: str,
+    sensitive_params: Optional[Sequence[str]] = None,
+    contracts: Optional[dict[str, str]] = None,
+) -> ConsistencyReport:
+    """Classify every memory access of ``@function_name``.
+
+    ``sensitive_params`` follows :func:`repro.analysis.sensitivity.
+    analyze_sensitivity` (default: all inputs, the paper's assumption).  For
+    the purpose of this classifier an index "depends on an input" whenever it
+    is tainted.
+    """
+    function = module.function(function_name)
+    sensitivity = analyze_sensitivity(module, function_name, sensitive_params)
+    # Pointer params count as having known bounds here: the repair will
+    # *create* their contracts.  Only truly untrackable pointers (unknown
+    # joins, pointers to pointers) lack bounds.
+    contract_stub = {
+        p.name: f"__len_{p.name}" for p in function.params if p.is_pointer
+    }
+    if contracts:
+        contract_stub.update(contracts)
+    sizes = infer_array_sizes(module, function, contract_stub)
+
+    from repro.analysis.path_conditions import FormulaBudgetExceeded
+
+    try:
+        conditions = compute_path_conditions(function)
+    except (ValueError, FormulaBudgetExceeded):
+        # Cyclic CFG or formula blow-up: fall back to "every access may be
+        # guarded", which only weakens the source_data_consistent verdict.
+        conditions = None
+
+    report = ConsistencyReport(function_name)
+    for block in function.blocks.values():
+        if conditions is not None:
+            guarded = not conditions.outgoing[block.label].is_true()
+        else:
+            guarded = True
+        for instr in block.instructions:
+            if not isinstance(instr, (Load, Store)):
+                continue
+            index_tainted = (
+                isinstance(instr.index, Var)
+                and instr.index.name in sensitivity.tainted_vars
+            )
+            bound_known = sizes.get(instr.array.name) is not None
+            report.accesses.append(
+                AccessClassification(
+                    block=block.label,
+                    description=str(instr),
+                    input_indexed=index_tainted,
+                    guarded=guarded,
+                    bound_known=bound_known,
+                )
+            )
+    return report

@@ -1,0 +1,206 @@
+"""Sensitivity (taint) analysis — a FlowTracker-style leak detector.
+
+The paper assumes every input of a cryptographic routine is sensitive, but
+cites FlowTracker [Rodrigues et al., CC 2016] as the tool one would use to
+separate sensitive from innocuous inputs.  This module provides that
+capability: given a set of sensitive parameters it computes
+
+* the set of *tainted* SSA variables (explicit flows through arithmetic,
+  selects, phis and loads, plus implicit flows through control dependence);
+* the *leaky branches* — conditional branches whose predicate is tainted.
+  Each one is an operation-variance side channel (Property 1 violation);
+* the *leaky indices* — memory accesses whose index is tainted.  Each one is
+  a data-variance side channel (Property 2 violation).
+
+A function with neither kind of leak is already isochronous with respect to
+the chosen secrets; the repair pass removes the leaky branches, while leaky
+indices are the "inherently data-inconsistent" accesses of the paper's
+validation discussion (they cannot be removed without changing the
+algorithm).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.analysis.control_dependence import compute_control_dependence
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    Alloc,
+    Br,
+    Call,
+    CtSel,
+    Load,
+    Mov,
+    Phi,
+    Store,
+)
+from repro.ir.module import Module
+from repro.ir.values import Var
+
+
+@dataclass(frozen=True)
+class LeakyBranch:
+    """A conditional branch steered by secret data."""
+
+    block: str
+    predicate: str
+
+    def __str__(self) -> str:
+        return f"branch on {self.predicate} in block {self.block}"
+
+
+@dataclass(frozen=True)
+class LeakyIndex:
+    """A memory access whose address is secret-dependent."""
+
+    block: str
+    kind: str  # "load" or "store"
+    array: str
+    index: str
+
+    def __str__(self) -> str:
+        return f"{self.kind} {self.array}[{self.index}] in block {self.block}"
+
+
+@dataclass
+class SensitivityReport:
+    function: str
+    sensitive_params: tuple[str, ...]
+    tainted_vars: set[str] = field(default_factory=set)
+    tainted_arrays: set[str] = field(default_factory=set)
+    leaky_branches: list[LeakyBranch] = field(default_factory=list)
+    leaky_indices: list[LeakyIndex] = field(default_factory=list)
+
+    @property
+    def operation_variant(self) -> bool:
+        """True when secrets can change which instructions execute."""
+        return bool(self.leaky_branches)
+
+    @property
+    def data_variant(self) -> bool:
+        """True when secrets can change which addresses are accessed."""
+        return bool(self.leaky_indices)
+
+    @property
+    def isochronous(self) -> bool:
+        return not (self.operation_variant or self.data_variant)
+
+
+def analyze_sensitivity(
+    module: Module,
+    function_name: str,
+    sensitive_params: Optional[Sequence[str]] = None,
+) -> SensitivityReport:
+    """Taint analysis of one function.
+
+    ``sensitive_params`` defaults to *all* parameters (the paper's stance for
+    cryptographic code).  Calls are handled conservatively: a call result is
+    tainted when any argument is, and pointer arguments of calls are assumed
+    to be overwritten with tainted data when any argument is tainted.
+    """
+    function = module.function(function_name)
+    if sensitive_params is None:
+        sensitive_params = [p.name for p in function.params]
+    report = SensitivityReport(function_name, tuple(sensitive_params))
+
+    tainted: set[str] = set(sensitive_params)
+    # Arrays whose *contents* are tainted.  Arrays handed in as sensitive
+    # pointer parameters carry tainted contents by definition.
+    tainted_arrays: set[str] = {
+        p.name
+        for p in function.params
+        if p.is_pointer and p.name in tainted
+    }
+
+    try:
+        direct_deps = compute_control_dependence(function)
+    except ValueError:
+        direct_deps = {label: set() for label in function.blocks}
+
+    # Implicit flows are transitive: a block nested under two branches leaks
+    # through both predicates, so close the direct dependence relation.
+    control_deps: dict[str, set[str]] = {}
+
+    def closure(label: str, seen: frozenset[str] = frozenset()) -> set[str]:
+        if label in control_deps:
+            return control_deps[label]
+        result = set(direct_deps.get(label, ()))
+        for controller in direct_deps.get(label, ()):  # walk up the nesting
+            if controller not in seen:
+                result |= closure(controller, seen | {label})
+        control_deps[label] = result
+        return result
+
+    for block_label in function.blocks:
+        closure(block_label)
+
+    def block_predicates(label: str) -> list[str]:
+        predicates = []
+        for controller in control_deps.get(label, ()):  # branches above us
+            terminator = function.blocks[controller].terminator
+            if isinstance(terminator, Br) and isinstance(terminator.cond, Var):
+                predicates.append(terminator.cond.name)
+        return predicates
+
+    changed = True
+    while changed:
+        changed = False
+        for block in function.blocks.values():
+            implicit = any(p in tainted for p in block_predicates(block.label))
+            for instr in block.instructions:
+                if isinstance(instr, Store):
+                    value_tainted = any(v in tainted for v in instr.used_vars())
+                    if (value_tainted or implicit) and (
+                        instr.array.name not in tainted_arrays
+                    ):
+                        tainted_arrays.add(instr.array.name)
+                        changed = True
+                    continue
+                if instr.dest is None:
+                    continue
+                is_tainted = implicit or any(
+                    v in tainted for v in instr.used_vars()
+                )
+                if isinstance(instr, Load):
+                    if instr.array.name in tainted_arrays:
+                        is_tainted = True
+                if isinstance(instr, Call):
+                    # Conservative: assume the callee taints its pointer
+                    # arguments whenever any argument is tainted.
+                    if is_tainted:
+                        for arg in instr.args:
+                            if isinstance(arg, Var) and arg.name not in tainted_arrays:
+                                tainted_arrays.add(arg.name)
+                                changed = True
+                if is_tainted and instr.dest not in tainted:
+                    tainted.add(instr.dest)
+                    changed = True
+
+    report.tainted_vars = tainted
+    report.tainted_arrays = tainted_arrays
+
+    for block in function.blocks.values():
+        terminator = block.terminator
+        if isinstance(terminator, Br) and isinstance(terminator.cond, Var):
+            if terminator.cond.name in tainted:
+                report.leaky_branches.append(
+                    LeakyBranch(block.label, terminator.cond.name)
+                )
+        for instr in block.instructions:
+            if isinstance(instr, Load) and isinstance(instr.index, Var):
+                if instr.index.name in tainted:
+                    report.leaky_indices.append(
+                        LeakyIndex(
+                            block.label, "load", instr.array.name, instr.index.name
+                        )
+                    )
+            elif isinstance(instr, Store) and isinstance(instr.index, Var):
+                if instr.index.name in tainted:
+                    report.leaky_indices.append(
+                        LeakyIndex(
+                            block.label, "store", instr.array.name, instr.index.name
+                        )
+                    )
+    return report

@@ -1,0 +1,88 @@
+"""High-level convenience API tying the subsystems together.
+
+These wrappers are what the examples and quickstart use; power users can
+reach into the subpackages directly (``repro.core.repair`` exposes every
+knob of the transformation).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.ir.module import Module
+
+
+def compile_minic(
+    source: str,
+    name: str = "module",
+    unroll: bool = True,
+) -> Module:
+    """Compile MiniC source text to an IR module.
+
+    When ``unroll`` is true (the default), bounded loops are fully unrolled
+    and the result is validated to be acyclic — the preprocessing the repair
+    pass requires (paper Section III-A).
+    """
+    from repro.frontend import compile_source
+
+    return compile_source(source, name=name, unroll=unroll)
+
+
+def repair_module(
+    module: Module,
+    sizes: Optional[dict[str, dict[str, object]]] = None,
+) -> Module:
+    """Apply the paper's memory-safe isochronification to a whole module.
+
+    Returns a new module; the input is not mutated.  ``sizes`` optionally
+    provides manual memory contracts: ``{function: {pointer_param: length}}``
+    where length is an int or the name of an integer parameter.  Contracts
+    that are not given are inferred with the array-size analysis; pointers
+    whose size cannot be inferred get the contract 0, which preserves
+    operation invariance and memory safety but forfeits data invariance
+    (paper Section III-C2).
+    """
+    from repro.core.repair import RepairOptions, repair_module as _repair
+
+    options = RepairOptions(manual_sizes=sizes or {})
+    return _repair(module, options)
+
+
+def optimize_module(module: Module, level: int = 1) -> Module:
+    """Run the -O1 stand-in cleanup pipeline; returns a new module."""
+    from repro.opt.pipeline import optimize
+
+    return optimize(module, level=level)
+
+
+def run_function(
+    module: Module,
+    name: str,
+    args: Sequence[object],
+    trace: bool = False,
+):
+    """Execute ``@name`` with Python arguments (ints, or lists for arrays).
+
+    Returns the integer result; with ``trace=True`` returns an
+    :class:`repro.exec.interpreter.ExecutionResult` carrying the instruction
+    and memory traces plus the simulated cycle count.
+    """
+    from repro.exec.interpreter import Interpreter
+
+    interpreter = Interpreter(module)
+    result = interpreter.run(name, list(args))
+    return result if trace else result.value
+
+
+def check_isochronous(
+    module: Module,
+    name: str,
+    inputs: Sequence[Sequence[object]],
+):
+    """Check operation/data invariance of ``@name`` across the given inputs.
+
+    Returns an :class:`repro.verify.isochronicity.InvarianceReport`.
+    """
+    from repro.verify.isochronicity import check_invariance
+
+    return check_invariance(module, name, inputs)

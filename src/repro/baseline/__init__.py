@@ -1,0 +1,22 @@
+"""The SC-Eliminator baseline (Wu et al., ISSTA 2018), reimplemented."""
+
+from repro.baseline.inline import InlineBudgetExceeded, inline_all_calls
+from repro.baseline.preload import PRELOAD_SINK, insert_preloads, referenced_tables
+from repro.baseline.sc_eliminator import (
+    SCEliminatorOptions,
+    SCEliminatorStats,
+    UnsupportedProgramError,
+    sc_eliminate,
+)
+
+__all__ = [
+    "InlineBudgetExceeded",
+    "PRELOAD_SINK",
+    "SCEliminatorOptions",
+    "SCEliminatorStats",
+    "UnsupportedProgramError",
+    "inline_all_calls",
+    "insert_preloads",
+    "referenced_tables",
+    "sc_eliminate",
+]

@@ -1,0 +1,176 @@
+"""Function inlining.
+
+SC-Eliminator (Wu et al.) has no interprocedural story: it requires calls to
+be inlined before if-conversion.  The paper's Example 9 shows why this is a
+real limitation — inlining a fully-unrolled call graph can blow code size up
+by orders of magnitude (460x for curve25519-donna) — and motivates the
+contract-based interprocedural transformation.  This inliner exists to
+reproduce both: the baseline pipeline uses it (with a budget whose overflow
+is one of SC-Eliminator's genuine failure modes), and the ablation benchmark
+compares inlining against contract threading.
+"""
+
+from __future__ import annotations
+
+from repro.ir.function import Function
+from repro.ir.instructions import Call, Jmp, Mov, Phi, Ret, substitute_expr
+from repro.ir.module import Module
+from repro.ir.values import Value, Var
+from repro.transforms.preprocess import call_topological_order
+
+
+class InlineBudgetExceeded(Exception):
+    """Inlining grew the program past the configured budget."""
+
+    def __init__(self, function: str, size: int, budget: int) -> None:
+        super().__init__(
+            f"inlining @{function} reached {size} instructions "
+            f"(budget {budget})"
+        )
+        self.function = function
+        self.size = size
+        self.budget = budget
+
+
+def inline_all_calls(module: Module, budget: int = 1_000_000) -> int:
+    """Inline every call in place, callees first; returns calls inlined.
+
+    Requires a preprocessed module (acyclic CFGs, single returns, no
+    recursion).  Raises :class:`InlineBudgetExceeded` when any function's
+    instruction count passes ``budget``.
+    """
+    inlined = 0
+    for name in call_topological_order(module):
+        function = module.functions[name]
+        # Callees processed first are already call-free, so one sweep per
+        # function suffices even though inlining splices new blocks in.
+        while True:
+            site = _find_call(function)
+            if site is None:
+                break
+            _inline_call(module, function, *site, suffix=f"inl{inlined}")
+            inlined += 1
+            size = function.instruction_count()
+            if size > budget:
+                raise InlineBudgetExceeded(name, size, budget)
+    return inlined
+
+
+def _find_call(function: Function):
+    for block in function.blocks.values():
+        for index, instr in enumerate(block.instructions):
+            if isinstance(instr, Call):
+                return block.label, index
+    return None
+
+
+def _inline_call(
+    module: Module, caller: Function, label: str, index: int, suffix: str
+) -> None:
+    block = caller.blocks[label]
+    call = block.instructions[index]
+    assert isinstance(call, Call)
+    callee = module.function(call.callee)
+
+    def rename(name: str) -> str:
+        return f"{name}.{suffix}"
+
+    # Map callee parameter names to the call's argument values.
+    substitution: dict[str, Value] = {
+        param.name: arg for param, arg in zip(callee.params, call.args)
+    }
+
+    # Copy callee blocks with renamed labels and variables.
+    globals_names = set(module.globals)
+    local_map = {
+        name: Var(rename(name))
+        for name in _local_names(callee)
+        if name not in globals_names
+    }
+    full_map = dict(substitution)
+    full_map.update(local_map)
+    label_map = {l: f"{l}.{suffix}" for l in callee.blocks}
+    return_value: Value | None = None
+    return_block_label: str | None = None
+    for callee_block in callee.blocks.values():
+        new_block = caller.add_block(label_map[callee_block.label])
+        for instr in callee_block.instructions:
+            renamed = instr.replace_uses(full_map)
+            if renamed.dest is not None:
+                renamed = renamed.with_dest(rename(renamed.dest))
+            if isinstance(renamed, Phi):
+                renamed = Phi(
+                    renamed.dest,
+                    tuple(
+                        (value, label_map[pred]) for value, pred in renamed.incomings
+                    ),
+                )
+            new_block.append(renamed)
+        terminator = callee_block.terminator
+        assert terminator is not None
+        if isinstance(terminator, Ret):
+            expr = substitute_expr(terminator.expr, full_map)
+            if return_value is None:
+                result_name = rename("__ret")
+                new_block.append(Mov(result_name, expr))
+                return_value = Var(result_name)
+                return_block_label = new_block.label
+            new_block.terminator = None  # patched below to jump to the tail
+        else:
+            new_block.terminator = terminator.replace_uses(full_map)
+            new_block.terminator = _retarget(new_block.terminator, label_map)
+
+    # Split the caller block: everything after the call moves to a tail block.
+    tail = caller.add_block(f"{label}.tail.{suffix}")
+    tail.instructions = block.instructions[index + 1 :]
+    tail.terminator = block.terminator
+    if call.dest is not None:
+        assert return_value is not None
+        tail.instructions.insert(0, Mov(call.dest, return_value))
+    block.instructions = block.instructions[:index]
+    block.terminator = Jmp(label_map[callee.entry.label])
+    assert return_block_label is not None
+    caller.blocks[return_block_label].terminator = Jmp(tail.label)
+
+    # Phis in the old block's successors must now name the tail block.
+    _relabel_successor_phis(caller, old=label, new=tail.label, skip=tail.label)
+
+
+def _local_names(callee: Function) -> set[str]:
+    names = set()
+    for _, instr in callee.iter_instructions():
+        if instr.dest is not None:
+            names.add(instr.dest)
+    return names
+
+
+def _retarget(terminator, label_map):
+    from repro.ir.instructions import Br
+
+    if isinstance(terminator, Jmp):
+        return Jmp(label_map[terminator.target])
+    if isinstance(terminator, Br):
+        return Br(
+            terminator.cond,
+            label_map[terminator.if_true],
+            label_map[terminator.if_false],
+        )
+    return terminator
+
+
+def _relabel_successor_phis(
+    caller: Function, old: str, new: str, skip: str
+) -> None:
+    for candidate in caller.blocks.values():
+        if candidate.label == skip:
+            continue
+        rewritten = []
+        for instr in candidate.instructions:
+            if isinstance(instr, Phi):
+                arms = tuple(
+                    (value, new if pred == old else pred)
+                    for value, pred in instr.incomings
+                )
+                instr = Phi(instr.dest, arms)
+            rewritten.append(instr)
+        candidate.instructions = rewritten

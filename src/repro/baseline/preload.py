@@ -1,0 +1,68 @@
+"""Table preloading — SC-Eliminator's data-cache mitigation.
+
+Wu et al. mitigate data-cache leaks by reading lookup tables into the cache
+at function entry, so later secret-indexed accesses hit regardless of the
+index.  The paper under reproduction criticises this: it is architecture
+dependent (sized to a specific cache) and weaker than data invariance.
+
+The preload folds every loaded word into a checksum and stores it to a
+sink global, so optimisation cannot remove it (mirroring the volatile reads
+real implementations use).
+"""
+
+from __future__ import annotations
+
+from repro.ir.builder import IRBuilder
+from repro.ir.function import Function
+from repro.ir.instructions import BinExpr, Load, Mov, Store
+from repro.ir.module import GlobalArray, Module
+from repro.ir.values import Const, Var
+
+#: Name of the sink global that keeps preload code alive.
+PRELOAD_SINK = "__preload_sink"
+
+
+def referenced_tables(function: Function, module: Module) -> list[GlobalArray]:
+    """Const globals the function loads from (the preload set)."""
+    names: set[str] = set()
+    for _, instr in function.iter_instructions():
+        if isinstance(instr, Load) and instr.array.name in module.globals:
+            if module.globals[instr.array.name].const:
+                names.add(instr.array.name)
+    return [module.globals[name] for name in sorted(names)]
+
+
+def insert_preloads(function: Function, module: Module) -> int:
+    """Prefix the entry block with unrolled reads of every referenced table.
+
+    Returns the number of preload loads inserted.  (The surrounding pipeline
+    has already unrolled all loops, so the preload is unrolled too — one
+    load per table cell, which is the dominant share of SC-Eliminator's size
+    overhead on S-box ciphers.)
+    """
+    tables = referenced_tables(function, module)
+    if not tables:
+        return 0
+    if PRELOAD_SINK not in module.globals:
+        module.add_global(GlobalArray(PRELOAD_SINK, 1))
+
+    builder = IRBuilder(function, name_prefix="pre")
+    prefix = []
+    checksum = None
+    count = 0
+    for table in tables:
+        for index in range(table.size):
+            dest = builder.fresh("pre")
+            prefix.append(Load(dest, Var(table.name), Const(index)))
+            count += 1
+            if checksum is None:
+                checksum = Var(dest)
+            else:
+                mixed = builder.fresh("pre")
+                prefix.append(Mov(mixed, BinExpr("^", checksum, Var(dest))))
+                checksum = Var(mixed)
+    assert checksum is not None
+    prefix.append(Store(checksum, Var(PRELOAD_SINK), Const(0)))
+    entry = function.entry
+    entry.instructions = prefix + entry.instructions
+    return count

@@ -1,0 +1,28 @@
+"""Benchmark suite and evaluation harness (paper Section IV)."""
+
+from repro.bench.runner import BenchArtifacts, get_artifacts, measure_cycles
+from repro.bench.stats import (
+    LinearFit,
+    drop_outliers,
+    format_table,
+    geomean,
+    linear_fit,
+    mean,
+)
+from repro.bench.suite import (
+    BENCHMARKS,
+    ArrayArg,
+    Benchmark,
+    IntArg,
+    benchmark_names,
+    get_benchmark,
+    load_module,
+    make_ofdf_source,
+)
+
+__all__ = [
+    "ArrayArg", "BENCHMARKS", "BenchArtifacts", "Benchmark", "IntArg",
+    "LinearFit", "benchmark_names", "drop_outliers", "format_table",
+    "geomean", "get_artifacts", "get_benchmark", "linear_fit", "load_module",
+    "make_ofdf_source", "mean", "measure_cycles",
+]

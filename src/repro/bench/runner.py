@@ -1,0 +1,185 @@
+"""Benchmark orchestration: build every variant of every routine once.
+
+For each benchmark the harness produces six modules — original, repaired
+(ours), SC-Eliminated (baseline), each unoptimised and at -O1 — plus the
+baseline's observed outcome (ok / incorrect output / unsupported), matching
+the pass/fail/error trichotomy of the original artifact's ``run.sh``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Optional, Sequence
+
+from repro.baseline import (
+    SCEliminatorOptions,
+    SCEliminatorStats,
+    UnsupportedProgramError,
+    sc_eliminate,
+)
+from repro.bench.suite import Benchmark, get_benchmark, load_module
+from repro.core import RepairOptions, RepairStats, repair_module
+from repro.exec import Interpreter
+from repro.ir.module import Module
+from repro.opt import optimize
+from repro.verify import adapt_inputs
+
+#: Default baseline options used across all experiments.  The inline budget
+#: matches what the CTBench routines exceed (the artifact's failure mode).
+SCE_OPTIONS = SCEliminatorOptions(inline_budget=20_000)
+
+
+@dataclass
+class BenchArtifacts:
+    """All compiled variants and metadata for one benchmark."""
+
+    bench: Benchmark
+    original: Module
+    original_o1: Module
+    repaired: Module
+    repaired_o1: Module
+    repair_stats: RepairStats
+    sce: Optional[Module]
+    sce_o1: Optional[Module]
+    sce_stats: Optional[SCEliminatorStats]
+    sce_error: Optional[str]
+    sce_correct: Optional[bool]
+
+    @property
+    def sce_outcome(self) -> str:
+        """'ok' | 'incorrect' | 'error' — the artifact's trichotomy."""
+        if self.sce_error is not None:
+            return "error"
+        return "ok" if self.sce_correct else "incorrect"
+
+
+@lru_cache(maxsize=None)
+def get_artifacts(name: str) -> BenchArtifacts:
+    bench = get_benchmark(name)
+    original = load_module(name)
+
+    repair_stats = RepairStats()
+    repaired = repair_module(original, RepairOptions(), stats=repair_stats)
+
+    sce = sce_stats = sce_o1 = None
+    sce_error: Optional[str] = None
+    sce_correct: Optional[bool] = None
+    try:
+        sce_stats = SCEliminatorStats()
+        sce = sc_eliminate(original, SCE_OPTIONS, stats=sce_stats)
+    except UnsupportedProgramError as error:
+        sce = None
+        sce_stats = None
+        sce_error = str(error)
+
+    original_o1 = optimize(original)
+    repaired_o1 = optimize(repaired)
+    if sce is not None:
+        sce_o1 = optimize(sce)
+        sce_correct = _outputs_match(bench, original, sce)
+
+    return BenchArtifacts(
+        bench=bench,
+        original=original,
+        original_o1=original_o1,
+        repaired=repaired,
+        repaired_o1=repaired_o1,
+        repair_stats=repair_stats,
+        sce=sce,
+        sce_o1=sce_o1,
+        sce_stats=sce_stats,
+        sce_error=sce_error,
+        sce_correct=sce_correct,
+    )
+
+
+def _outputs_match(bench: Benchmark, original: Module, transformed: Module) -> bool:
+    """Same-signature output comparison (the artifact's pass/fail check)."""
+    interpreter_a = Interpreter(original, record_trace=False)
+    interpreter_b = Interpreter(
+        transformed, record_trace=False, strict_memory=False
+    )
+    for args in bench.make_inputs(4):
+        result_a = interpreter_a.run(bench.entry, [_copy(a) for a in args])
+        result_b = interpreter_b.run(bench.entry, [_copy(a) for a in args])
+        if result_a.value != result_b.value or result_a.arrays != result_b.arrays:
+            return False
+    return True
+
+
+def _copy(arg):
+    return list(arg) if isinstance(arg, list) else arg
+
+
+def repaired_inputs(
+    artifacts: BenchArtifacts, inputs: Sequence[Sequence[object]]
+) -> list[list[object]]:
+    """Adapt benchmark inputs to the repaired function's contract interface."""
+    return adapt_inputs(artifacts.original, artifacts.bench.entry, inputs)
+
+
+def measure_cycles(
+    module: Module,
+    entry: str,
+    inputs: Sequence[Sequence[object]],
+) -> float:
+    """Mean simulated cycle count over the inputs (deterministic)."""
+    interpreter = Interpreter(module, record_trace=False, strict_memory=False)
+    total = 0
+    for args in inputs:
+        total += interpreter.run(entry, [_copy(a) for a in args]).cycles
+    return total / len(inputs)
+
+
+def time_repair(
+    module: Module, repetitions: int = 3, baseline: bool = False
+) -> list[float]:
+    """Wall-clock seconds per repair run (the RQ1 measurement).
+
+    Following the paper's methodology, only the repair pass itself is
+    timed: the shared preprocessing (the "rest of LLVM's processing time")
+    runs once outside the timer, and output validation — a debug aid, not
+    part of either transformation — is disabled.
+    """
+    from dataclasses import replace
+
+    from repro.transforms import preprocess_module
+
+    prepared = module.clone()
+    try:
+        preprocess_module(prepared)
+    except Exception:
+        return []
+
+    import gc
+
+    samples = []
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for _ in range(repetitions):
+            started = time.perf_counter()
+            if baseline:
+                try:
+                    sc_eliminate(
+                        prepared,
+                        replace(
+                            SCE_OPTIONS,
+                            assume_preprocessed=True,
+                            validate_output=False,
+                        ),
+                    )
+                except UnsupportedProgramError:
+                    return []
+            else:
+                repair_module(
+                    prepared,
+                    RepairOptions(assume_preprocessed=True, validate_output=False),
+                )
+            samples.append(time.perf_counter() - started)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    return samples

@@ -1,0 +1,89 @@
+"""Statistics helpers matching the paper's methodology.
+
+The paper removes outliers by z-score (threshold 3), averages slowdowns
+with the geometric mean of ratios, and reports least-squares linear fits
+with their coefficients of determination for the asymptotic experiments.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+
+def drop_outliers(samples: Sequence[float], threshold: float = 3.0) -> list[float]:
+    """Remove samples more than ``threshold`` standard deviations from the
+    mean (the paper's timing methodology)."""
+    values = list(samples)
+    if len(values) < 3:
+        return values
+    mean = sum(values) / len(values)
+    variance = sum((v - mean) ** 2 for v in values) / len(values)
+    std = math.sqrt(variance)
+    if std == 0:
+        return values
+    return [v for v in values if abs(v - mean) / std <= threshold]
+
+
+def geomean(values: Sequence[float]) -> float:
+    """Geometric mean (used for averaging slowdown/growth ratios)."""
+    cleaned = [v for v in values if v > 0]
+    if not cleaned:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in cleaned) / len(cleaned))
+
+
+def mean(values: Sequence[float]) -> float:
+    values = list(values)
+    return sum(values) / len(values) if values else 0.0
+
+
+@dataclass(frozen=True)
+class LinearFit:
+    """Least-squares fit ``y = slope * x + intercept``."""
+
+    slope: float
+    intercept: float
+    r_squared: float
+
+    def __str__(self) -> str:
+        return (
+            f"y = {self.slope:.6g} * x + {self.intercept:.6g} "
+            f"(R^2 = {self.r_squared:.3f})"
+        )
+
+
+def linear_fit(xs: Sequence[float], ys: Sequence[float]) -> LinearFit:
+    """Ordinary least squares with R² (paper Figures 12, 14, 16)."""
+    n = len(xs)
+    if n != len(ys) or n < 2:
+        raise ValueError("need at least two paired samples")
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    sxx = sum((x - mean_x) ** 2 for x in xs)
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    if sxx == 0:
+        raise ValueError("degenerate x values")
+    slope = sxy / sxx
+    intercept = mean_y - slope * mean_x
+    ss_res = sum((y - (slope * x + intercept)) ** 2 for x, y in zip(xs, ys))
+    ss_tot = sum((y - mean_y) ** 2 for y in ys)
+    r_squared = 1.0 if ss_tot == 0 else 1.0 - ss_res / ss_tot
+    return LinearFit(slope, intercept, r_squared)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Plain-text table for the benchmark reports."""
+    rendered = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rendered:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)

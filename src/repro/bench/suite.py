@@ -1,0 +1,288 @@
+"""The benchmark suite: 24 routines mirroring the paper's evaluation set.
+
+The paper evaluates on CTBench plus a subset of the benchmarks distributed
+with SC-Eliminator (the "chronos" and "supercop" crypto kernels).  The
+same *families* are implemented here in MiniC — see each ``.mc`` file for
+its provenance notes and any structural simplifications.
+
+Per-benchmark metadata records the classification the paper's validation
+section reports: whether the repaired routine can be made data invariant,
+whether it is inherently data inconsistent (inputs index memory), and what
+the SC-Eliminator artifact is expected to do with it (work, produce
+incorrect code, or fail).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from functools import lru_cache
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.frontend import compile_source
+from repro.ir.module import Module
+
+_PROGRAM_DIR = Path(__file__).parent / "programs"
+
+
+@dataclass(frozen=True)
+class ArrayArg:
+    """An array argument: ``size`` cells, each masked to ``mask``."""
+
+    size: int
+    mask: int = (1 << 32) - 1
+
+
+@dataclass(frozen=True)
+class IntArg:
+    """A scalar argument masked to ``mask``."""
+
+    mask: int = (1 << 32) - 1
+
+
+ArgSpec = "ArrayArg | IntArg"
+
+
+@dataclass(frozen=True)
+class Benchmark:
+    """One routine of the evaluation suite."""
+
+    name: str
+    source_file: str
+    entry: str
+    category: str  # "synthetic" | "chronos" | "supercop" | "ctbench"
+    description: str
+    args: tuple
+    #: Will the repaired version be data invariant (Covenant 1 clause 3)?
+    data_invariant: bool
+    #: Do inputs index memory (the paper's "inherently data inconsistent")?
+    inherently_inconsistent: bool
+    #: Expected SC-Eliminator outcome: "ok", "incorrect", or "error".
+    sce_expected: str
+    #: Hand-picked inputs that exercise interesting paths (e.g. equal arrays
+    #: for comparators, weak keys for loki91) — prepended to random inputs.
+    special_inputs: tuple = ()
+
+    def source(self) -> str:
+        return (_PROGRAM_DIR / self.source_file).read_text()
+
+    def make_inputs(self, count: int, seed: int = 0) -> list[list[object]]:
+        """Deterministic argument lists: special inputs first, then random."""
+        rng = random.Random((hash(self.name) & 0xFFFF) ^ seed)
+        inputs: list[list[object]] = [list(args) for args in self.special_inputs]
+        while len(inputs) < count:
+            args: list[object] = []
+            for spec in self.args:
+                if isinstance(spec, ArrayArg):
+                    args.append(
+                        [rng.getrandbits(64) & spec.mask for _ in range(spec.size)]
+                    )
+                else:
+                    args.append(rng.getrandbits(64) & spec.mask)
+            inputs.append(args)
+        return inputs[:count]
+
+
+_U8 = 0xFF
+_U32 = 0xFFFFFFFF
+
+BENCHMARKS: tuple[Benchmark, ...] = (
+    Benchmark(
+        "ofdf", "synthetic.mc", "ofdf", "synthetic",
+        "Paper Fig. 1 oFdF: early-exit array comparison",
+        (ArrayArg(2, _U8), ArrayArg(2, _U8)),
+        data_invariant=True, inherently_inconsistent=False,
+        sce_expected="incorrect",
+        special_inputs=(([5, 7], [5, 7]), ([5, 7], [5, 9]), ([1, 2], [3, 4])),
+    ),
+    Benchmark(
+        "ofdt", "synthetic.mc", "ofdt", "synthetic",
+        "Paper Fig. 1 oFdT: branchy comparison, fixed data accesses",
+        (ArrayArg(2, _U8), ArrayArg(2, _U8)),
+        data_invariant=True, inherently_inconsistent=False,
+        sce_expected="ok",
+        special_inputs=(([5, 7], [5, 7]), ([5, 7], [5, 9])),
+    ),
+    Benchmark(
+        "otdf", "synthetic.mc", "otdf", "synthetic",
+        "Paper Fig. 1 oTdF: input indices select the cells compared",
+        (ArrayArg(2, _U8), ArrayArg(2, _U8), ArrayArg(2, 1)),
+        data_invariant=False, inherently_inconsistent=True,
+        sce_expected="ok",
+    ),
+    Benchmark(
+        "otdt", "synthetic.mc", "otdt", "synthetic",
+        "Paper Fig. 1 oTdT: already isochronous ctsel comparison",
+        (ArrayArg(2, _U8), ArrayArg(2, _U8)),
+        data_invariant=True, inherently_inconsistent=False,
+        sce_expected="ok",
+        special_inputs=(([5, 7], [5, 7]),),
+    ),
+    Benchmark(
+        "tea", "tea.mc", "tea_encrypt", "chronos",
+        "TEA block encryption, 32 rounds (ARX)",
+        (ArrayArg(2, _U32), ArrayArg(4, _U32)),
+        data_invariant=True, inherently_inconsistent=False, sce_expected="ok",
+    ),
+    Benchmark(
+        "xtea", "xtea.mc", "xtea_encrypt", "chronos",
+        "XTEA block encryption, 64 half-rounds (ARX)",
+        (ArrayArg(2, _U32), ArrayArg(4, _U32)),
+        data_invariant=True, inherently_inconsistent=False, sce_expected="ok",
+    ),
+    Benchmark(
+        "raiden", "raiden.mc", "raiden_encrypt", "chronos",
+        "Raiden block encryption, 16 rounds (ARX, evolved key schedule)",
+        (ArrayArg(2, _U32), ArrayArg(4, _U32)),
+        data_invariant=True, inherently_inconsistent=False, sce_expected="ok",
+    ),
+    Benchmark(
+        "speck", "speck.mc", "speck_encrypt", "supercop",
+        "Speck64/128, 27 rounds, expanded keys as input",
+        (ArrayArg(2, _U32), ArrayArg(27, _U32)),
+        data_invariant=True, inherently_inconsistent=False, sce_expected="ok",
+    ),
+    Benchmark(
+        "simon", "simon.mc", "simon_encrypt", "supercop",
+        "Simon64/128, 44 rounds, expanded keys as input",
+        (ArrayArg(2, _U32), ArrayArg(44, _U32)),
+        data_invariant=True, inherently_inconsistent=False, sce_expected="ok",
+    ),
+    Benchmark(
+        "rc5", "rc5.mc", "rc5_encrypt", "chronos",
+        "RC5-32/12 with data-dependent rotations",
+        (ArrayArg(2, _U32), ArrayArg(26, _U32)),
+        data_invariant=True, inherently_inconsistent=False, sce_expected="ok",
+    ),
+    Benchmark(
+        "chacha20", "chacha20.mc", "chacha20_block", "supercop",
+        "ChaCha20 block function, 20 rounds",
+        (ArrayArg(16, _U32), ArrayArg(16, _U32)),
+        data_invariant=True, inherently_inconsistent=False, sce_expected="ok",
+    ),
+    Benchmark(
+        "salsa20", "salsa20.mc", "salsa20_core", "supercop",
+        "Salsa20 core, 20 rounds",
+        (ArrayArg(16, _U32), ArrayArg(16, _U32)),
+        data_invariant=True, inherently_inconsistent=False, sce_expected="ok",
+    ),
+    Benchmark(
+        "threeway", "threeway.mc", "threeway_encrypt", "chronos",
+        "3-WAY, 11 rounds of theta/pi/gamma (branch- and table-free)",
+        (ArrayArg(3, _U32), ArrayArg(3, _U32)),
+        data_invariant=True, inherently_inconsistent=False, sce_expected="ok",
+    ),
+    Benchmark(
+        "aes", "aes.mc", "aes128_encrypt", "chronos",
+        "AES-128, T-table implementation (FIPS-197-exact)",
+        (ArrayArg(4, _U32), ArrayArg(44, _U32)),
+        data_invariant=False, inherently_inconsistent=True, sce_expected="ok",
+    ),
+    Benchmark(
+        "des", "des.mc", "des_encrypt", "chronos",
+        "DES-shaped Feistel, 16 rounds, 8 S-boxes",
+        (ArrayArg(2, _U32), ArrayArg(16, _U32)),
+        data_invariant=False, inherently_inconsistent=True, sce_expected="ok",
+    ),
+    Benchmark(
+        "des3", "des3.mc", "des3_encrypt", "chronos",
+        "Triple-DES-shaped EDE via nested function calls",
+        (ArrayArg(2, _U32), ArrayArg(48, _U32)),
+        data_invariant=False, inherently_inconsistent=True, sce_expected="ok",
+    ),
+    Benchmark(
+        "loki91", "loki91.mc", "loki91_encrypt", "chronos",
+        "LOKI91-shaped Feistel with early-return weak-key screening",
+        (ArrayArg(2, _U32), ArrayArg(2, _U32)),
+        data_invariant=False, inherently_inconsistent=True,
+        sce_expected="incorrect",
+        special_inputs=(
+            ([1, 2], [0, 0]),               # weak key: early return 1
+            ([1, 2], [_U32, _U32]),         # weak key: early return 2
+            ([3, 4], [0xdeadbeef, 0xcafe]), # normal key
+        ),
+    ),
+    Benchmark(
+        "cast5", "cast5.mc", "cast5_encrypt", "chronos",
+        "CAST5-shaped Feistel, four S-boxes, alternating F1/F2",
+        (ArrayArg(2, _U32), ArrayArg(16, _U32), ArrayArg(16, 31)),
+        data_invariant=False, inherently_inconsistent=True, sce_expected="ok",
+    ),
+    Benchmark(
+        "camellia", "camellia.mc", "camellia_encrypt", "chronos",
+        "Camellia-shaped Feistel, 18 rounds, S-box + P-layer",
+        (ArrayArg(4, _U32), ArrayArg(36, _U32)),
+        data_invariant=False, inherently_inconsistent=True, sce_expected="ok",
+    ),
+    Benchmark(
+        "khazad", "khazad.mc", "khazad_encrypt", "chronos",
+        "Khazad-shaped involutional cipher, 8 rounds",
+        (ArrayArg(2, _U32), ArrayArg(16, _U32)),
+        data_invariant=False, inherently_inconsistent=True, sce_expected="ok",
+    ),
+    Benchmark(
+        "present", "present.mc", "present_encrypt", "supercop",
+        "PRESENT (reduced to 12 rounds), real 4-bit S-box + bit permutation",
+        (ArrayArg(2, _U32), ArrayArg(26, _U32)),
+        data_invariant=False, inherently_inconsistent=True, sce_expected="ok",
+    ),
+    Benchmark(
+        "ctbench_memcmp", "ctbench_memcmp.mc", "ct_memcmp", "ctbench",
+        "CTBench constant-time memcmp (helper-layered, 256 call sites)",
+        (ArrayArg(256, _U8), ArrayArg(256, _U8)),
+        data_invariant=True, inherently_inconsistent=False,
+        sce_expected="error",
+        special_inputs=(([7] * 256, [7] * 256),),
+    ),
+    Benchmark(
+        "ctbench_select", "ctbench_select.mc", "ct_select", "ctbench",
+        "CTBench constant-time conditional select (helper-layered)",
+        (ArrayArg(256, _U32), ArrayArg(256, _U32), IntArg(1)),
+        data_invariant=True, inherently_inconsistent=False,
+        sce_expected="error",
+    ),
+    Benchmark(
+        "ctbench_modexp", "ctbench_modexp.mc", "ct_modexp", "ctbench",
+        "CTBench fixed-window modular exponentiation mod 2^31-1",
+        (ArrayArg(1, 0x7FFFFFFF), ArrayArg(8, _U32)),
+        data_invariant=True, inherently_inconsistent=False,
+        sce_expected="error",
+    ),
+)
+
+
+def benchmark_names() -> list[str]:
+    return [b.name for b in BENCHMARKS]
+
+
+def get_benchmark(name: str) -> Benchmark:
+    for bench in BENCHMARKS:
+        if bench.name == name:
+            return bench
+    raise KeyError(f"unknown benchmark {name!r}")
+
+
+@lru_cache(maxsize=None)
+def load_module(name: str) -> Module:
+    """Compile (and cache) a benchmark's module."""
+    bench = get_benchmark(name)
+    return compile_source(bench.source(), name=bench.name)
+
+
+def make_ofdf_source(cells: int) -> str:
+    """The scalable oFdF used by the asymptotic experiments (Figs. 12/14/16).
+
+    ``cells`` is the loop bound N — the paper varies it to probe the linear
+    behaviour of repair time, run time, and code size.
+    """
+    return f"""
+uint ofdf(secret uint *a, secret uint *b) {{
+  for (uint i = 0; i < {cells}; i = i + 1) {{
+    if (a[i] != b[i]) {{
+      return 0;
+    }}
+  }}
+  return 1;
+}}
+"""

@@ -1,0 +1,5 @@
+"""Cache simulation (the cachegrind stand-in)."""
+
+from repro.cache.cache import Cache, CacheHierarchy, CacheReport, CacheStats
+
+__all__ = ["Cache", "CacheHierarchy", "CacheReport", "CacheStats"]

@@ -1,0 +1,138 @@
+"""A set-associative LRU cache model.
+
+This is the cachegrind stand-in used for the paper's validation step: the
+verifiers run a repaired program under identical cache configurations with
+different inputs and check that hit/miss counts are input-independent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+def _is_power_of_two(n: int) -> bool:
+    return n > 0 and (n & (n - 1)) == 0
+
+
+@dataclass
+class CacheStats:
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def as_tuple(self) -> tuple[int, int, int]:
+        return (self.accesses, self.hits, self.misses)
+
+
+class Cache:
+    """One cache level: ``size`` bytes, ``line_size``-byte lines, LRU sets."""
+
+    def __init__(self, size: int = 32768, line_size: int = 64, ways: int = 8,
+                 name: str = "cache") -> None:
+        if not (_is_power_of_two(size) and _is_power_of_two(line_size)
+                and _is_power_of_two(ways)):
+            raise ValueError("cache geometry must use powers of two")
+        if size % (line_size * ways) != 0:
+            raise ValueError("cache size must be a multiple of line_size * ways")
+        self.name = name
+        self.size = size
+        self.line_size = line_size
+        self.ways = ways
+        self.num_sets = size // (line_size * ways)
+        self.stats = CacheStats()
+        # Each set is an LRU-ordered list of tags (front = most recent).
+        self._sets: list[list[int]] = [[] for _ in range(self.num_sets)]
+
+    def access(self, address: int) -> bool:
+        """Touch the line containing ``address``; returns True on a hit."""
+        line = address // self.line_size
+        index = line % self.num_sets
+        tag = line // self.num_sets
+        entries = self._sets[index]
+        self.stats.accesses += 1
+        if tag in entries:
+            entries.remove(tag)
+            entries.insert(0, tag)
+            self.stats.hits += 1
+            return True
+        entries.insert(0, tag)
+        if len(entries) > self.ways:
+            entries.pop()
+        self.stats.misses += 1
+        return False
+
+    def reset(self) -> None:
+        self.stats = CacheStats()
+        self._sets = [[] for _ in range(self.num_sets)]
+
+
+@dataclass
+class CacheReport:
+    """cachegrind-style counters for one run."""
+
+    instr_fetches: int
+    i1_misses: int
+    data_reads: int
+    data_writes: int
+    d1_read_misses: int
+    d1_write_misses: int
+
+    def signature(self) -> tuple[int, ...]:
+        return (
+            self.instr_fetches, self.i1_misses,
+            self.data_reads, self.data_writes,
+            self.d1_read_misses, self.d1_write_misses,
+        )
+
+
+class CacheHierarchy:
+    """Split L1 instruction/data caches (the configuration cachegrind models
+    by default; L2 is omitted because invariance at L1 implies invariance at
+    every lower level for the same access sequence)."""
+
+    def __init__(
+        self,
+        icache: "Cache | None" = None,
+        dcache: "Cache | None" = None,
+    ) -> None:
+        self.icache = icache or Cache(size=32768, line_size=64, ways=8, name="I1")
+        self.dcache = dcache or Cache(size=32768, line_size=64, ways=8, name="D1")
+        self._reads = 0
+        self._writes = 0
+        self._read_misses = 0
+        self._write_misses = 0
+
+    def instr_fetch(self, address: int) -> bool:
+        return self.icache.access(address)
+
+    def data_access(self, address: int, is_write: bool) -> bool:
+        hit = self.dcache.access(address)
+        if is_write:
+            self._writes += 1
+            if not hit:
+                self._write_misses += 1
+        else:
+            self._reads += 1
+            if not hit:
+                self._read_misses += 1
+        return hit
+
+    def report(self) -> CacheReport:
+        return CacheReport(
+            instr_fetches=self.icache.stats.accesses,
+            i1_misses=self.icache.stats.misses,
+            data_reads=self._reads,
+            data_writes=self._writes,
+            d1_read_misses=self._read_misses,
+            d1_write_misses=self._write_misses,
+        )
+
+    def reset(self) -> None:
+        self.icache.reset()
+        self.dcache.reset()
+        self._reads = self._writes = 0
+        self._read_misses = self._write_misses = 0

@@ -1,0 +1,170 @@
+"""``lif`` — command-line front end to the whole pipeline.
+
+Named after the authors' public tool.  Subcommands:
+
+* ``lif compile file.mc``        — MiniC → textual IR on stdout
+* ``lif repair file.mc``         — compile, repair, print the isochronous IR
+* ``lif run file.mc fn args``    — execute a function (arrays as 1,2,3 lists)
+* ``lif check file.mc fn``       — detect leaks (sensitivity analysis) and
+                                    classify data consistency
+* ``lif verify file.mc fn``      — repair and verify Covenant 1 dynamically
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analysis import analyze_sensitivity, classify_data_consistency
+from repro.core import RepairOptions, RepairStats, repair_module
+from repro.exec import Interpreter
+from repro.frontend import compile_source
+from repro.ir import module_to_str, parse_module
+from repro.opt import optimize
+from repro.verify import check_covenant
+
+
+def _load(path: str, unroll_ir_loops: bool = False):
+    text = Path(path).read_text()
+    if path.endswith(".ir"):
+        module = parse_module(text, name=Path(path).stem)
+        if unroll_ir_loops:
+            from repro.transforms import unroll_module_loops
+
+            unroll_module_loops(module)
+        return module
+    return compile_source(text, name=Path(path).stem)
+
+
+def _parse_arg(text: str):
+    if "," in text:
+        return [int(part, 0) for part in text.split(",") if part]
+    return int(text, 0)
+
+
+def _cmd_compile(args: argparse.Namespace) -> int:
+    module = _load(args.file)
+    if args.optimize:
+        module = optimize(module)
+    sys.stdout.write(module_to_str(module))
+    return 0
+
+
+def _cmd_repair(args: argparse.Namespace) -> int:
+    module = _load(args.file, unroll_ir_loops=args.unroll)
+    stats = RepairStats()
+    repaired = repair_module(module, RepairOptions(), stats=stats)
+    if args.optimize:
+        repaired = optimize(repaired)
+    sys.stdout.write(module_to_str(repaired))
+    sys.stderr.write(
+        f"; repaired in {stats.seconds * 1000:.1f} ms: "
+        f"{stats.original_instructions} -> {stats.repaired_instructions} "
+        f"instructions ({stats.size_ratio:.2f}x)\n"
+    )
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    module = _load(args.file)
+    interpreter = Interpreter(module)
+    result = interpreter.run(args.function, [_parse_arg(a) for a in args.args])
+    print(f"result = {result.value}")
+    print(f"cycles = {result.cycles}")
+    for index, contents in enumerate(result.arrays):
+        if contents is not None:
+            print(f"array arg {index}: {contents}")
+    return 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    module = _load(args.file)
+    function = module.function(args.function)
+    secrets = list(function.sensitive_params) or None
+    report = analyze_sensitivity(module, args.function, secrets)
+    print(f"sensitive parameters: {', '.join(report.sensitive_params) or '-'}")
+    print(f"operation variant (timing leaks): {report.operation_variant}")
+    for leak in report.leaky_branches:
+        print(f"  leaky branch: {leak}")
+    print(f"data variant (cache leaks): {report.data_variant}")
+    for leak in report.leaky_indices:
+        print(f"  leaky access: {leak}")
+    consistency = classify_data_consistency(module, args.function, secrets)
+    print(f"inherently data inconsistent: {consistency.inherently_inconsistent}")
+    print(f"repair would be data invariant: {consistency.repaired_data_invariant}")
+    return 0 if report.isochronous else 1
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    module = _load(args.file)
+    function = module.function(args.function)
+    import random
+
+    rng = random.Random(args.seed)
+    inputs = []
+    for _ in range(args.runs):
+        call = []
+        for param in function.params:
+            if param.is_pointer:
+                call.append([rng.getrandbits(16) for _ in range(args.array_size)])
+            else:
+                call.append(rng.getrandbits(16))
+        inputs.append(call)
+    report = check_covenant(module, args.function, inputs)
+    print(f"semantics preserved : {report.semantics_preserved}")
+    print(f"operation invariant : {report.operation_invariant}")
+    print(f"data invariant      : {report.data_invariant} "
+          f"(predicted {report.predicted_data_invariant})")
+    print(f"memory safe         : {report.memory_safe}")
+    print(f"covenant holds      : {report.holds}")
+    return 0 if report.holds else 1
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="lif",
+        description="Memory-safe elimination of side channels (CGO 2021).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_compile = sub.add_parser("compile", help="compile MiniC to IR")
+    p_compile.add_argument("file")
+    p_compile.add_argument("-O", "--optimize", action="store_true")
+    p_compile.set_defaults(func=_cmd_compile)
+
+    p_repair = sub.add_parser("repair", help="isochronify a module")
+    p_repair.add_argument("file")
+    p_repair.add_argument("-O", "--optimize", action="store_true")
+    p_repair.add_argument(
+        "--unroll", action="store_true",
+        help="fully unroll counted loops in .ir inputs before repair",
+    )
+    p_repair.set_defaults(func=_cmd_repair)
+
+    p_run = sub.add_parser("run", help="execute a function")
+    p_run.add_argument("file")
+    p_run.add_argument("function")
+    p_run.add_argument("args", nargs="*",
+                       help="ints, or comma-separated lists for arrays")
+    p_run.set_defaults(func=_cmd_run)
+
+    p_check = sub.add_parser("check", help="detect side-channel leaks")
+    p_check.add_argument("file")
+    p_check.add_argument("function")
+    p_check.set_defaults(func=_cmd_check)
+
+    p_verify = sub.add_parser("verify", help="repair and verify Covenant 1")
+    p_verify.add_argument("file")
+    p_verify.add_argument("function")
+    p_verify.add_argument("--runs", type=int, default=4)
+    p_verify.add_argument("--array-size", type=int, default=8)
+    p_verify.add_argument("--seed", type=int, default=0)
+    p_verify.set_defaults(func=_cmd_verify)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,35 @@
+"""The paper's contribution: memory-safe isochronification ("lif")."""
+
+from repro.core.contracts import (
+    FunctionContract,
+    build_contract,
+    build_signature_map,
+    called_function_names,
+)
+from repro.core.ctsel_lowering import (
+    lower_ctsels_in_function,
+    lower_ctsels_in_module,
+)
+from repro.core.repair import (
+    RepairOptions,
+    RepairStats,
+    repair_function_in_module,
+    repair_module,
+)
+from repro.core.rules import (
+    GuardedAccess,
+    RuleContext,
+    materialize_length,
+    rewrite_load,
+    rewrite_phi,
+    rewrite_store,
+)
+
+__all__ = [
+    "FunctionContract", "GuardedAccess", "RepairOptions", "RepairStats",
+    "RuleContext", "build_contract", "build_signature_map",
+    "called_function_names", "lower_ctsels_in_function",
+    "lower_ctsels_in_module", "materialize_length",
+    "repair_function_in_module", "repair_module", "rewrite_load",
+    "rewrite_phi", "rewrite_store",
+]

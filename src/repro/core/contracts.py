@@ -1,0 +1,98 @@
+"""Memory contracts (paper Definition 2 and Section III-C).
+
+A contract ``(f, a, n)`` is a precondition: whenever ``f`` is invoked, array
+``a`` has at least ``n`` valid cells.  The repair creates contracts by
+augmenting every function interface with one integer parameter per pointer
+parameter (placed immediately after its pointer, which is also how the
+interprocedural size analysis propagates bounds), plus — for functions
+invoked from repaired code — the path-condition parameter of the
+interprocedural transformation (Fig. 10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.ir.function import Function, Param, fresh_name
+from repro.ir.instructions import Call
+from repro.ir.module import Module
+
+
+@dataclass(frozen=True)
+class FunctionContract:
+    """The new interface of one repaired function."""
+
+    name: str
+    original_params: tuple[Param, ...]
+    new_params: tuple[Param, ...]
+    #: pointer parameter name -> its length parameter name
+    length_params: dict[str, str]
+    #: name of the trailing path-condition parameter, or None
+    cond_param: Optional[str]
+
+    def describe(self) -> str:
+        parts = [str(p) for p in self.new_params]
+        return f"@{self.name}({', '.join(parts)})"
+
+
+def called_function_names(module: Module) -> set[str]:
+    """Functions invoked somewhere inside the module."""
+    called: set[str] = set()
+    for function in module.functions.values():
+        for _, instr in function.iter_instructions():
+            if isinstance(instr, Call):
+                called.add(instr.callee)
+    return called
+
+
+def build_contract(
+    function: Function,
+    needs_cond: bool,
+) -> FunctionContract:
+    """Compute the augmented signature for one function.
+
+    ``f(..., T* a, ...)`` becomes ``f(..., T* a, int a_n, ...)``; when
+    ``needs_cond`` is set (the function is called from repaired code), a
+    final ``__cond`` parameter carries the caller's path condition.
+    """
+    taken = set(function.defined_names())
+    new_params: list[Param] = []
+    length_params: dict[str, str] = {}
+    for param in function.params:
+        new_params.append(param)
+        if param.is_pointer:
+            length_name = fresh_name(f"{param.name}_n", taken)
+            taken.add(length_name)
+            length_params[param.name] = length_name
+            new_params.append(Param(length_name, "int"))
+    cond_param: Optional[str] = None
+    if needs_cond:
+        cond_param = fresh_name("__cond", taken)
+        new_params.append(Param(cond_param, "int"))
+    return FunctionContract(
+        name=function.name,
+        original_params=tuple(function.params),
+        new_params=tuple(new_params),
+        length_params=length_params,
+        cond_param=cond_param,
+    )
+
+
+def build_signature_map(
+    module: Module,
+    force_cond: bool = False,
+) -> dict[str, FunctionContract]:
+    """Contracts for every function of the module.
+
+    ``force_cond`` threads the path-condition parameter through *every*
+    function (useful when repaired functions will be called from other,
+    separately-compiled repaired modules).
+    """
+    called = called_function_names(module)
+    return {
+        function.name: build_contract(
+            function, needs_cond=force_cond or function.name in called
+        )
+        for function in module.functions.values()
+    }

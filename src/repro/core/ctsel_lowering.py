@@ -1,0 +1,112 @@
+"""Lowering of ``ctsel`` into straight-line bitwise arithmetic.
+
+The paper's Example 5: on architectures without a conditional-move
+instruction, ``ctsel(x, c, vt, vf)`` with a boolean ``c`` expands to::
+
+    cf = c - 1        # 0 if c else all-ones
+    ct = ~cf
+    xt = ct & vt
+    xf = cf & vf
+    x  = xt | xf
+
+Selections between *pointers* (the repair's ``ctsel(z3, z1, m, sh)``) stay
+as primitives: on a real machine pointers are integers and the same
+expansion applies, but this IR keeps pointers opaque to preserve exact
+memory-safety checking.  The cost model prices ``ctsel`` and its expansion
+consistently, so benchmarks may choose either form.
+"""
+
+from __future__ import annotations
+
+from repro.ir.builder import IRBuilder
+from repro.ir.function import Function
+from repro.ir.instructions import Alloc, BinExpr, Call, CtSel, Mov, Phi, UnaryExpr
+from repro.ir.module import Module
+from repro.ir.values import Const, Value, Var
+
+
+def _pointer_names(function: Function, module: Module) -> set[str]:
+    """Names that (may) hold pointers, computed in one forward pass."""
+    pointers: set[str] = set(module.globals)
+    pointers.update(p.name for p in function.params if p.is_pointer)
+    changed = True
+    while changed:
+        changed = False
+        for _, instr in function.iter_instructions():
+            if instr.dest is None or instr.dest in pointers:
+                continue
+            if isinstance(instr, Alloc):
+                pointers.add(instr.dest)
+                changed = True
+            elif isinstance(instr, CtSel):
+                operands = (instr.if_true, instr.if_false)
+                if any(
+                    isinstance(v, Var) and v.name in pointers for v in operands
+                ):
+                    pointers.add(instr.dest)
+                    changed = True
+            elif isinstance(instr, Mov) and isinstance(instr.expr, Var):
+                if instr.expr.name in pointers:
+                    pointers.add(instr.dest)
+                    changed = True
+            elif isinstance(instr, Phi):
+                if any(
+                    isinstance(v, Var) and v.name in pointers
+                    for v, _ in instr.incomings
+                ):
+                    pointers.add(instr.dest)
+                    changed = True
+    return pointers
+
+
+def lower_ctsels_in_function(
+    function: Function, module: Module, assume_boolean: bool = False
+) -> int:
+    """Expand integer ``ctsel`` instructions in place; returns the count.
+
+    Unless ``assume_boolean`` is set, a normalisation ``c != 0`` is emitted
+    first (the repair pass always produces boolean conditions, so it calls
+    this with ``assume_boolean=True`` via :data:`RepairOptions.lower_ctsel`).
+    """
+    pointers = _pointer_names(function, module)
+    builder = IRBuilder(function, name_prefix="sel")
+    lowered = 0
+    for block in function.blocks.values():
+        new_instructions = []
+        for instr in block.instructions:
+            if not isinstance(instr, CtSel):
+                new_instructions.append(instr)
+                continue
+            if any(
+                isinstance(v, Var) and v.name in pointers
+                for v in (instr.if_true, instr.if_false)
+            ):
+                new_instructions.append(instr)
+                continue
+            cond: Value = instr.cond
+            if not assume_boolean:
+                boolean = builder.fresh("selb")
+                new_instructions.append(Mov(boolean, BinExpr("!=", cond, Const(0))))
+                cond = Var(boolean)
+            mask_false = builder.fresh("self")
+            mask_true = builder.fresh("selt")
+            picked_true = builder.fresh("selx")
+            picked_false = builder.fresh("sely")
+            new_instructions.extend([
+                Mov(mask_false, BinExpr("-", cond, Const(1))),
+                Mov(mask_true, UnaryExpr("~", Var(mask_false))),
+                Mov(picked_true, BinExpr("&", Var(mask_true), instr.if_true)),
+                Mov(picked_false, BinExpr("&", Var(mask_false), instr.if_false)),
+                Mov(instr.dest, BinExpr("|", Var(picked_true), Var(picked_false))),
+            ])
+            lowered += 1
+        block.instructions = new_instructions
+    return lowered
+
+
+def lower_ctsels_in_module(module: Module, assume_boolean: bool = True) -> int:
+    """Expand integer ctsels across the module; returns the total count."""
+    return sum(
+        lower_ctsels_in_function(function, module, assume_boolean)
+        for function in module.functions.values()
+    )

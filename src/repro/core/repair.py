@@ -1,0 +1,390 @@
+"""The program-repair driver (paper Section III).
+
+``repair_module`` turns every function of a module into its isochronous
+version:
+
+1. preprocess (unreachable-block removal, single return, acyclicity check);
+2. compute the augmented signatures — memory contracts plus the
+   interprocedural path-condition parameter (Sections III-C and III-D);
+3. for each function, in one topological traversal of its CFG:
+
+   * materialise the incoming/outgoing path conditions of Fig. 6 as IR
+     instructions (with sharing: one variable per block's ``Out``);
+   * rewrite phis, loads, stores and calls with the rules of Fig. 7;
+   * replace every conditional branch by a jump to the topological
+     successor (rule [br]), producing a straight-line program;
+
+4. validate the result.
+
+The output module satisfies Covenant 1: it is operation invariant and
+memory safe for every input, and data invariant whenever the input program
+is data consistent and all contracts were found.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.analysis.array_sizes import infer_array_sizes, size_at_call_site
+from repro.core.contracts import FunctionContract, build_signature_map
+from repro.core.rules import (
+    RuleContext,
+    materialize_length,
+    rewrite_load,
+    rewrite_phi,
+    rewrite_store,
+)
+from repro.ir.builder import IRBuilder
+from repro.ir.cfg import predecessor_map, topological_order
+from repro.ir.function import Function, fresh_name
+from repro.ir.instructions import (
+    Alloc,
+    BinExpr,
+    Br,
+    Call,
+    CtSel,
+    Expr,
+    Jmp,
+    Load,
+    Mov,
+    Phi,
+    Ret,
+    Store,
+    UnaryExpr,
+)
+from repro.ir.module import Module
+from repro.ir.validate import validate_module
+from repro.ir.values import Const, Value, Var
+from repro.transforms.preprocess import preprocess_module
+
+
+@dataclass
+class RepairOptions:
+    """Knobs of the transformation.
+
+    manual_sizes:
+        ``{function: {pointer_param: length}}`` manual contracts (an int, or
+        the name of an in-scope integer variable).  The paper notes that
+        developers can supply bounds the static analysis misses.
+    force_cond:
+        Thread the ``__cond`` parameter through every function, not only
+        those called inside the module.
+    signed_guard:
+        Emit the two-sided bound check ``0 <= idx & idx < n`` (see
+        :mod:`repro.core.rules`).  Disabling reproduces the paper's literal
+        single unsigned comparison — the ablation benchmark measures the
+        cost difference.
+    lower_ctsel:
+        Expand every ``ctsel`` into the bitwise sequence of the paper's
+        Example 5 (for targets without a hardware selector).
+    assume_preprocessed:
+        Skip the canonicalisation pipeline (the caller guarantees SSA,
+        single return, acyclicity).  The benchmark harness uses this to
+        time the repair pass alone, mirroring the paper's methodology
+        ("we report only the time to do program repair; the rest of LLVM's
+        processing time — the same for both implementations — is not
+        considered").
+    validate_output:
+        Re-validate the produced module (a debug safety net, not part of
+        the transformation; also excluded when timing).
+    """
+
+    manual_sizes: dict[str, dict[str, object]] = field(default_factory=dict)
+    force_cond: bool = False
+    signed_guard: bool = True
+    lower_ctsel: bool = False
+    assume_preprocessed: bool = False
+    validate_output: bool = True
+
+
+@dataclass
+class RepairStats:
+    """Measurements of one repair run (feeds the RQ1/RQ3 benchmarks)."""
+
+    seconds: float = 0.0
+    original_instructions: int = 0
+    repaired_instructions: int = 0
+    per_function: dict[str, tuple[int, int]] = field(default_factory=dict)
+
+    @property
+    def size_ratio(self) -> float:
+        if self.original_instructions == 0:
+            return 1.0
+        return self.repaired_instructions / self.original_instructions
+
+
+def repair_module(
+    module: Module,
+    options: Optional[RepairOptions] = None,
+    stats: Optional[RepairStats] = None,
+) -> Module:
+    """Repair every function of ``module``; the input is not mutated."""
+    options = options or RepairOptions()
+    started = time.perf_counter()
+
+    if options.assume_preprocessed:
+        work = module
+    else:
+        work = module.clone()
+        preprocess_module(work)
+    signatures = build_signature_map(work, options.force_cond)
+
+    repaired = Module(f"{module.name}.repaired")
+    for array in work.globals.values():
+        repaired.add_global(array)
+
+    for function in work.functions.values():
+        new_function = _FunctionRepairer(
+            work, function, signatures, options
+        ).run()
+        repaired.add_function(new_function)
+
+    if options.lower_ctsel:
+        from repro.core.ctsel_lowering import lower_ctsels_in_module
+
+        # Not every select condition is a repair-generated boolean (user code
+        # may contain its own ctsels), so normalise conservatively.
+        lower_ctsels_in_module(repaired, assume_boolean=False)
+
+    if options.validate_output:
+        validate_module(repaired)
+
+    if stats is not None:
+        stats.seconds = time.perf_counter() - started
+        stats.original_instructions = module.instruction_count()
+        stats.repaired_instructions = repaired.instruction_count()
+        for name, function in module.functions.items():
+            stats.per_function[name] = (
+                function.instruction_count(),
+                repaired.functions[name].instruction_count(),
+            )
+    return repaired
+
+
+def repair_function_in_module(
+    module: Module,
+    name: str,
+    options: Optional[RepairOptions] = None,
+) -> Function:
+    """Repair a single function (unit-test entry point).
+
+    The returned function still refers to the *original* signatures of its
+    callees, so this is only meaningful for call-free functions; use
+    :func:`repair_module` for whole programs.
+    """
+    options = options or RepairOptions()
+    work = module.clone()
+    preprocess_module(work)
+    signatures = build_signature_map(work, options.force_cond)
+    return _FunctionRepairer(
+        work, work.function(name), signatures, options
+    ).run()
+
+
+class _FunctionRepairer:
+    """Rewrites one function (one topological pass, linear time)."""
+
+    def __init__(
+        self,
+        module: Module,
+        function: Function,
+        signatures: dict[str, FunctionContract],
+        options: RepairOptions,
+    ) -> None:
+        self.module = module
+        self.function = function
+        self.signatures = signatures
+        self.contract = signatures[function.name]
+        self.options = options
+
+        self.new_function = Function(function.name, list(self.contract.new_params))
+        self.builder = IRBuilder(self.new_function, name_prefix="z")
+        for taken in function.defined_names():
+            self.builder.note_name(taken)
+
+        self.out_cond: dict[str, Value] = {}
+        self.edge_cond: dict[tuple[str, str], Value] = {}
+        self._normalized: dict[str, Value] = {}
+        self.shadow: Var = Var("sh")  # assigned for real in run()
+        self.lengths = self._compute_lengths()
+
+    # -- setup ---------------------------------------------------------------
+
+    def _compute_lengths(self) -> dict[str, Optional[Expr]]:
+        lengths = infer_array_sizes(
+            self.module, self.function, self.contract.length_params
+        )
+        for pointer, supplied in self.options.manual_sizes.get(
+            self.function.name, {}
+        ).items():
+            if isinstance(supplied, int):
+                lengths[pointer] = Const(supplied)
+            elif isinstance(supplied, str):
+                lengths[pointer] = Var(supplied)
+            else:
+                raise TypeError(
+                    f"manual size for {pointer} must be int or variable name"
+                )
+        return lengths
+
+    # -- driver -----------------------------------------------------------------
+
+    def run(self) -> Function:
+        order = topological_order(self.function)
+        preds = predecessor_map(self.function)
+        topo_position = {label: i for i, label in enumerate(order)}
+
+        for label in order:
+            self.new_function.add_block(label)
+
+        # Entry prologue: normalise the interprocedural condition parameter
+        # (or use the constant true) and allocate the shadow variable.
+        entry_label = order[0]
+        self.builder.position_at(self.new_function.blocks[entry_label])
+        if self.contract.cond_param is not None:
+            normalized = self.builder.mov(
+                BinExpr("!=", Var(self.contract.cond_param), Const(0)),
+                dest=self.builder.fresh("cond"),
+            )
+            self.out_cond[entry_label] = normalized
+        else:
+            self.out_cond[entry_label] = Const(1)
+        shadow_name = self.builder.fresh("sh")
+        self.shadow = self.builder.alloc(Const(1), dest=shadow_name)
+
+        for position, label in enumerate(order):
+            block = self.function.blocks[label]
+            new_block = self.new_function.blocks[label]
+            self.builder.position_at(new_block)
+
+            if label != entry_label:
+                self._materialize_conditions(label, preds[label], topo_position)
+
+            context = RuleContext(
+                fresh=self.builder.fresh,
+                out_cond=self.out_cond[label],
+                edge_conds={
+                    pred: self.edge_cond[(pred, label)] for pred in preds[label]
+                },
+                length_of=lambda array: self.lengths.get(array.name),
+                shadow=self.shadow,
+                signed_guard=self.options.signed_guard,
+            )
+
+            for instr in block.instructions:
+                self._rewrite_instruction(instr, context, label)
+
+            terminator = block.terminator
+            assert terminator is not None
+            if isinstance(terminator, Ret):
+                new_block.terminator = Ret(terminator.expr)
+            else:
+                # Rule [br] (and trivially [jmp]): fall through to the next
+                # block in topological order.
+                new_block.terminator = Jmp(order[position + 1])
+        return self.new_function
+
+    # -- conditions (Fig. 6, materialised) ----------------------------------------
+
+    def _materialize_conditions(
+        self,
+        label: str,
+        pred_labels: list[str],
+        topo_position: dict[str, int],
+    ) -> None:
+        edge_values: list[Value] = []
+        for pred in sorted(pred_labels, key=topo_position.__getitem__):
+            edge = self._edge_condition(pred, label)
+            self.edge_cond[(pred, label)] = edge
+            edge_values.append(edge)
+        out = edge_values[0]
+        for other in edge_values[1:]:
+            out = self.builder.binop("|", out, other, dest=self.builder.fresh("pc"))
+        self.out_cond[label] = out
+
+    def _edge_condition(self, pred: str, label: str) -> Value:
+        pred_out = self.out_cond[pred]
+        terminator = self.function.blocks[pred].terminator
+        if not isinstance(terminator, Br):
+            return pred_out
+        if terminator.if_true == label and terminator.if_false == label:
+            return pred_out
+        if terminator.if_true == label:
+            predicate = self._normalize(terminator.cond)
+        else:
+            predicate = self._negate(terminator.cond)
+        if pred_out == Const(1):
+            return predicate
+        return self.builder.binop(
+            "&", pred_out, predicate, dest=self.builder.fresh("pc")
+        )
+
+    def _normalize(self, predicate: Value) -> Value:
+        """Boolean-normalise a branch predicate (memoised per variable)."""
+        if isinstance(predicate, Const):
+            return Const(1 if predicate.value != 0 else 0)
+        key = predicate.name
+        if key not in self._normalized:
+            self._normalized[key] = self.builder.mov(
+                BinExpr("!=", predicate, Const(0)),
+                dest=self.builder.fresh("pb"),
+            )
+        return self._normalized[key]
+
+    def _negate(self, predicate: Value) -> Value:
+        if isinstance(predicate, Const):
+            return Const(0 if predicate.value != 0 else 1)
+        key = f"!{predicate.name}"
+        if key not in self._normalized:
+            self._normalized[key] = self.builder.mov(
+                UnaryExpr("!", predicate), dest=self.builder.fresh("pb")
+            )
+        return self._normalized[key]
+
+    # -- instruction dispatch -------------------------------------------------------
+
+    def _rewrite_instruction(
+        self, instr, context: RuleContext, label: str
+    ) -> None:
+        block = self.builder.block
+        assert block is not None
+        if isinstance(instr, Phi):
+            for new_instr in rewrite_phi(instr, context):
+                block.append(new_instr)
+        elif isinstance(instr, Load):
+            block.instructions.extend(rewrite_load(instr, context).instructions)
+        elif isinstance(instr, Store):
+            block.instructions.extend(rewrite_store(instr, context))
+        elif isinstance(instr, Call):
+            self._rewrite_call(instr, context, label)
+        elif isinstance(instr, (Mov, Alloc, CtSel)):
+            block.append(instr)
+        else:
+            raise TypeError(f"cannot repair instruction {instr}")
+
+    def _rewrite_call(self, call: Call, context: RuleContext, label: str) -> None:
+        """Interprocedural repair (Fig. 10): pass lengths plus the path
+        condition at the invocation point."""
+        block = self.builder.block
+        assert block is not None
+        callee_contract = self.signatures.get(call.callee)
+        if callee_contract is None:
+            raise ValueError(
+                f"@{self.function.name}: call to @{call.callee}, which is not "
+                "part of the module being repaired"
+            )
+        new_args: list[Value] = []
+        extra: list = []
+        for param, arg in zip(callee_contract.original_params, call.args):
+            new_args.append(arg)
+            if param.is_pointer:
+                length = size_at_call_site(self.lengths, arg)
+                new_args.append(
+                    materialize_length(length, self.builder.fresh, extra)
+                )
+        block.instructions.extend(extra)
+        if callee_contract.cond_param is not None:
+            new_args.append(context.out_cond)
+        block.append(Call(call.dest, call.callee, tuple(new_args)))

@@ -1,0 +1,161 @@
+"""The rewriting rules of the repair transformation (paper Fig. 7).
+
+Each rule maps one instruction of the original program to a sequence of
+instructions of the isochronous program:
+
+* ``phi`` rules — a phi-function of arity 1 becomes a ``mov`` (rule phi₁);
+  arity 2 becomes one ``ctsel`` keyed on an incoming path condition (phi₂);
+  arity n > 2 becomes a chain of ``ctsel`` (phiₙ);
+* the ``load`` rule guards the access with ``c | (idx < n)`` where ``c`` is
+  the block's outgoing path condition and ``n`` the array's contract bound,
+  redirecting unsafe zombie accesses to the shadow variable;
+* the ``store`` rule reuses the load rule to fetch the current value and
+  stores back either the new value (condition true) or the current one
+  (zombie store: a no-op that still performs the same memory traffic).
+
+One deliberate deviation from the paper: the paper's bound check is the
+single unsigned comparison ``idx < n``.  This IR is signed, so the faithful
+translation is ``0 <= idx & idx < n``; the single-comparison variant is kept
+available (``signed_guard=False``) for the ablation benchmark, and is unsafe
+exactly when a zombie index goes negative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.ir.instructions import (
+    BinExpr,
+    CtSel,
+    Expr,
+    Instruction,
+    Load,
+    Mov,
+    Phi,
+    Store,
+    UnaryExpr,
+)
+from repro.ir.values import Const, Value, Var
+
+
+@dataclass
+class RuleContext:
+    """Everything the rules of Fig. 7 are parameterised by.
+
+    ``out_cond`` is ``Out[l]`` for the block being rewritten; ``edge_conds``
+    maps predecessor labels to the materialised incoming conditions
+    ``In[l]``; ``length_of`` is the contract map ``L``; ``shadow`` the
+    function's shadow variable.
+    """
+
+    fresh: Callable[[str], str]
+    out_cond: Value
+    edge_conds: dict[str, Value]
+    length_of: Callable[[Var], Optional[Expr]]
+    shadow: Var
+    signed_guard: bool = True
+
+
+def rewrite_phi(phi: Phi, ctx: RuleContext) -> list[Instruction]:
+    """Rules [phi₁], [phi₂], [phiₙ]: lower a phi to ctsel chains."""
+    arms = list(phi.incomings)
+    if len(arms) == 1:
+        return [Mov(phi.dest, arms[0][0])]
+
+    instructions: list[Instruction] = []
+    # Build the chain from the back: the last two arms collapse into one
+    # ctsel; every earlier arm prepends a ctsel on its own edge condition.
+    value_else: Value = arms[-1][0]
+    for position in range(len(arms) - 2, -1, -1):
+        value, pred_label = arms[position]
+        cond = ctx.edge_conds[pred_label]
+        dest = phi.dest if position == 0 else ctx.fresh("z")
+        instructions.append(CtSel(dest, cond, value, value_else))
+        value_else = Var(dest)
+    return instructions
+
+
+@dataclass
+class GuardedAccess:
+    """The artefacts of the [load] rule that the [store] rule reuses."""
+
+    instructions: list[Instruction]
+    should_access: Value  # z1 = c | in-bounds
+    safe_index: Value     # z2
+    safe_array: Var       # z3
+    loaded: Var           # x (or z4 for a store's preparatory load)
+
+
+def materialize_length(
+    expr: Optional[Expr],
+    fresh: Callable[[str], str],
+    instructions: list[Instruction],
+) -> Value:
+    """Turn a symbolic length into a Value, emitting a mov when needed.
+
+    An unknown length becomes the contract 0 (paper Section III-C2): every
+    zombie access then goes to the shadow variable, preserving operation
+    invariance and memory safety but not data invariance.
+    """
+    if expr is None:
+        return Const(0)
+    if isinstance(expr, (Const, Var)):
+        return expr
+    dest = fresh("len")
+    instructions.append(Mov(dest, expr))
+    return Var(dest)
+
+
+def rewrite_load(load: Load, ctx: RuleContext) -> GuardedAccess:
+    """Rule [load] of Fig. 7."""
+    instructions: list[Instruction] = []
+    bound = materialize_length(ctx.length_of(load.array), ctx.fresh, instructions)
+
+    below = ctx.fresh("z")
+    instructions.append(Mov(below, BinExpr("<", load.index, bound)))
+    in_bounds: Value = Var(below)
+    if ctx.signed_guard and not (
+        isinstance(load.index, Const) and load.index.value >= 0
+    ):
+        # The lower bound check is only emitted when the index could be
+        # negative at run time; constant indices are proven here instead.
+        non_negative = ctx.fresh("z")
+        instructions.append(
+            Mov(non_negative, BinExpr("<=", Const(0), load.index))
+        )
+        both = ctx.fresh("z")
+        instructions.append(Mov(both, BinExpr("&", in_bounds, Var(non_negative))))
+        in_bounds = Var(both)
+
+    should_access = ctx.fresh("z")
+    instructions.append(
+        Mov(should_access, BinExpr("|", ctx.out_cond, in_bounds))
+    )
+    safe_index = ctx.fresh("z")
+    instructions.append(CtSel(safe_index, Var(should_access), load.index, Const(0)))
+    safe_array = ctx.fresh("z")
+    instructions.append(CtSel(safe_array, Var(should_access), load.array, ctx.shadow))
+    instructions.append(Load(load.dest, Var(safe_array), Var(safe_index)))
+    return GuardedAccess(
+        instructions=instructions,
+        should_access=Var(should_access),
+        safe_index=Var(safe_index),
+        safe_array=Var(safe_array),
+        loaded=Var(load.dest),
+    )
+
+
+def rewrite_store(store: Store, ctx: RuleContext) -> list[Instruction]:
+    """Rule [store] of Fig. 7: load the current value, select, store back."""
+    current = ctx.fresh("z")
+    access = rewrite_load(Load(current, store.array, store.index), ctx)
+    instructions = access.instructions
+    selected = ctx.fresh("z")
+    instructions.append(
+        CtSel(selected, ctx.out_cond, store.value, access.loaded)
+    )
+    instructions.append(
+        Store(Var(selected), access.safe_array, access.safe_index)
+    )
+    return instructions

@@ -1,0 +1,39 @@
+"""Execution substrate: memory model, tracing interpreter, cost model."""
+
+from repro.exec.costs import DEFAULT_COST_MODEL, CostModel
+from repro.exec.interpreter import (
+    ExecutionResult,
+    Interpreter,
+    InterpreterError,
+    StepLimitExceeded,
+)
+from repro.exec.pipeline_model import (
+    BranchPredictor,
+    PipelineConfig,
+    PipelineModel,
+    PipelineReport,
+)
+from repro.exec.memory import (
+    AccessViolation,
+    Memory,
+    MemorySafetyViolation,
+    Pointer,
+    Region,
+)
+from repro.exec.traces import (
+    InstructionSite,
+    MemoryAccess,
+    Trace,
+    traces_data_consistent,
+    traces_data_invariant,
+    traces_operation_invariant,
+)
+
+__all__ = [
+    "AccessViolation", "CostModel", "DEFAULT_COST_MODEL", "ExecutionResult",
+    "InstructionSite", "Interpreter", "InterpreterError", "Memory",
+    "MemoryAccess", "MemorySafetyViolation", "PipelineConfig",
+    "PipelineModel", "PipelineReport", "BranchPredictor", "Pointer", "Region",
+    "StepLimitExceeded", "Trace", "traces_data_consistent",
+    "traces_data_invariant", "traces_operation_invariant",
+]

@@ -1,0 +1,148 @@
+"""A gem5-lite timing backend: in-order pipeline + caches + branch predictor.
+
+Wu et al. validated SC-Eliminator with gem5 simulations; the paper under
+reproduction argues its guarantees are *architecture independent* — the
+repaired program performs the same operation and address sequence, so any
+deterministic microarchitectural model must assign it the same time.  This
+module provides a second, deliberately different clock to test exactly
+that: where :class:`repro.exec.costs.CostModel` charges flat per-instruction
+costs, this model replays an execution trace through
+
+* a 5-stage in-order pipeline (1 instruction/cycle steady state),
+* split L1 I/D caches (the :mod:`repro.cache` simulator),
+* a 2-bit-saturating-counter branch predictor with a misprediction penalty
+  (conditional branches only — the repaired programs have none, which is
+  precisely why their timing is flat here too).
+
+Usage::
+
+    result = Interpreter(module).run("f", args)      # collect the trace
+    cycles = PipelineModel().simulate(result.trace)  # replay it
+
+The replay is a pure function of the trace, so two runs with equal traces
+get equal cycle counts by construction — the interesting direction is the
+converse, exercised in the tests: the *original* (leaky) programs get
+input-dependent cycles under this model too, with different absolute
+numbers than the flat cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.cache.cache import CacheHierarchy
+from repro.exec.traces import Trace
+
+
+@dataclass
+class BranchPredictor:
+    """Per-site 2-bit saturating counters (00/01 predict not-taken)."""
+
+    counters: dict = field(default_factory=dict)
+    hits: int = 0
+    misses: int = 0
+
+    def predict_and_update(self, site, taken: bool) -> bool:
+        """Returns True when the prediction was correct."""
+        state = self.counters.get(site, 1)
+        predicted_taken = state >= 2
+        correct = predicted_taken == taken
+        if taken:
+            state = min(3, state + 1)
+        else:
+            state = max(0, state - 1)
+        self.counters[site] = state
+        if correct:
+            self.hits += 1
+        else:
+            self.misses += 1
+        return correct
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Latency parameters (textbook five-stage in-order values)."""
+
+    base_cpi: int = 1
+    load_use_delay: int = 1       # extra cycle after a load fills
+    l1_miss_penalty: int = 20
+    branch_mispredict_penalty: int = 3
+    fetch_width_bytes: int = 4
+
+
+@dataclass
+class PipelineReport:
+    cycles: int
+    instructions: int
+    i1_misses: int
+    d1_misses: int
+    branch_mispredictions: int
+
+    @property
+    def cpi(self) -> float:
+        return self.cycles / self.instructions if self.instructions else 0.0
+
+
+class PipelineModel:
+    """Replays a :class:`repro.exec.traces.Trace` through the pipeline."""
+
+    def __init__(self, config: Optional[PipelineConfig] = None) -> None:
+        self.config = config or PipelineConfig()
+
+    def simulate(self, trace: Trace) -> PipelineReport:
+        config = self.config
+        caches = CacheHierarchy()
+        predictor = BranchPredictor()
+
+        # Assign static I-addresses in first-execution order: a stand-in for
+        # program layout that is identical across runs of the same program.
+        instruction_addresses: dict = {}
+        next_address = 0x40_0000
+
+        cycles = 0
+        previous_site = None
+        # Front-end phase: fetch every executed instruction in order,
+        # charging I-cache misses and control-edge mispredictions.
+        for site in trace.instructions:
+            if site not in instruction_addresses:
+                instruction_addresses[site] = next_address
+                next_address += config.fetch_width_bytes
+            address = instruction_addresses[site]
+
+            cycles += config.base_cpi
+            if not caches.instr_fetch(address):
+                cycles += config.l1_miss_penalty
+
+            # A block-boundary transition is a taken control edge; charge
+            # the predictor for it.
+            if previous_site is not None and (
+                site.function != previous_site.function
+                or site.block != previous_site.block
+            ):
+                if not predictor.predict_and_update(
+                    (previous_site.function, previous_site.block), taken=True
+                ):
+                    cycles += config.branch_mispredict_penalty
+            previous_site = site
+
+        # Memory phase: replay the data-access sequence against the D-cache.
+        # (The trace interleaving relative to fetches does not change the
+        # deterministic totals, so the two phases are accounted separately.)
+        for access in trace.memory:
+            hit = caches.data_access(
+                access.address, is_write=(access.kind == "store")
+            )
+            if not hit:
+                cycles += config.l1_miss_penalty
+            elif access.kind == "load":
+                cycles += config.load_use_delay
+
+        report = caches.report()
+        return PipelineReport(
+            cycles=cycles,
+            instructions=len(trace.instructions),
+            i1_misses=report.i1_misses,
+            d1_misses=report.d1_read_misses + report.d1_write_misses,
+            branch_mispredictions=predictor.misses,
+        )

@@ -1,0 +1,84 @@
+"""Execution traces: the observables that define isochronicity.
+
+The paper's two key properties are statements about *sequences of
+addresses*:
+
+* operation invariance (Property 1) — the sequence of instruction-memory
+  addresses, here the sequence of instruction sites executed;
+* data invariance (Property 2) — the sequence of data-memory addresses
+  read/written;
+* data consistency (Definition 1) — the *set* of data addresses.
+
+The interpreter records both sequences when tracing is enabled; the
+verifiers in :mod:`repro.verify` compare them across inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+
+@dataclass(frozen=True)
+class InstructionSite:
+    """Static identity of an executed instruction.
+
+    ``index`` is the position inside the block; the terminator is one past
+    the last instruction.  Two runs executing the same sequence of sites
+    would fetch the same sequence of instruction-cache addresses on a real
+    machine, which is exactly Property 1.
+    """
+
+    function: str
+    block: str
+    index: int
+
+    def __str__(self) -> str:
+        return f"@{self.function}:{self.block}[{self.index}]"
+
+
+@dataclass(frozen=True)
+class MemoryAccess:
+    """One data-memory access: kind is ``"load"`` or ``"store"``."""
+
+    kind: str
+    region: str
+    index: int
+    address: int  # byte address, used by the cache model and invariance checks
+
+    def __str__(self) -> str:
+        return f"{self.kind} {self.region}[{self.index}] @0x{self.address:x}"
+
+
+@dataclass
+class Trace:
+    """The full observation of one execution."""
+
+    instructions: list[InstructionSite] = field(default_factory=list)
+    memory: list[MemoryAccess] = field(default_factory=list)
+
+    def operation_signature(self) -> tuple[InstructionSite, ...]:
+        return tuple(self.instructions)
+
+    def data_signature(self) -> tuple[tuple[str, int, int], ...]:
+        """Sequence of data addresses (Property 2 compares this)."""
+        return tuple((a.kind, a.region, a.index) for a in self.memory)
+
+    def data_footprint(self) -> frozenset[tuple[str, int]]:
+        """Set of data addresses (Definition 1 compares this)."""
+        return frozenset((a.region, a.index) for a in self.memory)
+
+
+def traces_operation_invariant(traces: Iterable[Trace]) -> bool:
+    signatures = {t.operation_signature() for t in traces}
+    return len(signatures) <= 1
+
+
+def traces_data_invariant(traces: Iterable[Trace]) -> bool:
+    signatures = {t.data_signature() for t in traces}
+    return len(signatures) <= 1
+
+
+def traces_data_consistent(traces: Iterable[Trace]) -> bool:
+    footprints = {t.data_footprint() for t in traces}
+    return len(footprints) <= 1

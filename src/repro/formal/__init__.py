@@ -1,0 +1,19 @@
+"""Executable formalisation of the rewriting rules (paper Appendix A)."""
+
+from repro.formal.rewriting import (
+    Configuration,
+    Derivation,
+    EPSILON,
+    RewritingSystem,
+    Step,
+    derive_function,
+)
+
+__all__ = [
+    "Configuration",
+    "Derivation",
+    "EPSILON",
+    "RewritingSystem",
+    "Step",
+    "derive_function",
+]

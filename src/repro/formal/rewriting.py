@@ -1,0 +1,283 @@
+"""The formal rewriting system of the paper's Appendix A (Fig. 17).
+
+The paper formalises repair as a small-step relation over configurations
+``⟨P, ℓ, P'⟩``: ``P`` is the set of instructions still to process, ``ℓ``
+the label of the current basic block, and ``P'`` the transformed program
+accumulated so far.  Rules [inst], [flow] and [exit] each consume one
+instruction or terminator; [trans] is the transitive closure, and the final
+configuration is ``⟨∅, ε, P''⟩``.
+
+The paper prototyped these rules in Haskell before engineering the LLVM
+pass; this module plays the same role for the Python implementation: an
+*executable specification* whose every step is observable.  The test suite
+checks it agrees with the production driver (:mod:`repro.core.repair`)
+instruction for instruction — the production code is the same algorithm
+with the derivation bookkeeping stripped out.
+
+Only single-function, call-free programs are in scope, exactly like the
+formal development (Section III-D layers calls on top).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.core.contracts import build_contract
+from repro.core.rules import RuleContext, rewrite_load, rewrite_phi, rewrite_store
+from repro.ir.builder import IRBuilder
+from repro.ir.cfg import predecessor_map, topological_order
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    Alloc,
+    BinExpr,
+    Br,
+    Call,
+    CtSel,
+    Instruction,
+    Jmp,
+    Load,
+    Mov,
+    Phi,
+    Ret,
+    Store,
+    Terminator,
+    UnaryExpr,
+)
+from repro.ir.module import Module
+from repro.ir.values import Const, Value, Var
+
+#: The ``ε`` of rule [exit]: no basic block remains.
+EPSILON = "ε"
+
+
+@dataclass(frozen=True)
+class Configuration:
+    """One ⟨P, ℓ, P'⟩ configuration of the relation.
+
+    ``remaining`` counts the instructions (and terminators) of P not yet
+    consumed; ``produced`` is the transformed program so far, flattened to
+    an instruction list (the paper treats P' as a set ordered by data
+    dependences — a list in emission order realises exactly that).
+    """
+
+    remaining: int
+    label: str
+    produced: tuple
+
+    def is_final(self) -> bool:
+        return self.remaining == 0 and self.label == EPSILON
+
+
+@dataclass(frozen=True)
+class Step:
+    """One application of a rule of Fig. 17."""
+
+    rule: str  # "inst", "flow", or "exit"
+    consumed: str  # rendering of the instruction/terminator consumed
+    emitted: tuple  # instructions appended to P'
+    configuration: Configuration
+
+    def __str__(self) -> str:
+        return f"[{self.rule}] {self.consumed} -> {len(self.emitted)} instr"
+
+
+@dataclass
+class Derivation:
+    """A complete ⟨P, ℓ₀, ∅⟩ →*p ⟨∅, ε, P''⟩ derivation."""
+
+    function: str
+    steps: list[Step] = field(default_factory=list)
+
+    @property
+    def final(self) -> Configuration:
+        return self.steps[-1].configuration
+
+    def produced_instructions(self) -> list:
+        return list(self.final.produced)
+
+    def rules_applied(self) -> list[str]:
+        return [step.rule for step in self.steps]
+
+    def render(self) -> str:
+        lines = [f"derivation for @{self.function}:"]
+        lines.extend(f"  {step}" for step in self.steps)
+        lines.append(f"  final: ⟨∅, {EPSILON}, P''⟩ with "
+                     f"{len(self.final.produced)} instructions")
+        return "\n".join(lines)
+
+
+class RewritingSystem:
+    """Executes the relation of Fig. 17 over one function.
+
+    The In/Out maps of Fig. 6 are materialised lazily, exactly as the
+    production repairer does: conditions appear in P' as mov/ctsel
+    instructions the moment a rule first needs them.
+    """
+
+    def __init__(self, module: Module, function: Function,
+                 signed_guard: bool = True) -> None:
+        self.module = module
+        self.function = function
+        self.signed_guard = signed_guard
+        if any(isinstance(i, Call) for _, i in function.iter_instructions()):
+            raise ValueError(
+                "the formal system covers the call-free core language; "
+                "use repro.core.repair for interprocedural programs"
+            )
+
+    def derive(self) -> Derivation:
+        """Run the relation to its final configuration (rule [trans])."""
+        derivation = Derivation(self.function.name)
+        for step in self.steps():
+            derivation.steps.append(step)
+        assert derivation.final.is_final()
+        return derivation
+
+    # -- the step relation ---------------------------------------------------
+
+    def steps(self) -> Iterator[Step]:
+        from repro.analysis.array_sizes import infer_array_sizes
+
+        function = self.function
+        order = topological_order(function)
+        preds = predecessor_map(function)
+        contract = build_contract(function, needs_cond=False)
+        lengths = infer_array_sizes(self.module, function,
+                                    contract.length_params)
+
+        scratch = Function(function.name, list(contract.new_params))
+        builder = IRBuilder(scratch, name_prefix="z")
+        for name in function.defined_names():
+            builder.note_name(name)
+        emit_block = scratch.add_block("linear")
+        builder.position_at(emit_block)
+
+        remaining = function.instruction_count()
+        produced: list = []
+        out_cond: dict[str, Value] = {order[0]: Const(1)}
+        edge_cond: dict[tuple[str, str], Value] = {}
+        normalized: dict[str, Value] = {}
+
+        shadow = builder.alloc(Const(1), dest=builder.fresh("sh"))
+        produced.extend(_drain(emit_block))
+
+        def config(label: str) -> Configuration:
+            return Configuration(remaining, label, tuple(produced))
+
+        for position, label in enumerate(order):
+            block = function.blocks[label]
+
+            if label != order[0]:
+                self._conditions_for(
+                    label, preds[label], out_cond, edge_cond, normalized,
+                    builder,
+                )
+                produced.extend(_drain(emit_block))
+
+            context = RuleContext(
+                fresh=builder.fresh,
+                out_cond=out_cond[label],
+                edge_conds={p: edge_cond[(p, label)] for p in preds[label]},
+                length_of=lambda array: lengths.get(array.name),
+                shadow=shadow,
+                signed_guard=self.signed_guard,
+            )
+
+            for instr in block.instructions:
+                emitted = self._apply_inst(instr, context, emit_block)
+                produced.extend(emitted)
+                remaining -= 1
+                yield Step("inst", str(instr), tuple(emitted), config(label))
+
+            terminator = block.terminator
+            assert terminator is not None
+            remaining -= 1
+            if isinstance(terminator, Ret):
+                emitted = (terminator,)
+                produced.extend(emitted)
+                yield Step("exit", str(terminator), emitted, config(EPSILON))
+            else:
+                next_label = order[position + 1]
+                emitted = (Jmp(next_label),)
+                produced.extend(emitted)
+                yield Step("flow", str(terminator), emitted,
+                           config(next_label))
+
+    def _apply_inst(self, instr: Instruction, context: RuleContext,
+                    emit_block) -> list:
+        if isinstance(instr, Phi):
+            return list(rewrite_phi(instr, context))
+        if isinstance(instr, Load):
+            return rewrite_load(instr, context).instructions
+        if isinstance(instr, Store):
+            return rewrite_store(instr, context)
+        if isinstance(instr, (Mov, Alloc, CtSel)):
+            # Rules [mov], [alloc], [ctsel]: identity.
+            return [instr]
+        raise TypeError(f"no rule for {instr}")
+
+    def _conditions_for(self, label, pred_labels, out_cond, edge_cond,
+                        normalized, builder) -> None:
+        edges = []
+        for pred in pred_labels:
+            terminator = self.function.blocks[pred].terminator
+            pred_out = out_cond[pred]
+            if isinstance(terminator, Br) and (
+                terminator.if_true != terminator.if_false
+            ):
+                if terminator.if_true == label:
+                    predicate = self._normalize(
+                        terminator.cond, normalized, builder, negate=False
+                    )
+                else:
+                    predicate = self._normalize(
+                        terminator.cond, normalized, builder, negate=True
+                    )
+                if pred_out == Const(1):
+                    edge = predicate
+                else:
+                    edge = builder.binop("&", pred_out, predicate,
+                                         dest=builder.fresh("pc"))
+            else:
+                edge = pred_out
+            edge_cond[(pred, label)] = edge
+            edges.append(edge)
+        out = edges[0]
+        for other in edges[1:]:
+            out = builder.binop("|", out, other, dest=builder.fresh("pc"))
+        out_cond[label] = out
+
+    def _normalize(self, predicate, normalized, builder, negate: bool):
+        if isinstance(predicate, Const):
+            truth = predicate.value != 0
+            return Const(0 if truth == negate else 1)
+        key = ("!" if negate else "") + predicate.name
+        if key not in normalized:
+            if negate:
+                normalized[key] = builder.mov(
+                    UnaryExpr("!", predicate), dest=builder.fresh("pb")
+                )
+            else:
+                normalized[key] = builder.mov(
+                    BinExpr("!=", predicate, Const(0)),
+                    dest=builder.fresh("pb"),
+                )
+        return normalized[key]
+
+
+def _drain(block) -> list:
+    emitted = list(block.instructions)
+    block.instructions = []
+    return emitted
+
+
+def derive_function(module: Module, name: str,
+                    signed_guard: bool = True) -> Derivation:
+    """Derivation for ``@name`` after the standard preprocessing."""
+    from repro.transforms import preprocess_module
+
+    work = module.clone()
+    preprocess_module(work)
+    system = RewritingSystem(work, work.function(name), signed_guard)
+    return system.derive()

@@ -1,0 +1,36 @@
+"""MiniC: the C-like source language the benchmarks are written in."""
+
+from repro.frontend.codegen import CodegenError, generate_module
+from repro.frontend.lexer import MiniCSyntaxError, tokenize
+from repro.frontend.parser import parse_source
+from repro.frontend.unroll import UnrollError, const_eval, unroll_program
+from repro.ir.module import Module
+from repro.ir.validate import validate_module
+
+
+def compile_source(source: str, name: str = "module", unroll: bool = True) -> Module:
+    """Compile MiniC source text to a validated IR module.
+
+    ``unroll=True`` (default) fully unrolls every loop, the shape the repair
+    pass requires; ``unroll=False`` is only useful for inspecting the
+    pre-unroll AST-to-IR lowering in tests.
+    """
+    program = parse_source(source)
+    if unroll:
+        program = unroll_program(program)
+    module = generate_module(program, name)
+    validate_module(module)
+    return module
+
+
+__all__ = [
+    "CodegenError",
+    "MiniCSyntaxError",
+    "UnrollError",
+    "compile_source",
+    "const_eval",
+    "generate_module",
+    "parse_source",
+    "tokenize",
+    "unroll_program",
+]

@@ -1,0 +1,96 @@
+"""Lexer for MiniC, the small C-like source language of the benchmarks.
+
+MiniC exists because the paper's benchmarks are C routines compiled by
+clang; writing them directly in the baseline IR would be unreadable.  The
+lexer is conventional: identifiers, integer literals (decimal and hex),
+multi-character operators longest-first, ``//`` and ``/* */`` comments.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+
+class MiniCSyntaxError(ValueError):
+    def __init__(self, message: str, line: int) -> None:
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # "name", "int", "op", "punct", "eof"
+    text: str
+    line: int
+
+
+KEYWORDS = frozenset({
+    "uint", "u32", "u8", "int", "void", "const", "secret",
+    "if", "else", "for", "return",
+})
+
+_NAME_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+_HEX_RE = re.compile(r"0[xX][0-9a-fA-F]+")
+_INT_RE = re.compile(r"[0-9]+")
+
+_OPERATORS = (
+    "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+    "+", "-", "*", "/", "%", "&", "|", "^", "<", ">", "!", "~", "=", "?",
+)
+_PUNCT = "(){}[],;:"
+
+
+def tokenize(source: str) -> list[Token]:
+    tokens: list[Token] = []
+    line = 1
+    i = 0
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            continue
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end < 0:
+                raise MiniCSyntaxError("unterminated comment", line)
+            line += source.count("\n", i, end)
+            i = end + 2
+            continue
+        match = _HEX_RE.match(source, i)
+        if match:
+            tokens.append(Token("int", match.group(), line))
+            i = match.end()
+            continue
+        match = _INT_RE.match(source, i)
+        if match:
+            tokens.append(Token("int", match.group(), line))
+            i = match.end()
+            continue
+        match = _NAME_RE.match(source, i)
+        if match:
+            tokens.append(Token("name", match.group(), line))
+            i = match.end()
+            continue
+        for op in _OPERATORS:
+            if source.startswith(op, i):
+                tokens.append(Token("op", op, line))
+                i += len(op)
+                break
+        else:
+            if ch in _PUNCT:
+                tokens.append(Token("punct", ch, line))
+                i += 1
+            else:
+                raise MiniCSyntaxError(f"unexpected character {ch!r}", line)
+    tokens.append(Token("eof", "", line))
+    return tokens

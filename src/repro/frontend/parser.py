@@ -1,0 +1,373 @@
+"""Recursive-descent parser for MiniC.
+
+Operator precedence follows C.  Two deliberate semantic deviations, both in
+service of constant-time code, are made at the *language* level and
+documented here and in the README:
+
+* ``&&`` and ``||`` do **not** short-circuit; they compile to branch-free
+  logical arithmetic.  Short-circuiting would reintroduce secret-dependent
+  branches behind the programmer's back.
+* ``cond ? a : b`` compiles to the ``ctsel`` constant-time selector, making
+  branch-free selection a first-class idiom (it is how the paper's ``oTdT``
+  example is written).
+"""
+
+from __future__ import annotations
+
+from repro.frontend import ast_nodes as ast
+from repro.frontend.lexer import KEYWORDS, MiniCSyntaxError, Token, tokenize
+
+_TYPE_NAMES = ("uint", "u32", "u8", "int", "void")
+
+# Binary operator precedence tiers, loosest first.
+_PRECEDENCE: tuple[tuple[str, ...], ...] = (
+    ("||",),
+    ("&&",),
+    ("|",),
+    ("^",),
+    ("&",),
+    ("==", "!="),
+    ("<", "<=", ">", ">="),
+    ("<<", ">>"),
+    ("+", "-"),
+    ("*", "/", "%"),
+)
+
+
+class Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token plumbing ------------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        return self._tokens[min(self._pos + offset, len(self._tokens) - 1)]
+
+    def _next(self) -> Token:
+        token = self._peek()
+        if token.kind != "eof":
+            self._pos += 1
+        return token
+
+    def _expect(self, kind: str, text: "str | None" = None) -> Token:
+        token = self._next()
+        if token.kind != kind or (text is not None and token.text != text):
+            wanted = text if text is not None else kind
+            raise MiniCSyntaxError(
+                f"expected {wanted!r}, found {token.text or token.kind!r}",
+                token.line,
+            )
+        return token
+
+    def _accept(self, kind: str, text: "str | None" = None) -> "Token | None":
+        token = self._peek()
+        if token.kind == kind and (text is None or token.text == text):
+            self._pos += 1
+            return token
+        return None
+
+    def _at_type(self, offset: int = 0) -> bool:
+        token = self._peek(offset)
+        return token.kind == "name" and token.text in _TYPE_NAMES
+
+    # -- top level -------------------------------------------------------------
+
+    def parse_program(self) -> ast.Program:
+        program = ast.Program()
+        while self._peek().kind != "eof":
+            const = False
+            start = self._pos
+            if self._accept("name", "const"):
+                const = True
+            if not self._at_type():
+                token = self._peek()
+                raise MiniCSyntaxError(
+                    f"expected a declaration, found {token.text!r}", token.line
+                )
+            type_token = self._next()
+            name_token = self._expect("name")
+            if self._peek().kind == "punct" and self._peek().text == "(":
+                if const:
+                    raise MiniCSyntaxError(
+                        "functions cannot be 'const'", type_token.line
+                    )
+                self._pos = start
+                program.functions.append(self._parse_function())
+            else:
+                self._pos = start
+                program.globals.append(self._parse_global())
+        return program
+
+    def _parse_global(self) -> ast.GlobalDecl:
+        const = self._accept("name", "const") is not None
+        type_token = self._next()
+        name = self._expect("name").text
+        self._expect("punct", "[")
+        size = self._parse_expression()
+        self._expect("punct", "]")
+        init: tuple[ast.Expression, ...] = ()
+        if self._accept("op", "="):
+            init = self._parse_initializer_list()
+        self._expect("punct", ";")
+        return ast.GlobalDecl(
+            type_token.text, name, size, init, const, type_token.line
+        )
+
+    def _parse_initializer_list(self) -> tuple[ast.Expression, ...]:
+        self._expect("punct", "{")
+        values = []
+        if not self._accept("punct", "}"):
+            values.append(self._parse_expression())
+            while self._accept("punct", ","):
+                values.append(self._parse_expression())
+            self._expect("punct", "}")
+        return tuple(values)
+
+    def _parse_function(self) -> ast.FuncDef:
+        return_type = self._next().text
+        name = self._expect("name").text
+        self._expect("punct", "(")
+        params: list[ast.ParamDecl] = []
+        if not self._accept("punct", ")"):
+            params.append(self._parse_param())
+            while self._accept("punct", ","):
+                params.append(self._parse_param())
+            self._expect("punct", ")")
+        body = self._parse_block()
+        return ast.FuncDef(return_type, name, tuple(params), body)
+
+    def _parse_param(self) -> ast.ParamDecl:
+        secret = self._accept("name", "secret") is not None
+        self._accept("name", "const")  # const-ness is not tracked on params
+        if not self._at_type():
+            token = self._peek()
+            raise MiniCSyntaxError(
+                f"expected a parameter type, found {token.text!r}", token.line
+            )
+        type_token = self._next()
+        is_pointer = self._accept("op", "*") is not None
+        name_token = self._expect("name")
+        if self._accept("punct", "["):
+            self._expect("punct", "]")
+            is_pointer = True
+        return ast.ParamDecl(
+            type_token.text, name_token.text, is_pointer, secret, name_token.line
+        )
+
+    # -- statements --------------------------------------------------------------
+
+    def _parse_block(self) -> tuple[ast.Statement, ...]:
+        self._expect("punct", "{")
+        statements: list[ast.Statement] = []
+        while not self._accept("punct", "}"):
+            statements.append(self._parse_statement())
+        return tuple(statements)
+
+    def _parse_statement(self) -> ast.Statement:
+        token = self._peek()
+        if token.kind == "name" and token.text == "if":
+            return self._parse_if()
+        if token.kind == "name" and token.text == "for":
+            return self._parse_for()
+        if token.kind == "name" and token.text == "return":
+            self._next()
+            if self._accept("punct", ";"):  # `return;` in a void function
+                return ast.Return(ast.Num(0, token.line), token.line)
+            value = self._parse_expression()
+            self._expect("punct", ";")
+            return ast.Return(value, token.line)
+        if self._at_type() and self._peek(1).kind == "name":
+            return self._parse_declaration()
+        if (
+            token.kind == "name"
+            and token.text not in KEYWORDS
+            and self._peek(1).kind == "op"
+            and self._peek(1).text == "="
+        ):
+            self._next()
+            self._next()
+            value = self._parse_expression()
+            self._expect("punct", ";")
+            return ast.Assign(token.text, value, token.line)
+        if (
+            token.kind == "name"
+            and token.text not in KEYWORDS
+            and self._peek(1).kind == "punct"
+            and self._peek(1).text == "["
+        ):
+            saved = self._pos
+            self._next()
+            self._next()
+            index = self._parse_expression()
+            self._expect("punct", "]")
+            if self._accept("op", "="):
+                value = self._parse_expression()
+                self._expect("punct", ";")
+                return ast.StoreStmt(token.text, index, value, token.line)
+            self._pos = saved  # it was an expression like `a[i];`
+        expr = self._parse_expression()
+        self._expect("punct", ";")
+        return ast.ExprStmt(expr, token.line)
+
+    def _parse_declaration(self) -> ast.Statement:
+        type_token = self._next()
+        name_token = self._expect("name")
+        if self._accept("punct", "["):
+            size = self._parse_expression()
+            self._expect("punct", "]")
+            init: tuple[ast.Expression, ...] = ()
+            if self._accept("op", "="):
+                init = self._parse_initializer_list()
+            self._expect("punct", ";")
+            return ast.ArrayDecl(
+                type_token.text, name_token.text, size, init, type_token.line
+            )
+        init_expr = None
+        if self._accept("op", "="):
+            init_expr = self._parse_expression()
+        self._expect("punct", ";")
+        return ast.Decl(type_token.text, name_token.text, init_expr, type_token.line)
+
+    def _parse_if(self) -> ast.If:
+        token = self._expect("name", "if")
+        self._expect("punct", "(")
+        cond = self._parse_expression()
+        self._expect("punct", ")")
+        then_body = self._parse_block()
+        else_body: tuple[ast.Statement, ...] = ()
+        if self._accept("name", "else"):
+            if self._peek().kind == "name" and self._peek().text == "if":
+                else_body = (self._parse_if(),)
+            else:
+                else_body = self._parse_block()
+        return ast.If(cond, then_body, else_body, token.line)
+
+    def _parse_for(self) -> ast.For:
+        token = self._expect("name", "for")
+        self._expect("punct", "(")
+        if self._at_type():  # `for (uint i = 0; ...)` declares the counter
+            self._next()
+        var = self._expect("name").text
+        self._expect("op", "=")
+        init = self._parse_expression()
+        self._expect("punct", ";")
+        cond = self._parse_expression()
+        if not (isinstance(cond, ast.Binary) and isinstance(cond.lhs, ast.Name)
+                and cond.lhs.ident == var
+                and cond.op in ("<", "<=", ">", ">=", "!=")):
+            raise MiniCSyntaxError(
+                f"for-loop condition must compare the counter '{var}' against "
+                "a bound", token.line,
+            )
+        self._expect("punct", ";")
+        step_var = self._expect("name").text
+        if step_var != var:
+            raise MiniCSyntaxError(
+                f"for-loop step must assign the counter '{var}'", token.line
+            )
+        self._expect("op", "=")
+        step_expr = self._parse_expression()
+        if not (
+            isinstance(step_expr, ast.Binary)
+            and step_expr.op in ("+", "-")
+            and isinstance(step_expr.lhs, ast.Name)
+            and step_expr.lhs.ident == var
+        ):
+            raise MiniCSyntaxError(
+                f"for-loop step must be '{var} = {var} + c' or "
+                f"'{var} = {var} - c'", token.line,
+            )
+        self._expect("punct", ")")
+        body = self._parse_block()
+        return ast.For(
+            var=var,
+            init=init,
+            cond_op=cond.op,
+            bound=cond.rhs,
+            step_op=step_expr.op,
+            step=step_expr.rhs,
+            body=body,
+            line=token.line,
+        )
+
+    # -- expressions -----------------------------------------------------------------
+
+    def _parse_expression(self) -> ast.Expression:
+        return self._parse_ternary()
+
+    def _parse_ternary(self) -> ast.Expression:
+        cond = self._parse_binary(0)
+        if self._accept("op", "?"):
+            if_true = self._parse_ternary()
+            self._expect("punct", ":")
+            if_false = self._parse_ternary()
+            return ast.Ternary(cond, if_true, if_false)
+        return cond
+
+    def _parse_binary(self, tier: int) -> ast.Expression:
+        if tier >= len(_PRECEDENCE):
+            return self._parse_unary()
+        lhs = self._parse_binary(tier + 1)
+        ops = _PRECEDENCE[tier]
+        while True:
+            token = self._peek()
+            if token.kind == "op" and token.text in ops:
+                self._next()
+                rhs = self._parse_binary(tier + 1)
+                lhs = ast.Binary(token.text, lhs, rhs, token.line)
+            else:
+                return lhs
+
+    def _parse_unary(self) -> ast.Expression:
+        token = self._peek()
+        if token.kind == "op" and token.text in ("!", "~", "-"):
+            self._next()
+            return ast.Unary(token.text, self._parse_unary(), token.line)
+        if (
+            token.kind == "punct" and token.text == "("
+            and self._at_type(1)
+            and self._peek(2).kind == "punct" and self._peek(2).text == ")"
+        ):
+            self._next()
+            type_token = self._next()
+            self._next()
+            return ast.Cast(type_token.text, self._parse_unary(), type_token.line)
+        return self._parse_primary()
+
+    def _parse_primary(self) -> ast.Expression:
+        token = self._next()
+        if token.kind == "int":
+            return ast.Num(int(token.text, 0), token.line)
+        if token.kind == "punct" and token.text == "(":
+            inner = self._parse_expression()
+            self._expect("punct", ")")
+            return inner
+        if token.kind == "name":
+            if token.text in KEYWORDS:
+                raise MiniCSyntaxError(
+                    f"unexpected keyword {token.text!r} in expression", token.line
+                )
+            nxt = self._peek()
+            if nxt.kind == "punct" and nxt.text == "(":
+                self._next()
+                args: list[ast.Expression] = []
+                if not self._accept("punct", ")"):
+                    args.append(self._parse_expression())
+                    while self._accept("punct", ","):
+                        args.append(self._parse_expression())
+                    self._expect("punct", ")")
+                return ast.CallExpr(token.text, tuple(args), token.line)
+            if nxt.kind == "punct" and nxt.text == "[":
+                self._next()
+                index = self._parse_expression()
+                self._expect("punct", "]")
+                return ast.Index(token.text, index, token.line)
+            return ast.Name(token.text, token.line)
+        raise MiniCSyntaxError(
+            f"unexpected token {token.text or token.kind!r}", token.line
+        )
+
+
+def parse_source(source: str) -> ast.Program:
+    return Parser(tokenize(source)).parse_program()

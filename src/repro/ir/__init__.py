@@ -1,0 +1,43 @@
+"""The baseline-language IR (paper Fig. 4): values, instructions, CFGs.
+
+Public surface::
+
+    from repro.ir import (
+        Const, Var, Module, Function, Param, BasicBlock, GlobalArray,
+        IRBuilder, parse_module, module_to_str, validate_module,
+    )
+"""
+
+from repro.ir.builder import IRBuilder
+from repro.ir.function import BasicBlock, Function, Param, fresh_name
+from repro.ir.instructions import (
+    Alloc,
+    BinExpr,
+    Br,
+    Call,
+    CtSel,
+    Expr,
+    Instruction,
+    Jmp,
+    Load,
+    Mov,
+    Phi,
+    Ret,
+    Store,
+    Terminator,
+    UnaryExpr,
+)
+from repro.ir.module import GlobalArray, Module
+from repro.ir.parser import IRSyntaxError, parse_function, parse_module
+from repro.ir.printer import function_to_str, module_to_str
+from repro.ir.validate import ValidationError, validate_function, validate_module
+from repro.ir.values import Const, Value, Var, as_value
+
+__all__ = [
+    "Alloc", "BasicBlock", "BinExpr", "Br", "Call", "Const", "CtSel", "Expr",
+    "Function", "GlobalArray", "IRBuilder", "IRSyntaxError", "Instruction",
+    "Jmp", "Load", "Module", "Mov", "Param", "Phi", "Ret", "Store",
+    "Terminator", "UnaryExpr", "ValidationError", "Value", "Var", "as_value",
+    "fresh_name", "function_to_str", "module_to_str", "parse_function",
+    "parse_module", "validate_function", "validate_module",
+]

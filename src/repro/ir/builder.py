@@ -1,0 +1,159 @@
+"""A convenience builder for constructing IR programmatically.
+
+The builder keeps a current insertion block and mints fresh SSA names, so
+transformation passes and tests can write, e.g.::
+
+    b = IRBuilder(function)
+    b.position_at(block)
+    t = b.binop("+", x, y)
+    b.store(t, arr, idx)
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+from repro.ir.function import BasicBlock, Function
+from repro.ir.instructions import (
+    Alloc,
+    BinExpr,
+    Br,
+    Call,
+    CtSel,
+    Expr,
+    Jmp,
+    Load,
+    Mov,
+    Phi,
+    Ret,
+    Store,
+    UnaryExpr,
+)
+from repro.ir.values import Value, Var, as_value
+
+
+class IRBuilder:
+    """Builds instructions into a function, generating fresh names."""
+
+    def __init__(self, function: Function, name_prefix: str = "t") -> None:
+        self.function = function
+        self._prefix = name_prefix
+        self._counter = itertools.count()
+        self._taken = function.defined_names()
+        self._label_counters: dict[str, int] = {}
+        self.block: Optional[BasicBlock] = None
+
+    # -- naming ----------------------------------------------------------
+
+    def fresh(self, hint: Optional[str] = None) -> str:
+        """Mint a variable name unused anywhere in the function."""
+        base = hint or self._prefix
+        while True:
+            name = f"{base}{next(self._counter)}"
+            if name not in self._taken:
+                self._taken.add(name)
+                return name
+
+    def note_name(self, name: str) -> None:
+        """Record an externally-created name so ``fresh`` avoids it."""
+        self._taken.add(name)
+
+    # -- block management --------------------------------------------------
+
+    def new_block(self, label_hint: str = "bb") -> BasicBlock:
+        label = label_hint
+        counter = self._label_counters.get(label_hint, 0)
+        while label in self.function.blocks:
+            label = f"{label_hint}.{counter}"
+            counter += 1
+        self._label_counters[label_hint] = counter
+        return self.function.add_block(label)
+
+    def position_at(self, block: BasicBlock) -> None:
+        self.block = block
+
+    def _emit(self, instr):
+        if self.block is None:
+            raise RuntimeError("builder has no insertion block")
+        self.block.append(instr)
+        return instr
+
+    # -- instructions ------------------------------------------------------
+
+    def mov(self, expr: "Expr | int | str", dest: Optional[str] = None) -> Var:
+        if isinstance(expr, (int, str)):
+            expr = as_value(expr)
+        name = dest or self.fresh()
+        self._emit(Mov(name, expr))
+        return Var(name)
+
+    def binop(self, op: str, lhs, rhs, dest: Optional[str] = None) -> Var:
+        return self.mov(BinExpr(op, as_value(lhs), as_value(rhs)), dest)
+
+    def unop(self, op: str, operand, dest: Optional[str] = None) -> Var:
+        return self.mov(UnaryExpr(op, as_value(operand)), dest)
+
+    def alloc(self, size, dest: Optional[str] = None) -> Var:
+        if isinstance(size, (int, str)):
+            size = as_value(size)
+        name = dest or self.fresh("buf")
+        self._emit(Alloc(name, size))
+        return Var(name)
+
+    def load(self, array, index, dest: Optional[str] = None) -> Var:
+        array_value = as_value(array)
+        if not isinstance(array_value, Var):
+            raise TypeError("load array operand must be a variable")
+        name = dest or self.fresh()
+        self._emit(Load(name, array_value, as_value(index)))
+        return Var(name)
+
+    def store(self, value, array, index) -> None:
+        array_value = as_value(array)
+        if not isinstance(array_value, Var):
+            raise TypeError("store array operand must be a variable")
+        self._emit(Store(as_value(value), array_value, as_value(index)))
+
+    def ctsel(self, cond, if_true, if_false, dest: Optional[str] = None) -> Var:
+        name = dest or self.fresh()
+        self._emit(
+            CtSel(name, as_value(cond), as_value(if_true), as_value(if_false))
+        )
+        return Var(name)
+
+    def phi(self, incomings, dest: Optional[str] = None) -> Var:
+        name = dest or self.fresh()
+        arms = tuple((as_value(value), label) for value, label in incomings)
+        self._emit(Phi(name, arms))
+        return Var(name)
+
+    def call(self, callee: str, args, dest: Optional[str] = None) -> Optional[Var]:
+        values = tuple(as_value(a) for a in args)
+        name = dest if dest is not None else self.fresh()
+        self._emit(Call(name, callee, values))
+        return Var(name)
+
+    def call_void(self, callee: str, args) -> None:
+        values = tuple(as_value(a) for a in args)
+        self._emit(Call(None, callee, values))
+
+    # -- terminators ---------------------------------------------------------
+
+    def jmp(self, target: str) -> None:
+        self._terminate(Jmp(target))
+
+    def br(self, cond, if_true: str, if_false: str) -> None:
+        self._terminate(Br(as_value(cond), if_true, if_false))
+
+    def ret(self, expr: "Expr | int | str") -> None:
+        if isinstance(expr, (int, str)):
+            expr = as_value(expr)
+        self._terminate(Ret(expr))
+
+    def _terminate(self, terminator) -> None:
+        if self.block is None:
+            raise RuntimeError("builder has no insertion block")
+        if self.block.terminator is not None:
+            raise RuntimeError(f"block {self.block.label} is already terminated")
+        self.block.terminator = terminator

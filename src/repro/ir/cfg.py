@@ -1,0 +1,165 @@
+"""Control-flow-graph utilities over :class:`repro.ir.function.Function`.
+
+The repair transformation (paper Section III) requires programs to be
+cycle-free after preprocessing, so most passes here work on DAGs; the
+general-purpose helpers (reachability, reverse postorder) tolerate cycles so
+that the validator can produce good diagnostics on bad input.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.ir.function import BasicBlock, Function
+
+
+def successors(function: Function, label: str) -> list[str]:
+    return function.blocks[label].successors()
+
+
+def predecessor_map(function: Function) -> dict[str, list[str]]:
+    """Map each label to the labels of its CFG predecessors, in block order."""
+    preds: dict[str, list[str]] = {label: [] for label in function.blocks}
+    for block in function.blocks.values():
+        for succ in block.successors():
+            if succ not in preds:
+                raise KeyError(
+                    f"block {block.label} of @{function.name} jumps to "
+                    f"undefined label {succ!r}"
+                )
+            preds[succ].append(block.label)
+    return preds
+
+
+def reachable_labels(function: Function) -> set[str]:
+    """Labels reachable from the entry block."""
+    seen: set[str] = set()
+    worklist = deque([function.entry.label])
+    while worklist:
+        label = worklist.popleft()
+        if label in seen:
+            continue
+        seen.add(label)
+        worklist.extend(function.blocks[label].successors())
+    return seen
+
+
+def is_acyclic(function: Function) -> bool:
+    """True when the CFG restricted to reachable blocks has no cycle."""
+    try:
+        topological_order(function)
+    except ValueError:
+        return False
+    return True
+
+
+def topological_order(function: Function) -> list[str]:
+    """Topological order of the reachable blocks of an acyclic CFG.
+
+    The order is the one the repair pass uses to linearise the program
+    (paper rule [br]: a conditional branch becomes a jump to "the basic block
+    that succeeds it in topological order").  To keep the layout close to the
+    source program, ties are broken by the original block order.
+
+    Raises ``ValueError`` if the CFG has a cycle.
+    """
+    reachable = reachable_labels(function)
+    order_index = {label: i for i, label in enumerate(function.blocks)}
+    indegree: dict[str, int] = {label: 0 for label in reachable}
+    for label in reachable:
+        for succ in function.blocks[label].successors():
+            if succ in reachable:
+                indegree[succ] += 1
+
+    ready = sorted(
+        (label for label, deg in indegree.items() if deg == 0),
+        key=order_index.__getitem__,
+    )
+    order: list[str] = []
+    while ready:
+        label = ready.pop(0)
+        order.append(label)
+        inserted = []
+        for succ in function.blocks[label].successors():
+            if succ in reachable:
+                indegree[succ] -= 1
+                if indegree[succ] == 0:
+                    inserted.append(succ)
+        for succ in sorted(inserted, key=order_index.__getitem__):
+            # Keep `ready` sorted by source order for deterministic layout.
+            ready.append(succ)
+        ready.sort(key=order_index.__getitem__)
+
+    if len(order) != len(reachable):
+        raise ValueError(f"@{function.name}: control-flow graph has a cycle")
+    return order
+
+
+def reverse_postorder(function: Function) -> list[str]:
+    """Reverse postorder of the reachable blocks (works for cyclic CFGs)."""
+    visited: set[str] = set()
+    postorder: list[str] = []
+
+    def visit(label: str) -> None:
+        stack = [(label, iter(function.blocks[label].successors()))]
+        visited.add(label)
+        while stack:
+            current, succs = stack[-1]
+            advanced = False
+            for succ in succs:
+                if succ not in visited:
+                    visited.add(succ)
+                    stack.append((succ, iter(function.blocks[succ].successors())))
+                    advanced = True
+                    break
+            if not advanced:
+                postorder.append(current)
+                stack.pop()
+
+    visit(function.entry.label)
+    return list(reversed(postorder))
+
+
+def exit_blocks(function: Function) -> list[BasicBlock]:
+    """Blocks ending in ``ret``."""
+    from repro.ir.instructions import Ret
+
+    return [b for b in function.blocks.values() if isinstance(b.terminator, Ret)]
+
+
+def remove_unreachable_blocks(function: Function) -> int:
+    """Drop unreachable blocks; returns how many were removed."""
+    reachable = reachable_labels(function)
+    dead = [label for label in function.blocks if label not in reachable]
+    for label in dead:
+        del function.blocks[label]
+    if dead:
+        _prune_phi_edges(function)
+    return len(dead)
+
+
+def _prune_phi_edges(function: Function) -> None:
+    """Drop phi arms whose predecessor block no longer exists."""
+    from repro.ir.instructions import Mov, Phi
+
+    preds = predecessor_map(function)
+    for block in function.blocks.values():
+        new_instrs = []
+        for instr in block.instructions:
+            if isinstance(instr, Phi):
+                arms = tuple(
+                    (value, label)
+                    for value, label in instr.incomings
+                    if label in preds[block.label]
+                )
+                if not arms:
+                    raise ValueError(
+                        f"phi {instr.dest} in {block.label} lost all incomings"
+                    )
+                if len(arms) == 1:
+                    new_instrs.append(Mov(instr.dest, arms[0][0]))
+                else:
+                    new_instrs.append(Phi(instr.dest, arms))
+            else:
+                new_instrs.append(instr)
+        block.instructions = new_instrs

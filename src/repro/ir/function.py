@@ -1,0 +1,142 @@
+"""Basic blocks, functions, and parameters."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Optional
+
+from repro.ir.instructions import Instruction, Phi, Terminator
+
+
+@dataclass
+class BasicBlock:
+    """A labelled sequence of instructions ending in a terminator.
+
+    A block under construction may have ``terminator is None``; the validator
+    rejects such blocks, so every finished function is fully terminated.
+    """
+
+    label: str
+    instructions: list[Instruction] = field(default_factory=list)
+    terminator: Optional[Terminator] = None
+
+    def append(self, instr: Instruction) -> Instruction:
+        self.instructions.append(instr)
+        return instr
+
+    def phis(self) -> list[Phi]:
+        """The phi-functions of the block (required to be a prefix)."""
+        return [i for i in self.instructions if isinstance(i, Phi)]
+
+    def non_phi_instructions(self) -> list[Instruction]:
+        return [i for i in self.instructions if not isinstance(i, Phi)]
+
+    def successors(self) -> list[str]:
+        if self.terminator is None:
+            return []
+        return self.terminator.successors()
+
+    def __str__(self) -> str:
+        lines = [f"{self.label}:"]
+        lines.extend(f"  {instr}" for instr in self.instructions)
+        if self.terminator is not None:
+            lines.append(f"  {self.terminator}")
+        return "\n".join(lines)
+
+
+#: Parameter kinds: a machine word or a pointer to an array of words.
+PARAM_KINDS = ("int", "ptr")
+
+
+@dataclass(frozen=True)
+class Param:
+    """A function parameter: an integer or a pointer to an array of words."""
+
+    name: str
+    kind: str = "int"
+
+    def __post_init__(self) -> None:
+        if self.kind not in PARAM_KINDS:
+            raise ValueError(f"unknown parameter kind {self.kind!r}")
+
+    @property
+    def is_pointer(self) -> bool:
+        return self.kind == "ptr"
+
+    def __str__(self) -> str:
+        return f"{self.name}: {self.kind}"
+
+
+@dataclass
+class Function:
+    """A function: parameters plus an ordered list of basic blocks.
+
+    The first block is the entry.  Blocks are kept in an insertion-ordered
+    dict keyed by label; transformation passes that need a topological order
+    obtain one from :mod:`repro.ir.cfg`.
+    """
+
+    name: str
+    params: list[Param] = field(default_factory=list)
+    blocks: dict[str, BasicBlock] = field(default_factory=dict)
+    #: Parameters carrying secrets (MiniC ``secret`` qualifier); empty means
+    #: "treat every input as sensitive", the paper's default stance.
+    sensitive_params: tuple[str, ...] = ()
+
+    def add_block(self, label: str) -> BasicBlock:
+        if label in self.blocks:
+            raise ValueError(f"duplicate block label {label!r} in @{self.name}")
+        block = BasicBlock(label)
+        self.blocks[label] = block
+        return block
+
+    @property
+    def entry(self) -> BasicBlock:
+        if not self.blocks:
+            raise ValueError(f"function @{self.name} has no blocks")
+        return next(iter(self.blocks.values()))
+
+    def block(self, label: str) -> BasicBlock:
+        return self.blocks[label]
+
+    def param_names(self) -> list[str]:
+        return [p.name for p in self.params]
+
+    def pointer_params(self) -> list[Param]:
+        return [p for p in self.params if p.is_pointer]
+
+    def iter_instructions(self) -> Iterator[tuple[str, Instruction]]:
+        """Yield ``(label, instruction)`` pairs in block order."""
+        for block in self.blocks.values():
+            for instr in block.instructions:
+                yield block.label, instr
+
+    def instruction_count(self) -> int:
+        """Number of instructions including terminators (the paper's size metric)."""
+        return sum(
+            len(b.instructions) + (1 if b.terminator is not None else 0)
+            for b in self.blocks.values()
+        )
+
+    def defined_names(self) -> set[str]:
+        names = set(self.param_names())
+        for _, instr in self.iter_instructions():
+            if instr.dest is not None:
+                names.add(instr.dest)
+        return names
+
+    def __str__(self) -> str:
+        params = ", ".join(str(p) for p in self.params)
+        body = "\n".join(str(block) for block in self.blocks.values())
+        return f"func @{self.name}({params}) {{\n{body}\n}}"
+
+
+def fresh_name(base: str, taken: Iterable[str]) -> str:
+    """Return a variant of ``base`` not present in ``taken``."""
+    taken_set = set(taken)
+    if base not in taken_set:
+        return base
+    counter = 0
+    while f"{base}.{counter}" in taken_set:
+        counter += 1
+    return f"{base}.{counter}"

@@ -1,0 +1,342 @@
+"""Instructions and terminators of the baseline language (paper Fig. 4).
+
+The instruction set is the paper's toy language, extended with ``call``,
+which Section III-D of the paper needs for interprocedural repair but leaves
+out of the core grammar.
+
+Instructions are plain dataclasses.  They are treated as immutable by all
+transformation code: rewrites build *new* instructions via
+:meth:`Instruction.replace_uses` or the :mod:`repro.ir.builder` rather than
+mutating in place, which keeps SSA rewriting auditable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Optional, Union
+
+from repro.ir.values import Const, Value, Var
+
+
+@dataclass(frozen=True)
+class UnaryExpr:
+    """``op operand`` where op is one of ``-``, ``!``, ``~``."""
+
+    op: str
+    operand: Value
+
+    def __str__(self) -> str:
+        return f"{self.op} {self.operand}"
+
+
+@dataclass(frozen=True)
+class BinExpr:
+    """``lhs op rhs`` for the operators of :data:`repro.ir.ops.BINARY_OPS`."""
+
+    op: str
+    lhs: Value
+    rhs: Value
+
+    def __str__(self) -> str:
+        return f"{self.lhs} {self.op} {self.rhs}"
+
+
+Expr = Union[Const, Var, UnaryExpr, BinExpr]
+
+
+def expr_uses(expr: Expr) -> list[Value]:
+    """Return the values an expression reads."""
+    if isinstance(expr, (Const, Var)):
+        return [expr]
+    if isinstance(expr, UnaryExpr):
+        return [expr.operand]
+    return [expr.lhs, expr.rhs]
+
+
+def substitute_expr(expr: Expr, mapping: dict[str, Value]) -> Expr:
+    """Replace variable uses in an expression, returning a new expression."""
+    if isinstance(expr, Var):
+        return mapping.get(expr.name, expr)
+    if isinstance(expr, Const):
+        return expr
+    if isinstance(expr, UnaryExpr):
+        return UnaryExpr(expr.op, _substitute_value(expr.operand, mapping))
+    return BinExpr(
+        expr.op,
+        _substitute_value(expr.lhs, mapping),
+        _substitute_value(expr.rhs, mapping),
+    )
+
+
+def _substitute_value(value: Value, mapping: dict[str, Value]) -> Value:
+    if isinstance(value, Var):
+        return mapping.get(value.name, value)
+    return value
+
+
+class Instruction:
+    """Base class for non-terminator instructions."""
+
+    #: Name of the SSA variable this instruction defines, or ``None``.
+    #: (Annotation only — each concrete dataclass declares the field.)
+    dest: Optional[str]
+
+    def uses(self) -> list[Value]:
+        """Values this instruction reads (constants included)."""
+        raise NotImplementedError
+
+    def used_vars(self) -> list[str]:
+        """Names of the variables this instruction reads."""
+        return [v.name for v in self.uses() if isinstance(v, Var)]
+
+    def replace_uses(self, mapping: dict[str, Value]) -> "Instruction":
+        """Return a copy with every use of a mapped variable substituted."""
+        raise NotImplementedError
+
+    def with_dest(self, dest: Optional[str]) -> "Instruction":
+        """Return a copy defining a different variable."""
+        return replace(self, dest=dest)  # type: ignore[arg-type]
+
+
+@dataclass(frozen=True)
+class Alloc(Instruction):
+    """``dest = alloc size`` — allocate ``size`` words; ``dest`` is a pointer."""
+
+    dest: str
+    size: Expr
+
+    def uses(self) -> list[Value]:
+        return expr_uses(self.size)
+
+    def replace_uses(self, mapping: dict[str, Value]) -> "Alloc":
+        return Alloc(self.dest, substitute_expr(self.size, mapping))
+
+    def __str__(self) -> str:
+        return f"{self.dest} = alloc {self.size}"
+
+
+@dataclass(frozen=True)
+class Mov(Instruction):
+    """``dest = mov expr`` — evaluate an expression into a variable."""
+
+    dest: str
+    expr: Expr
+
+    def uses(self) -> list[Value]:
+        return expr_uses(self.expr)
+
+    def replace_uses(self, mapping: dict[str, Value]) -> "Mov":
+        return Mov(self.dest, substitute_expr(self.expr, mapping))
+
+    def __str__(self) -> str:
+        return f"{self.dest} = mov {self.expr}"
+
+
+@dataclass(frozen=True)
+class Load(Instruction):
+    """``dest = load array[index]`` — read one word from memory."""
+
+    dest: str
+    array: Var
+    index: Value
+
+    def uses(self) -> list[Value]:
+        return [self.array, self.index]
+
+    def replace_uses(self, mapping: dict[str, Value]) -> "Load":
+        array = _substitute_value(self.array, mapping)
+        if not isinstance(array, Var):
+            raise TypeError("a load's array operand must remain a variable")
+        return Load(self.dest, array, _substitute_value(self.index, mapping))
+
+    def __str__(self) -> str:
+        return f"{self.dest} = load {self.array}[{self.index}]"
+
+
+@dataclass(frozen=True)
+class Store(Instruction):
+    """``store value, array[index]`` — write one word to memory."""
+
+    value: Value
+    array: Var
+    index: Value
+    dest: Optional[str] = field(default=None, init=False)
+
+    def uses(self) -> list[Value]:
+        return [self.value, self.array, self.index]
+
+    def replace_uses(self, mapping: dict[str, Value]) -> "Store":
+        array = _substitute_value(self.array, mapping)
+        if not isinstance(array, Var):
+            raise TypeError("a store's array operand must remain a variable")
+        return Store(
+            _substitute_value(self.value, mapping),
+            array,
+            _substitute_value(self.index, mapping),
+        )
+
+    def __str__(self) -> str:
+        return f"store {self.value}, {self.array}[{self.index}]"
+
+
+@dataclass(frozen=True)
+class Phi(Instruction):
+    """``dest = phi [v0, l0], [v1, l1], ...`` — SSA join."""
+
+    dest: str
+    incomings: tuple[tuple[Value, str], ...]
+
+    def uses(self) -> list[Value]:
+        return [value for value, _ in self.incomings]
+
+    def incoming_from(self, label: str) -> Value:
+        """The value flowing in along the edge from ``label``."""
+        for value, pred in self.incomings:
+            if pred == label:
+                return value
+        raise KeyError(f"phi {self.dest} has no incoming from {label}")
+
+    def replace_uses(self, mapping: dict[str, Value]) -> "Phi":
+        incomings = tuple(
+            (_substitute_value(value, mapping), label)
+            for value, label in self.incomings
+        )
+        return Phi(self.dest, incomings)
+
+    def __str__(self) -> str:
+        arms = ", ".join(f"[{value}, {label}]" for value, label in self.incomings)
+        return f"{self.dest} = phi {arms}"
+
+
+@dataclass(frozen=True)
+class CtSel(Instruction):
+    """``dest = ctsel cond, if_true, if_false`` — constant-time selector.
+
+    Assigns ``if_true`` when ``cond`` is non-zero, else ``if_false``, in a
+    single branch-free operation (the paper assumes hardware support, e.g.
+    ARM conditional moves; :mod:`repro.core.ctsel_lowering` expands it into
+    bitwise arithmetic for targets without one).
+    """
+
+    dest: str
+    cond: Value
+    if_true: Value
+    if_false: Value
+
+    def uses(self) -> list[Value]:
+        return [self.cond, self.if_true, self.if_false]
+
+    def replace_uses(self, mapping: dict[str, Value]) -> "CtSel":
+        return CtSel(
+            self.dest,
+            _substitute_value(self.cond, mapping),
+            _substitute_value(self.if_true, mapping),
+            _substitute_value(self.if_false, mapping),
+        )
+
+    def __str__(self) -> str:
+        return f"{self.dest} = ctsel {self.cond}, {self.if_true}, {self.if_false}"
+
+
+@dataclass(frozen=True)
+class Call(Instruction):
+    """``dest = call @callee(args...)`` — direct function call.
+
+    Not part of the paper's Fig. 4 grammar, but required by the
+    interprocedural transformation of Section III-D.
+    """
+
+    dest: Optional[str]
+    callee: str
+    args: tuple[Value, ...]
+
+    def uses(self) -> list[Value]:
+        return list(self.args)
+
+    def replace_uses(self, mapping: dict[str, Value]) -> "Call":
+        args = tuple(_substitute_value(arg, mapping) for arg in self.args)
+        return Call(self.dest, self.callee, args)
+
+    def __str__(self) -> str:
+        args = ", ".join(str(arg) for arg in self.args)
+        prefix = f"{self.dest} = " if self.dest is not None else ""
+        return f"{prefix}call @{self.callee}({args})"
+
+
+class Terminator:
+    """Base class for block terminators."""
+
+    def uses(self) -> list[Value]:
+        return []
+
+    def used_vars(self) -> list[str]:
+        return [v.name for v in self.uses() if isinstance(v, Var)]
+
+    def successors(self) -> list[str]:
+        return []
+
+    def replace_uses(self, mapping: dict[str, Value]) -> "Terminator":
+        return self
+
+
+@dataclass(frozen=True)
+class Jmp(Terminator):
+    """``jmp target`` — unconditional branch."""
+
+    target: str
+
+    def successors(self) -> list[str]:
+        return [self.target]
+
+    def __str__(self) -> str:
+        return f"jmp {self.target}"
+
+
+@dataclass(frozen=True)
+class Br(Terminator):
+    """``br cond, if_true, if_false`` — conditional branch."""
+
+    cond: Value
+    if_true: str
+    if_false: str
+
+    def uses(self) -> list[Value]:
+        return [self.cond]
+
+    def successors(self) -> list[str]:
+        return [self.if_true, self.if_false]
+
+    def replace_uses(self, mapping: dict[str, Value]) -> "Br":
+        return Br(_substitute_value(self.cond, mapping), self.if_true, self.if_false)
+
+    def __str__(self) -> str:
+        return f"br {self.cond}, {self.if_true}, {self.if_false}"
+
+
+@dataclass(frozen=True)
+class Ret(Terminator):
+    """``ret expr`` — return from the function."""
+
+    expr: Expr
+
+    def uses(self) -> list[Value]:
+        return expr_uses(self.expr)
+
+    def replace_uses(self, mapping: dict[str, Value]) -> "Ret":
+        return Ret(substitute_expr(self.expr, mapping))
+
+    def __str__(self) -> str:
+        return f"ret {self.expr}"
+
+
+def defined_var(instr: Instruction) -> Optional[str]:
+    """Name defined by an instruction, or ``None`` (stores, void calls)."""
+    return instr.dest
+
+
+def all_instruction_uses(instrs: Iterable[Instruction]) -> set[str]:
+    """Union of the variable names read by a sequence of instructions."""
+    used: set[str] = set()
+    for instr in instrs:
+        used.update(instr.used_vars())
+    return used

@@ -1,0 +1,109 @@
+"""Modules: the unit of compilation, linking functions and global arrays."""
+
+from __future__ import annotations
+
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.ir.function import Function
+
+
+@dataclass
+class GlobalArray:
+    """A module-level array of words (e.g. a cipher's S-box).
+
+    ``size`` is the number of words.  ``init`` optionally provides initial
+    contents; missing cells are zero.  ``const`` marks read-only tables,
+    which the baseline SC-Eliminator reimplementation preloads.
+    """
+
+    name: str
+    size: int
+    init: tuple[int, ...] = ()
+    const: bool = False
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError(f"global @{self.name} must have positive size")
+        if len(self.init) > self.size:
+            raise ValueError(f"global @{self.name}: initializer larger than array")
+
+    def initial_contents(self) -> list[int]:
+        cells = list(self.init)
+        cells.extend(0 for _ in range(self.size - len(cells)))
+        return cells
+
+    def __str__(self) -> str:
+        prefix = "const global" if self.const else "global"
+        if self.init:
+            body = ", ".join(str(v) for v in self.init)
+            return f"{prefix} @{self.name}[{self.size}] = [{body}]"
+        return f"{prefix} @{self.name}[{self.size}]"
+
+
+@dataclass
+class Module:
+    """A set of functions plus global arrays."""
+
+    name: str = "module"
+    functions: dict[str, Function] = field(default_factory=dict)
+    globals: dict[str, GlobalArray] = field(default_factory=dict)
+
+    def add_function(self, function: Function) -> Function:
+        if function.name in self.functions:
+            raise ValueError(f"duplicate function @{function.name}")
+        self.functions[function.name] = function
+        return function
+
+    def add_global(self, array: GlobalArray) -> GlobalArray:
+        if array.name in self.globals:
+            raise ValueError(f"duplicate global @{array.name}")
+        self.globals[array.name] = array
+        return array
+
+    def function(self, name: str) -> Function:
+        try:
+            return self.functions[name]
+        except KeyError:
+            raise KeyError(f"module has no function @{name}") from None
+
+    def get_global(self, name: str) -> Optional[GlobalArray]:
+        return self.globals.get(name)
+
+    def instruction_count(self) -> int:
+        """Total instruction count — the paper's program-size metric (RQ3)."""
+        return sum(f.instruction_count() for f in self.functions.values())
+
+    def clone(self) -> "Module":
+        """Structural copy: new containers, shared immutable instructions.
+
+        Instructions and terminators are frozen dataclasses, so transforms
+        never mutate them in place — only the block/function containers need
+        copying.  (A deepcopy here dominated repair time on large unrolled
+        programs.)
+        """
+        from repro.ir.function import BasicBlock, Function
+
+        cloned = Module(self.name)
+        for array in self.globals.values():
+            cloned.globals[array.name] = GlobalArray(
+                array.name, array.size, tuple(array.init), array.const
+            )
+        for function in self.functions.values():
+            new_function = Function(
+                function.name,
+                list(function.params),
+                sensitive_params=function.sensitive_params,
+            )
+            for block in function.blocks.values():
+                new_function.blocks[block.label] = BasicBlock(
+                    block.label, list(block.instructions), block.terminator
+                )
+            cloned.functions[function.name] = new_function
+        return cloned
+
+    def __str__(self) -> str:
+        parts = [str(g) for g in self.globals.values()]
+        parts.extend(str(f) for f in self.functions.values())
+        return "\n\n".join(parts)

@@ -1,0 +1,104 @@
+"""Operator semantics for the baseline language.
+
+The IR computes on machine words: 64-bit two's-complement integers.  All
+arithmetic wraps.  Comparison operators are signed and yield 0 or 1.
+
+Two choices matter for side-channel freedom and are therefore fixed here:
+
+* division/remainder by zero produce 0 instead of trapping — a trap would be
+  an input-dependent event, which an isochronous program cannot contain;
+* shift amounts are taken modulo the word width, so no shift is undefined.
+"""
+
+from __future__ import annotations
+
+WORD_BITS = 64
+WORD_BYTES = WORD_BITS // 8
+_MASK = (1 << WORD_BITS) - 1
+_SIGN_BIT = 1 << (WORD_BITS - 1)
+
+#: Binary operators, as written in the textual IR.
+BINARY_OPS = (
+    "+", "-", "*", "/", "%",
+    "&", "|", "^", "<<", ">>",
+    "==", "!=", "<", "<=", ">", ">=",
+)
+
+#: Unary operators: arithmetic negation, logical not, bitwise not.
+UNARY_OPS = ("-", "!", "~")
+
+#: Operators whose result is always 0 or 1.
+BOOLEAN_OPS = ("==", "!=", "<", "<=", ">", ">=")
+
+
+def wrap(value: int) -> int:
+    """Wrap a Python int to a signed machine word."""
+    value &= _MASK
+    if value & _SIGN_BIT:
+        value -= 1 << WORD_BITS
+    return value
+
+
+def to_unsigned(value: int) -> int:
+    """Reinterpret a signed word as its unsigned bit pattern."""
+    return value & _MASK
+
+
+def eval_binop(op: str, lhs: int, rhs: int) -> int:
+    """Apply a binary operator to two machine words."""
+    if op == "+":
+        return wrap(lhs + rhs)
+    if op == "-":
+        return wrap(lhs - rhs)
+    if op == "*":
+        return wrap(lhs * rhs)
+    if op == "/":
+        if rhs == 0:
+            return 0
+        # C-style truncating division on signed words.
+        quotient = abs(lhs) // abs(rhs)
+        if (lhs < 0) != (rhs < 0):
+            quotient = -quotient
+        return wrap(quotient)
+    if op == "%":
+        if rhs == 0:
+            return 0
+        remainder = abs(lhs) % abs(rhs)
+        if lhs < 0:
+            remainder = -remainder
+        return wrap(remainder)
+    if op == "&":
+        return wrap(lhs & rhs)
+    if op == "|":
+        return wrap(lhs | rhs)
+    if op == "^":
+        return wrap(lhs ^ rhs)
+    if op == "<<":
+        return wrap(lhs << (rhs % WORD_BITS))
+    if op == ">>":
+        # Logical shift on the unsigned bit pattern, as crypto code expects.
+        return wrap(to_unsigned(lhs) >> (rhs % WORD_BITS))
+    if op == "==":
+        return int(lhs == rhs)
+    if op == "!=":
+        return int(lhs != rhs)
+    if op == "<":
+        return int(lhs < rhs)
+    if op == "<=":
+        return int(lhs <= rhs)
+    if op == ">":
+        return int(lhs > rhs)
+    if op == ">=":
+        return int(lhs >= rhs)
+    raise ValueError(f"unknown binary operator {op!r}")
+
+
+def eval_unop(op: str, operand: int) -> int:
+    """Apply a unary operator to a machine word."""
+    if op == "-":
+        return wrap(-operand)
+    if op == "!":
+        return int(operand == 0)
+    if op == "~":
+        return wrap(~operand)
+    raise ValueError(f"unknown unary operator {op!r}")

@@ -1,0 +1,371 @@
+"""Parser for the textual form of the baseline language.
+
+The concrete syntax mirrors the paper's Fig. 4 closely::
+
+    const global @sbox[4] = [6, 1, 3, 0]
+
+    func @cmp(a: ptr, b: ptr, n: int) {
+    entry:
+      x = load a[0]
+      y = load b[0]
+      p = mov x == y
+      br p, eq, ne
+    eq:
+      jmp done
+    ne:
+      jmp done
+    done:
+      r = phi [1, eq], [0, ne]
+      ret r
+    }
+
+Comments run from ``;`` or ``#`` to end of line.  The parser is a hand
+written recursive descent over a small token stream; the printer in
+:mod:`repro.ir.printer` emits exactly this syntax, so modules round-trip.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.ir.function import Function, Param
+from repro.ir.instructions import (
+    Alloc,
+    BinExpr,
+    Br,
+    Call,
+    CtSel,
+    Expr,
+    Jmp,
+    Load,
+    Mov,
+    Phi,
+    Ret,
+    Store,
+    UnaryExpr,
+)
+from repro.ir.module import GlobalArray, Module
+from repro.ir.ops import BINARY_OPS
+from repro.ir.values import Const, Value, Var
+
+
+class IRSyntaxError(ValueError):
+    """Raised on malformed textual IR."""
+
+    def __init__(self, message: str, line: int) -> None:
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str  # NAME, INT, OP, PUNCT
+    text: str
+    line: int
+
+
+_NAME_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_.]*")
+_INT_RE = re.compile(r"[0-9]+")
+# Longest-match first so "<<" wins over "<".
+_OPERATORS = ("<<", ">>", "==", "!=", "<=", ">=", "+", "-", "*", "/", "%",
+              "&", "|", "^", "<", ">", "!", "~")
+_PUNCT = ("(", ")", "[", "]", "{", "}", ",", ":", "=", "@")
+
+_KEYWORDS = {
+    "global", "const", "func", "mov", "alloc", "load", "store", "phi",
+    "ctsel", "call", "jmp", "br", "ret", "int", "ptr",
+}
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    line = 1
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            continue
+        if ch in ";#":
+            while i < n and text[i] != "\n":
+                i += 1
+            continue
+        if ch == "-" and i + 1 < n and text[i + 1].isdigit() and _unary_context(tokens):
+            match = _INT_RE.match(text, i + 1)
+            assert match is not None
+            tokens.append(_Token("INT", "-" + match.group(), line))
+            i = match.end()
+            continue
+        match = _NAME_RE.match(text, i)
+        if match:
+            tokens.append(_Token("NAME", match.group(), line))
+            i = match.end()
+            continue
+        match = _INT_RE.match(text, i)
+        if match:
+            tokens.append(_Token("INT", match.group(), line))
+            i = match.end()
+            continue
+        for op in _OPERATORS:
+            if text.startswith(op, i):
+                tokens.append(_Token("OP", op, line))
+                i += len(op)
+                break
+        else:
+            if ch in _PUNCT:
+                tokens.append(_Token("PUNCT", ch, line))
+                i += 1
+            else:
+                raise IRSyntaxError(f"unexpected character {ch!r}", line)
+    return tokens
+
+
+def _unary_context(tokens: list[_Token]) -> bool:
+    """True when a ``-`` here begins a negative literal, not a subtraction."""
+    if not tokens:
+        return True
+    prev = tokens[-1]
+    if prev.kind in ("INT",):
+        return False
+    if prev.kind == "NAME" and prev.text not in _KEYWORDS:
+        return False
+    if prev.kind == "PUNCT" and prev.text in (")", "]"):
+        return False
+    return True
+
+
+class _Parser:
+    def __init__(self, tokens: list[_Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token helpers -----------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Optional[_Token]:
+        index = self._pos + offset
+        return self._tokens[index] if index < len(self._tokens) else None
+
+    def _line(self) -> int:
+        tok = self._peek()
+        return tok.line if tok else (self._tokens[-1].line if self._tokens else 0)
+
+    def _next(self) -> _Token:
+        tok = self._peek()
+        if tok is None:
+            raise IRSyntaxError("unexpected end of input", self._line())
+        self._pos += 1
+        return tok
+
+    def _expect(self, kind: str, text: Optional[str] = None) -> _Token:
+        tok = self._next()
+        if tok.kind != kind or (text is not None and tok.text != text):
+            wanted = text or kind
+            raise IRSyntaxError(f"expected {wanted!r}, found {tok.text!r}", tok.line)
+        return tok
+
+    def _accept(self, kind: str, text: Optional[str] = None) -> Optional[_Token]:
+        tok = self._peek()
+        if tok and tok.kind == kind and (text is None or tok.text == text):
+            self._pos += 1
+            return tok
+        return None
+
+    def _at_keyword(self, word: str) -> bool:
+        tok = self._peek()
+        return tok is not None and tok.kind == "NAME" and tok.text == word
+
+    # -- grammar -------------------------------------------------------------
+
+    def parse_module(self, name: str) -> Module:
+        module = Module(name)
+        while self._peek() is not None:
+            if self._at_keyword("const") or self._at_keyword("global"):
+                module.add_global(self._parse_global())
+            elif self._at_keyword("func"):
+                module.add_function(self._parse_function())
+            else:
+                tok = self._peek()
+                raise IRSyntaxError(
+                    f"expected 'global' or 'func', found {tok.text!r}", tok.line
+                )
+        return module
+
+    def _parse_global(self) -> GlobalArray:
+        const = self._accept("NAME", "const") is not None
+        self._expect("NAME", "global")
+        self._expect("PUNCT", "@")
+        name = self._expect("NAME").text
+        self._expect("PUNCT", "[")
+        size = int(self._expect("INT").text)
+        self._expect("PUNCT", "]")
+        init: tuple[int, ...] = ()
+        if self._accept("PUNCT", "="):
+            self._expect("PUNCT", "[")
+            values = []
+            if not self._accept("PUNCT", "]"):
+                values.append(int(self._expect("INT").text))
+                while self._accept("PUNCT", ","):
+                    values.append(int(self._expect("INT").text))
+                self._expect("PUNCT", "]")
+            init = tuple(values)
+        return GlobalArray(name, size, init, const)
+
+    def _parse_function(self) -> Function:
+        self._expect("NAME", "func")
+        self._expect("PUNCT", "@")
+        name = self._expect("NAME").text
+        self._expect("PUNCT", "(")
+        params: list[Param] = []
+        if not self._accept("PUNCT", ")"):
+            params.append(self._parse_param())
+            while self._accept("PUNCT", ","):
+                params.append(self._parse_param())
+            self._expect("PUNCT", ")")
+        function = Function(name, params)
+        self._expect("PUNCT", "{")
+        while not self._accept("PUNCT", "}"):
+            self._parse_block(function)
+        return function
+
+    def _parse_param(self) -> Param:
+        name = self._expect("NAME").text
+        self._expect("PUNCT", ":")
+        kind = self._expect("NAME").text
+        if kind not in ("int", "ptr"):
+            raise IRSyntaxError(f"unknown parameter kind {kind!r}", self._line())
+        return Param(name, kind)
+
+    def _parse_block(self, function: Function) -> None:
+        label = self._expect("NAME").text
+        self._expect("PUNCT", ":")
+        block = function.add_block(label)
+        while True:
+            tok = self._peek()
+            if tok is None:
+                raise IRSyntaxError(f"block {label} lacks a terminator", self._line())
+            if tok.kind == "NAME" and tok.text == "jmp":
+                self._next()
+                block.terminator = Jmp(self._expect("NAME").text)
+                return
+            if tok.kind == "NAME" and tok.text == "br":
+                self._next()
+                cond = self._parse_value()
+                self._expect("PUNCT", ",")
+                if_true = self._expect("NAME").text
+                self._expect("PUNCT", ",")
+                if_false = self._expect("NAME").text
+                block.terminator = Br(cond, if_true, if_false)
+                return
+            if tok.kind == "NAME" and tok.text == "ret":
+                self._next()
+                block.terminator = Ret(self._parse_expr())
+                return
+            block.append(self._parse_instruction())
+
+    def _parse_instruction(self):
+        tok = self._peek()
+        assert tok is not None
+        if tok.kind == "NAME" and tok.text == "store":
+            self._next()
+            value = self._parse_value()
+            self._expect("PUNCT", ",")
+            array = Var(self._expect("NAME").text)
+            self._expect("PUNCT", "[")
+            index = self._parse_value()
+            self._expect("PUNCT", "]")
+            return Store(value, array, index)
+        if tok.kind == "NAME" and tok.text == "call":
+            return self._parse_call(dest=None)
+
+        dest = self._expect("NAME").text
+        self._expect("PUNCT", "=")
+        op = self._expect("NAME")
+        if op.text == "mov":
+            return Mov(dest, self._parse_expr())
+        if op.text == "alloc":
+            return Alloc(dest, self._parse_expr())
+        if op.text == "load":
+            array = Var(self._expect("NAME").text)
+            self._expect("PUNCT", "[")
+            index = self._parse_value()
+            self._expect("PUNCT", "]")
+            return Load(dest, array, index)
+        if op.text == "ctsel":
+            cond = self._parse_value()
+            self._expect("PUNCT", ",")
+            if_true = self._parse_value()
+            self._expect("PUNCT", ",")
+            if_false = self._parse_value()
+            return CtSel(dest, cond, if_true, if_false)
+        if op.text == "phi":
+            arms = [self._parse_phi_arm()]
+            while self._accept("PUNCT", ","):
+                arms.append(self._parse_phi_arm())
+            return Phi(dest, tuple(arms))
+        if op.text == "call":
+            self._pos -= 1  # rewind: _parse_call expects the keyword
+            return self._parse_call(dest=dest)
+        raise IRSyntaxError(f"unknown instruction {op.text!r}", op.line)
+
+    def _parse_call(self, dest: Optional[str]) -> Call:
+        self._expect("NAME", "call")
+        self._expect("PUNCT", "@")
+        callee = self._expect("NAME").text
+        self._expect("PUNCT", "(")
+        args: list[Value] = []
+        if not self._accept("PUNCT", ")"):
+            args.append(self._parse_value())
+            while self._accept("PUNCT", ","):
+                args.append(self._parse_value())
+            self._expect("PUNCT", ")")
+        return Call(dest, callee, tuple(args))
+
+    def _parse_phi_arm(self) -> tuple[Value, str]:
+        self._expect("PUNCT", "[")
+        value = self._parse_value()
+        self._expect("PUNCT", ",")
+        label = self._expect("NAME").text
+        self._expect("PUNCT", "]")
+        return value, label
+
+    def _parse_expr(self) -> Expr:
+        tok = self._peek()
+        assert tok is not None
+        if tok.kind == "OP" and tok.text in ("-", "!", "~"):
+            self._next()
+            return UnaryExpr(tok.text, self._parse_value())
+        lhs = self._parse_value()
+        nxt = self._peek()
+        if nxt is not None and nxt.kind == "OP" and nxt.text in BINARY_OPS:
+            self._next()
+            rhs = self._parse_value()
+            return BinExpr(nxt.text, lhs, rhs)
+        return lhs
+
+    def _parse_value(self) -> Value:
+        tok = self._next()
+        if tok.kind == "INT":
+            return Const(int(tok.text))
+        if tok.kind == "NAME":
+            return Var(tok.text)
+        raise IRSyntaxError(f"expected a value, found {tok.text!r}", tok.line)
+
+
+def parse_module(text: str, name: str = "module") -> Module:
+    """Parse a whole module from its textual form."""
+    return _Parser(_tokenize(text)).parse_module(name)
+
+
+def parse_function(text: str) -> Function:
+    """Parse a single function definition."""
+    module = parse_module(text)
+    if len(module.functions) != 1:
+        raise ValueError("expected exactly one function")
+    return next(iter(module.functions.values()))

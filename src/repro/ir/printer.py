@@ -1,0 +1,19 @@
+"""Textual rendering of IR objects.
+
+The dataclasses already know how to print themselves; this module provides
+the top-level entry points and guarantees the output round-trips through
+:mod:`repro.ir.parser`.
+"""
+
+from __future__ import annotations
+
+from repro.ir.function import Function
+from repro.ir.module import Module
+
+
+def function_to_str(function: Function) -> str:
+    return str(function)
+
+
+def module_to_str(module: Module) -> str:
+    return str(module) + "\n"

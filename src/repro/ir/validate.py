@@ -1,0 +1,178 @@
+"""Well-formedness and SSA validation.
+
+The paper's transformation is only defined on *well-formed* SSA programs:
+every variable has a single definition, and that definition dominates all of
+its uses (Section III-B1).  The validator enforces this, plus the structural
+invariants the rest of the code base relies on.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.ir.cfg import predecessor_map, reachable_labels
+from repro.ir.function import Function
+from repro.ir.instructions import Call, Phi
+from repro.ir.module import Module
+from repro.ir.values import Var
+
+
+class ValidationError(ValueError):
+    """Raised when a function or module violates an IR invariant."""
+
+
+def validate_function(
+    function: Function, module: Optional[Module] = None
+) -> None:
+    """Check structure, SSA single-assignment, and dominance of uses.
+
+    Raises :class:`ValidationError` with a precise message on the first
+    violation found.
+    """
+    if not function.blocks:
+        raise ValidationError(f"@{function.name}: function has no blocks")
+
+    _check_terminators(function)
+    preds = predecessor_map(function)  # also checks branch targets exist
+    _check_phi_placement(function, preds)
+    definitions = _check_single_assignment(function, module)
+    _check_dominance(function, definitions, module)
+    if module is not None:
+        _check_calls(function, module)
+
+
+def validate_module(module: Module) -> None:
+    for function in module.functions.values():
+        validate_function(function, module)
+
+
+def _check_terminators(function: Function) -> None:
+    for block in function.blocks.values():
+        if block.terminator is None:
+            raise ValidationError(
+                f"@{function.name}: block {block.label} has no terminator"
+            )
+
+
+def _check_phi_placement(function: Function, preds: dict[str, list[str]]) -> None:
+    for block in function.blocks.values():
+        seen_non_phi = False
+        for instr in block.instructions:
+            if isinstance(instr, Phi):
+                if seen_non_phi:
+                    raise ValidationError(
+                        f"@{function.name}:{block.label}: phi {instr.dest} does "
+                        "not lead its block"
+                    )
+                incoming_labels = sorted(label for _, label in instr.incomings)
+                expected = sorted(preds[block.label])
+                if incoming_labels != expected:
+                    raise ValidationError(
+                        f"@{function.name}:{block.label}: phi {instr.dest} "
+                        f"incomings {incoming_labels} do not match "
+                        f"predecessors {expected}"
+                    )
+            else:
+                seen_non_phi = True
+
+
+def _check_single_assignment(
+    function: Function, module: Optional[Module]
+) -> dict[str, tuple[str, int]]:
+    """Return ``{var: (block, index)}``; params map to the entry at index -1."""
+    definitions: dict[str, tuple[str, int]] = {}
+    entry = function.entry.label
+    for param in function.params:
+        if param.name in definitions:
+            raise ValidationError(
+                f"@{function.name}: duplicate parameter {param.name}"
+            )
+        definitions[param.name] = (entry, -1)
+    if module is not None:
+        for global_name in module.globals:
+            if global_name in definitions:
+                raise ValidationError(
+                    f"@{function.name}: parameter {global_name} shadows a global"
+                )
+            definitions[global_name] = (entry, -1)
+
+    for block in function.blocks.values():
+        for index, instr in enumerate(block.instructions):
+            if instr.dest is None:
+                continue
+            if instr.dest in definitions:
+                raise ValidationError(
+                    f"@{function.name}: variable {instr.dest} defined twice"
+                )
+            definitions[instr.dest] = (block.label, index)
+    return definitions
+
+
+def _check_dominance(
+    function: Function,
+    definitions: dict[str, tuple[str, int]],
+    module: Optional[Module],
+) -> None:
+    from repro.analysis.dominators import compute_dominators
+
+    reachable = reachable_labels(function)
+    domtree = compute_dominators(function)
+
+    def check_use(var: str, use_block: str, use_index: int, what: str) -> None:
+        if var not in definitions:
+            raise ValidationError(
+                f"@{function.name}:{use_block}: {what} uses undefined "
+                f"variable {var}"
+            )
+        def_block, def_index = definitions[var]
+        if use_block not in reachable:
+            return  # uses in dead code are not constrained
+        if def_block == use_block:
+            if def_index >= use_index:
+                raise ValidationError(
+                    f"@{function.name}:{use_block}: {var} used before its "
+                    f"definition"
+                )
+        elif not domtree.dominates(def_block, use_block):
+            raise ValidationError(
+                f"@{function.name}:{use_block}: definition of {var} in "
+                f"{def_block} does not dominate this use"
+            )
+
+    for block in function.blocks.values():
+        for index, instr in enumerate(block.instructions):
+            if isinstance(instr, Phi):
+                # A phi use must be available at the end of the matching
+                # predecessor, not at the phi itself.
+                for value, pred_label in instr.incomings:
+                    if not isinstance(value, Var):
+                        continue
+                    pred_block = function.blocks[pred_label]
+                    check_use(
+                        value.name,
+                        pred_label,
+                        len(pred_block.instructions),
+                        f"phi {instr.dest}",
+                    )
+            else:
+                for var in instr.used_vars():
+                    check_use(var, block.label, index, str(instr))
+        assert block.terminator is not None
+        for var in block.terminator.used_vars():
+            check_use(var, block.label, len(block.instructions), "terminator")
+
+
+def _check_calls(function: Function, module: Module) -> None:
+    for label, instr in function.iter_instructions():
+        if isinstance(instr, Call):
+            callee = module.functions.get(instr.callee)
+            if callee is None:
+                raise ValidationError(
+                    f"@{function.name}:{label}: call to undefined "
+                    f"function @{instr.callee}"
+                )
+            if len(instr.args) != len(callee.params):
+                raise ValidationError(
+                    f"@{function.name}:{label}: call to @{instr.callee} passes "
+                    f"{len(instr.args)} arguments, expected {len(callee.params)}"
+                )

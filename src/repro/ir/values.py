@@ -1,0 +1,63 @@
+"""Values of the baseline language.
+
+The paper's toy language (Fig. 4) has two kinds of values: numerals and
+variable names.  Variables are SSA names: each is defined by exactly one
+instruction (or is a function parameter).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+
+@dataclass(frozen=True)
+class Const:
+    """An integer literal.
+
+    All integers in the IR are machine words; the interpreter wraps them to
+    the word width (see :mod:`repro.ir.ops`), but constants may hold any
+    Python int until then.
+    """
+
+    value: int
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class Var:
+    """A reference to an SSA variable, function parameter, or global."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+Value = Union[Const, Var]
+
+#: Conventional name of the shadow variable inserted by the repair pass
+#: (Section III-A of the paper calls it ``sh``).
+SHADOW_NAME = "sh"
+
+TRUE = Const(1)
+FALSE = Const(0)
+
+
+def as_value(operand: "int | str | Value") -> Value:
+    """Coerce a Python int or name into an IR value.
+
+    This keeps builder and test code terse: ``as_value(3)`` is ``Const(3)``
+    and ``as_value("x")`` is ``Var("x")``.
+    """
+    if isinstance(operand, (Const, Var)):
+        return operand
+    if isinstance(operand, bool):
+        return Const(int(operand))
+    if isinstance(operand, int):
+        return Const(operand)
+    if isinstance(operand, str):
+        return Var(operand)
+    raise TypeError(f"cannot convert {operand!r} to an IR value")

@@ -1,0 +1,98 @@
+"""Shared helpers for the optimisation passes."""
+
+from __future__ import annotations
+
+from repro.ir.function import Function
+from repro.ir.instructions import Phi
+from repro.ir.values import Value, Var
+
+
+def resolve_mapping(mapping: dict[str, Value]) -> dict[str, Value]:
+    """Chase substitution chains (x -> y, y -> 3 becomes x -> 3)."""
+    resolved: dict[str, Value] = {}
+
+    def chase(name: str, seen: set[str]) -> Value:
+        target = mapping[name]
+        if isinstance(target, Var) and target.name in mapping:
+            if target.name in seen:  # cycle guard (cannot occur in SSA)
+                return target
+            return chase(target.name, seen | {name})
+        return target
+
+    for name in mapping:
+        resolved[name] = chase(name, {name})
+    return resolved
+
+
+def replace_uses_everywhere(function: Function, mapping: dict[str, Value]) -> bool:
+    """Substitute values for variables across the whole function."""
+    if not mapping:
+        return False
+    mapping = resolve_mapping(mapping)
+    changed = False
+    for block in function.blocks.values():
+        new_instructions = []
+        for instr in block.instructions:
+            replaced = instr.replace_uses(mapping)
+            if replaced is not instr and replaced != instr:
+                changed = True
+            new_instructions.append(replaced)
+        block.instructions = new_instructions
+        if block.terminator is not None:
+            replaced_term = block.terminator.replace_uses(mapping)
+            if replaced_term != block.terminator:
+                changed = True
+            block.terminator = replaced_term
+    return changed
+
+
+def boolean_variables(function: Function) -> set[str]:
+    """Variables statically known to hold 0 or 1.
+
+    Seeds: comparison results and logical not.  Closure: ``&``, ``|``, ``^``
+    of booleans, selects/phis/moves of booleans and of the constants 0/1.
+    The algebraic simplifier uses this to apply boolean identities (e.g.
+    ``b | 1 == 1``), which is what lets -O1 collapse the repair's guard
+    arithmetic for accesses with statically-known bounds.
+    """
+    from repro.ir.instructions import BinExpr, CtSel, Mov, UnaryExpr
+    from repro.ir.ops import BOOLEAN_OPS
+    from repro.ir.values import Const
+
+    booleans: set[str] = set()
+
+    def is_boolean_value(value) -> bool:
+        if isinstance(value, Const):
+            return value.value in (0, 1)
+        return isinstance(value, Var) and value.name in booleans
+
+    changed = True
+    while changed:
+        changed = False
+        for _, instr in function.iter_instructions():
+            if instr.dest is None or instr.dest in booleans:
+                continue
+            derived = False
+            if isinstance(instr, Mov):
+                expr = instr.expr
+                if isinstance(expr, BinExpr):
+                    if expr.op in BOOLEAN_OPS:
+                        derived = True
+                    elif expr.op in ("&", "|", "^"):
+                        derived = is_boolean_value(expr.lhs) and is_boolean_value(
+                            expr.rhs
+                        )
+                elif isinstance(expr, UnaryExpr):
+                    derived = expr.op == "!"
+                else:
+                    derived = is_boolean_value(expr)
+            elif isinstance(instr, CtSel):
+                derived = is_boolean_value(instr.if_true) and is_boolean_value(
+                    instr.if_false
+                )
+            elif isinstance(instr, Phi):
+                derived = all(is_boolean_value(v) for v, _ in instr.incomings)
+            if derived:
+                booleans.add(instr.dest)
+                changed = True
+    return booleans

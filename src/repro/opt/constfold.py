@@ -1,0 +1,46 @@
+"""Constant folding."""
+
+from __future__ import annotations
+
+from repro.ir.function import Function
+from repro.ir.instructions import BinExpr, CtSel, Expr, Mov, Ret, UnaryExpr
+from repro.ir.ops import eval_binop, eval_unop, wrap
+from repro.ir.values import Const
+
+
+def fold_expr(expr: Expr) -> Expr:
+    """Fold an expression if all operands are constants."""
+    if isinstance(expr, BinExpr):
+        if isinstance(expr.lhs, Const) and isinstance(expr.rhs, Const):
+            return Const(
+                eval_binop(expr.op, wrap(expr.lhs.value), wrap(expr.rhs.value))
+            )
+    elif isinstance(expr, UnaryExpr):
+        if isinstance(expr.operand, Const):
+            return Const(eval_unop(expr.op, wrap(expr.operand.value)))
+    return expr
+
+
+def constant_fold(function: Function) -> bool:
+    """Fold constant arithmetic and constant-condition selects in place."""
+    changed = False
+    for block in function.blocks.values():
+        new_instructions = []
+        for instr in block.instructions:
+            if isinstance(instr, Mov):
+                folded = fold_expr(instr.expr)
+                if folded is not instr.expr:
+                    instr = Mov(instr.dest, folded)
+                    changed = True
+            elif isinstance(instr, CtSel) and isinstance(instr.cond, Const):
+                chosen = instr.if_true if instr.cond.value != 0 else instr.if_false
+                instr = Mov(instr.dest, chosen)
+                changed = True
+            new_instructions.append(instr)
+        block.instructions = new_instructions
+        if isinstance(block.terminator, Ret):
+            folded = fold_expr(block.terminator.expr)
+            if folded is not block.terminator.expr:
+                block.terminator = Ret(folded)
+                changed = True
+    return changed

@@ -1,0 +1,24 @@
+"""Copy propagation.
+
+In SSA, ``x = mov v`` (``v`` a constant or another variable) means every use
+of ``x`` can become a use of ``v`` — the definition of ``v`` necessarily
+dominates the definition of ``x``, which dominates all uses of ``x``.
+"""
+
+from __future__ import annotations
+
+from repro.ir.function import Function
+from repro.ir.instructions import Load, Mov, Store
+from repro.ir.values import Const, Var
+from repro.opt.common import replace_uses_everywhere
+
+
+def propagate_copies(function: Function) -> bool:
+    """Rewrite uses of copies in place; the dead movs fall to DCE."""
+    mapping = {}
+    for _, instr in function.iter_instructions():
+        if isinstance(instr, Mov) and isinstance(instr.expr, (Const, Var)):
+            if isinstance(instr.expr, Var) and instr.expr.name == instr.dest:
+                continue  # self-copy (cannot happen in valid SSA, but be safe)
+            mapping[instr.dest] = instr.expr
+    return replace_uses_everywhere(function, mapping)

@@ -1,0 +1,64 @@
+"""Global common-subexpression elimination (dominator-scoped).
+
+Pure computations (``mov`` of an expression and ``ctsel``) with identical
+operands are merged when the earlier one dominates the later.  Loads are not
+merged: two loads of the same address are distinct memory-trace events, and
+preserving the access sequence is exactly what the repaired programs are
+about.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.dominators import compute_dominators
+from repro.ir.cfg import reachable_labels
+from repro.ir.function import Function
+from repro.ir.instructions import BinExpr, CtSel, Mov, UnaryExpr
+from repro.ir.values import Value, Var
+from repro.opt.common import replace_uses_everywhere
+
+_COMMUTATIVE = {"+", "*", "&", "|", "^", "==", "!="}
+
+
+def _key(instr) -> "tuple | None":
+    if isinstance(instr, Mov):
+        expr = instr.expr
+        if isinstance(expr, BinExpr):
+            lhs, rhs = expr.lhs, expr.rhs
+            if expr.op in _COMMUTATIVE and str(rhs) < str(lhs):
+                lhs, rhs = rhs, lhs
+            return ("bin", expr.op, lhs, rhs)
+        if isinstance(expr, UnaryExpr):
+            return ("un", expr.op, expr.operand)
+        return None  # plain copies are copy-propagation's job
+    if isinstance(instr, CtSel):
+        return ("sel", instr.cond, instr.if_true, instr.if_false)
+    return None
+
+
+def eliminate_common_subexpressions(function: Function) -> bool:
+    """Scoped-hash-table CSE over the dominator tree, in place."""
+    domtree = compute_dominators(function)
+    children = domtree.children()
+    reachable = reachable_labels(function)
+    mapping: dict[str, Value] = {}
+
+    def visit(label: str, available: dict) -> None:
+        scope: list[tuple] = []
+        block = function.blocks[label]
+        for instr in block.instructions:
+            key = _key(instr)
+            if key is None or instr.dest is None:
+                continue
+            if key in available:
+                mapping[instr.dest] = Var(available[key])
+            else:
+                available[key] = instr.dest
+                scope.append(key)
+        for child in children.get(label, ()):  # dominator-tree descent
+            if child in reachable:
+                visit(child, available)
+        for key in scope:
+            del available[key]
+
+    visit(function.entry.label, {})
+    return replace_uses_everywhere(function, mapping)

@@ -1,0 +1,45 @@
+"""Dead-code elimination.
+
+Removable: pure definitions whose result is unused — arithmetic, selects,
+phis, allocs, and loads.  A dead *load* is removable because deleting it
+affects every execution identically (invariance is preserved uniformly) and
+removing an access can never introduce an out-of-bounds access.  Stores and
+calls are never removed: stores are observable, and callees may store.
+"""
+
+from __future__ import annotations
+
+from repro.ir.function import Function
+from repro.ir.instructions import Alloc, Call, CtSel, Load, Mov, Phi, Store
+
+
+_REMOVABLE = (Mov, CtSel, Phi, Alloc, Load)
+
+
+def eliminate_dead_code(function: Function) -> bool:
+    """Iteratively drop unused pure definitions, in place."""
+    changed = False
+    while True:
+        used: set[str] = set()
+        for block in function.blocks.values():
+            for instr in block.instructions:
+                used.update(instr.used_vars())
+            if block.terminator is not None:
+                used.update(block.terminator.used_vars())
+
+        removed_any = False
+        for block in function.blocks.values():
+            kept = []
+            for instr in block.instructions:
+                if (
+                    isinstance(instr, _REMOVABLE)
+                    and instr.dest is not None
+                    and instr.dest not in used
+                ):
+                    removed_any = True
+                    continue
+                kept.append(instr)
+            block.instructions = kept
+        if not removed_any:
+            return changed
+        changed = True

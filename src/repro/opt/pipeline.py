@@ -1,0 +1,69 @@
+"""The optimisation pipeline (the paper's ``opt -O1`` stand-in).
+
+The paper reports results for -O1 and notes its findings hold for -O2, -O3
+and -Oz; this pipeline is a single cleanup level run to fixpoint, which is
+what those levels have in common for the straight-line integer code the
+repair produces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir.function import Function
+from repro.ir.module import Module
+from repro.ir.validate import validate_module
+from repro.opt.constfold import constant_fold
+from repro.opt.copyprop import propagate_copies
+from repro.opt.cse import eliminate_common_subexpressions
+from repro.opt.dce import eliminate_dead_code
+from repro.opt.simplify import simplify_algebraic
+from repro.opt.simplifycfg import simplify_cfg
+
+#: Name and implementation of each pass, in pipeline order.
+PASSES: tuple[tuple[str, object], ...] = (
+    ("simplifycfg", simplify_cfg),
+    ("constfold", constant_fold),
+    ("simplify", simplify_algebraic),
+    ("copyprop", propagate_copies),
+    ("cse", eliminate_common_subexpressions),
+    ("dce", eliminate_dead_code),
+)
+
+_MAX_ITERATIONS = 6
+
+
+@dataclass
+class OptReport:
+    """Which passes fired, per function."""
+
+    iterations: dict[str, int] = field(default_factory=dict)
+    fired: dict[str, list[str]] = field(default_factory=dict)
+
+
+def optimize_function(function: Function) -> list[str]:
+    """Run the pipeline on one function to fixpoint; returns passes that fired."""
+    fired: list[str] = []
+    for _ in range(_MAX_ITERATIONS):
+        changed = False
+        for name, pass_fn in PASSES:
+            if pass_fn(function):
+                fired.append(name)
+                changed = True
+        if not changed:
+            break
+    return fired
+
+
+def optimize(module: Module, level: int = 1, report: "OptReport | None" = None) -> Module:
+    """Optimise a copy of the module; ``level=0`` is the identity."""
+    result = module.clone()
+    if level <= 0:
+        return result
+    for function in result.functions.values():
+        fired = optimize_function(function)
+        if report is not None:
+            report.fired[function.name] = fired
+            report.iterations[function.name] = len(fired)
+    validate_module(result)
+    return result

@@ -1,0 +1,141 @@
+"""Algebraic simplification.
+
+Includes the boolean-aware identities (``b | 1 → 1``, ``b & 1 → b`` for a
+``b`` known to be 0/1) that collapse the repair pass's guard arithmetic when
+bounds are statically known — the main reason optimised repaired code is so
+much smaller than unoptimised repaired code in the paper's Figures 15/16.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.ir.function import Function
+from repro.ir.instructions import BinExpr, CtSel, Expr, Mov, UnaryExpr
+from repro.ir.values import Const, Value, Var
+from repro.opt.common import boolean_variables
+
+_ALL_ONES = Const(-1)
+
+
+def _simplify_binexpr(expr: BinExpr, booleans: set[str]) -> Optional[Expr]:
+    """Return a simpler expression, or None when nothing applies."""
+    op, lhs, rhs = expr.op, expr.lhs, expr.rhs
+
+    def is_bool(value: Value) -> bool:
+        if isinstance(value, Const):
+            return value.value in (0, 1)
+        return value.name in booleans
+
+    zero, one = Const(0), Const(1)
+
+    if op == "+":
+        if lhs == zero:
+            return rhs
+        if rhs == zero:
+            return lhs
+    elif op == "-":
+        if rhs == zero:
+            return lhs
+        if lhs == rhs:
+            return zero
+    elif op == "*":
+        if lhs == one:
+            return rhs
+        if rhs == one:
+            return lhs
+        if lhs == zero or rhs == zero:
+            return zero
+    elif op == "/":
+        if rhs == one:
+            return lhs
+    elif op == "&":
+        if lhs == zero or rhs == zero:
+            return zero
+        if lhs == rhs:
+            return lhs
+        if lhs == _ALL_ONES:
+            return rhs
+        if rhs == _ALL_ONES:
+            return lhs
+        if rhs == one and is_bool(lhs):
+            return lhs
+        if lhs == one and is_bool(rhs):
+            return rhs
+    elif op == "|":
+        if lhs == zero:
+            return rhs
+        if rhs == zero:
+            return lhs
+        if lhs == rhs:
+            return lhs
+        if (lhs == one and is_bool(rhs)) or (rhs == one and is_bool(lhs)):
+            return one
+        if lhs == _ALL_ONES or rhs == _ALL_ONES:
+            return _ALL_ONES
+    elif op == "^":
+        if lhs == zero:
+            return rhs
+        if rhs == zero:
+            return lhs
+        if lhs == rhs:
+            return zero
+    elif op in ("<<", ">>"):
+        if rhs == zero:
+            return lhs
+    elif op == "==":
+        if lhs == rhs:
+            return one
+    elif op == "!=":
+        if lhs == rhs:
+            return zero
+    elif op == "<":
+        if lhs == rhs:
+            return zero
+    elif op == "<=":
+        if lhs == rhs:
+            return one
+    elif op == ">":
+        if lhs == rhs:
+            return zero
+    elif op == ">=":
+        if lhs == rhs:
+            return one
+    return None
+
+
+def simplify_algebraic(function: Function) -> bool:
+    """Apply algebraic identities in place."""
+    booleans = boolean_variables(function)
+    changed = False
+    for block in function.blocks.values():
+        new_instructions = []
+        for instr in block.instructions:
+            if isinstance(instr, Mov) and isinstance(instr.expr, BinExpr):
+                simpler = _simplify_binexpr(instr.expr, booleans)
+                if simpler is not None:
+                    instr = Mov(instr.dest, simpler)
+                    changed = True
+            elif isinstance(instr, CtSel):
+                if instr.if_true == instr.if_false:
+                    instr = Mov(instr.dest, instr.if_true)
+                    changed = True
+                elif (
+                    instr.if_true == Const(1)
+                    and instr.if_false == Const(0)
+                    and isinstance(instr.cond, Var)
+                    and instr.cond.name in booleans
+                ):
+                    instr = Mov(instr.dest, instr.cond)
+                    changed = True
+                elif (
+                    instr.if_true == Const(0)
+                    and instr.if_false == Const(1)
+                    and isinstance(instr.cond, Var)
+                    and instr.cond.name in booleans
+                ):
+                    instr = Mov(instr.dest, UnaryExpr("!", instr.cond))
+                    changed = True
+            new_instructions.append(instr)
+        block.instructions = new_instructions
+    return changed

@@ -1,0 +1,105 @@
+"""Control-flow simplification: constant branches, unreachable blocks,
+straight-line block merging.
+
+Block merging is single-pass with incremental predecessor maintenance:
+repaired programs are chains of thousands of trivially-mergeable blocks, so
+a rescan-per-merge strategy would be quadratic.
+"""
+
+from __future__ import annotations
+
+from repro.ir.cfg import predecessor_map, remove_unreachable_blocks
+from repro.ir.function import Function
+from repro.ir.instructions import Br, Jmp, Mov, Phi
+from repro.ir.values import Const
+
+
+def _fold_constant_branches(function: Function) -> bool:
+    changed = False
+    for block in function.blocks.values():
+        terminator = block.terminator
+        if isinstance(terminator, Br):
+            if isinstance(terminator.cond, Const):
+                target = (
+                    terminator.if_true
+                    if terminator.cond.value != 0
+                    else terminator.if_false
+                )
+                block.terminator = Jmp(target)
+                changed = True
+            elif terminator.if_true == terminator.if_false:
+                block.terminator = Jmp(terminator.if_true)
+                changed = True
+    return changed
+
+
+def _relabel_phi_sources_in(block, old: str, new: str) -> None:
+    rewritten = []
+    for instr in block.instructions:
+        if isinstance(instr, Phi):
+            arms = tuple(
+                (value, new if label == old else label)
+                for value, label in instr.incomings
+            )
+            instr = Phi(instr.dest, arms)
+        rewritten.append(instr)
+    block.instructions = rewritten
+
+
+def _merge_straight_line(function: Function) -> bool:
+    """Absorb every single-predecessor jump target into its predecessor."""
+    preds = predecessor_map(function)
+    changed = False
+    for label in list(function.blocks):
+        block = function.blocks.get(label)
+        if block is None:
+            continue  # already absorbed into an earlier chain head
+        while isinstance(block.terminator, Jmp):
+            target_label = block.terminator.target
+            if target_label == block.label:
+                break
+            if preds.get(target_label) != [block.label]:
+                break
+            target = function.blocks[target_label]
+            # A single-predecessor block's phis are plain copies.
+            for instr in target.instructions:
+                if isinstance(instr, Phi):
+                    block.append(Mov(instr.dest, instr.incoming_from(block.label)))
+                else:
+                    block.append(instr)
+            block.terminator = target.terminator
+            del function.blocks[target_label]
+            del preds[target_label]
+            for successor in set(block.successors()):
+                preds[successor] = [
+                    block.label if p == target_label else p
+                    for p in preds[successor]
+                ]
+                _relabel_phi_sources_in(
+                    function.blocks[successor], target_label, block.label
+                )
+            changed = True
+    return changed
+
+
+def simplify_cfg(function: Function) -> bool:
+    """Run all CFG clean-ups, in place."""
+    changed = _fold_constant_branches(function)
+    if remove_unreachable_blocks(function):
+        changed = True
+    if _merge_straight_line(function):
+        changed = True
+    # Phis left with a single arm (after edge removal) become moves.
+    preds = predecessor_map(function)
+    for block in function.blocks.values():
+        new_instructions = []
+        for instr in block.instructions:
+            if isinstance(instr, Phi) and len(instr.incomings) == 1:
+                instr = Mov(instr.dest, instr.incomings[0][0])
+                changed = True
+            elif isinstance(instr, Phi) and len(preds[block.label]) == 1:
+                instr = Mov(instr.dest, instr.incoming_from(preds[block.label][0]))
+                changed = True
+            new_instructions.append(instr)
+        block.instructions = new_instructions
+    return changed

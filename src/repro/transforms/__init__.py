@@ -1,0 +1,27 @@
+"""IR-level preprocessing required by the repair pass."""
+
+from repro.transforms.preprocess import (
+    PreprocessError,
+    PreprocessReport,
+    call_topological_order,
+    preprocess_function,
+    preprocess_module,
+)
+from repro.transforms.single_return import ensure_single_return
+from repro.transforms.unroll_ir import (
+    IRUnrollError,
+    unroll_function_loops,
+    unroll_module_loops,
+)
+
+__all__ = [
+    "PreprocessError",
+    "PreprocessReport",
+    "call_topological_order",
+    "IRUnrollError",
+    "ensure_single_return",
+    "unroll_function_loops",
+    "unroll_module_loops",
+    "preprocess_function",
+    "preprocess_module",
+]

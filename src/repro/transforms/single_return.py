@@ -1,0 +1,48 @@
+"""Single-return canonicalisation (paper Section III-A, particularity 2).
+
+The repair rules assume a unique exit point.  This pass redirects every
+``ret e`` into a fresh exit block carrying one phi that merges the returned
+values.
+"""
+
+from __future__ import annotations
+
+from repro.ir.builder import IRBuilder
+from repro.ir.function import Function
+from repro.ir.instructions import Jmp, Phi, Ret
+from repro.ir.values import Const, Value, Var
+
+
+def ensure_single_return(function: Function) -> bool:
+    """Canonicalise in place; returns True when the function was changed."""
+    ret_blocks = [
+        block for block in function.blocks.values()
+        if isinstance(block.terminator, Ret)
+    ]
+    if not ret_blocks:
+        raise ValueError(f"@{function.name} has no return")
+    if len(ret_blocks) == 1:
+        return False
+
+    builder = IRBuilder(function, name_prefix="retv")
+    incomings: list[tuple[Value, str]] = []
+    for block in ret_blocks:
+        terminator = block.terminator
+        assert isinstance(terminator, Ret)
+        expr = terminator.expr
+        if isinstance(expr, (Var, Const)):
+            value: Value = expr
+        else:
+            block.terminator = None  # re-open the block for the builder
+            builder.position_at(block)
+            value = builder.mov(expr)
+        incomings.append((value, block.label))
+
+    exit_block = builder.new_block("ret.exit")
+    result = Phi(builder.fresh("ret"), tuple(incomings))
+    exit_block.append(result)
+    exit_block.terminator = Ret(Var(result.dest))
+
+    for block in ret_blocks:
+        block.terminator = Jmp(exit_block.label)
+    return True

@@ -1,0 +1,33 @@
+"""Isochronicity and memory-safety verification (the validation layer)."""
+
+from repro.verify.dudect import (
+    DudectReport,
+    T_THRESHOLD,
+    Welch,
+    dudect_test,
+    make_array_randomizer,
+)
+from repro.verify.covenant import CovenantReport, adapt_inputs, check_covenant
+from repro.verify.isochronicity import (
+    CacheInvarianceReport,
+    InvarianceReport,
+    check_cache_invariance,
+    check_invariance,
+    compare_semantics,
+)
+
+__all__ = [
+    "CacheInvarianceReport",
+    "DudectReport",
+    "T_THRESHOLD",
+    "Welch",
+    "dudect_test",
+    "make_array_randomizer",
+    "CovenantReport",
+    "InvarianceReport",
+    "adapt_inputs",
+    "check_cache_invariance",
+    "check_covenant",
+    "check_invariance",
+    "compare_semantics",
+]

@@ -1,0 +1,109 @@
+"""Covenant 1 checking — the paper's end-to-end guarantee, as one call.
+
+Covenant 1 (paper Section II-C): for the repair transformation ``T`` and a
+program ``P``:
+
+1. ``T`` is memory safe — ``T(P)`` has no out-of-bounds access that ``P``
+   did not have, for any input respecting the contracts;
+2. ``T(P)`` is operation invariant;
+3. ``T(P)`` is data invariant *when P is data consistent* (and, by the
+   Section III-C compromise, whenever no input indexes memory and all
+   contracts were found).
+
+``check_covenant`` repairs a function, runs original and repaired versions
+on caller-supplied inputs, and reports each clause plus semantic
+preservation (Theorem 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.analysis.data_consistency import classify_data_consistency
+from repro.core.contracts import build_signature_map
+from repro.core.repair import RepairOptions, repair_module
+from repro.ir.module import Module
+from repro.verify.isochronicity import check_invariance, compare_semantics
+
+
+@dataclass
+class CovenantReport:
+    function: str
+    semantics_preserved: bool
+    operation_invariant: bool
+    data_invariant: bool
+    memory_safe: bool
+    predicted_data_invariant: bool
+    inherently_data_inconsistent: bool
+
+    @property
+    def holds(self) -> bool:
+        """All unconditional clauses of Covenant 1, plus correctness."""
+        clauses = (
+            self.semantics_preserved
+            and self.operation_invariant
+            and self.memory_safe
+        )
+        if self.predicted_data_invariant:
+            return clauses and self.data_invariant
+        return clauses
+
+
+def adapt_inputs(
+    module: Module,
+    name: str,
+    inputs: Sequence[Sequence[object]],
+    cond: int = 1,
+) -> list[list[object]]:
+    """Rewrite argument lists for a *repaired* function's interface.
+
+    Array arguments get their actual length appended (satisfying the
+    contract exactly); the trailing path-condition argument, when the
+    repaired signature has one, receives ``cond``.
+    """
+    signatures = build_signature_map(module)
+    contract = signatures[name]
+    adapted: list[list[object]] = []
+    for args in inputs:
+        new_args: list[object] = []
+        for param, arg in zip(contract.original_params, args):
+            new_args.append(arg)
+            if param.is_pointer:
+                if not isinstance(arg, list):
+                    raise TypeError(
+                        f"argument for pointer parameter {param.name} must be "
+                        "a list"
+                    )
+                new_args.append(len(arg))
+        if contract.cond_param is not None:
+            new_args.append(cond)
+        adapted.append(new_args)
+    return adapted
+
+
+def check_covenant(
+    module: Module,
+    name: str,
+    inputs: Sequence[Sequence[object]],
+    options: Optional[RepairOptions] = None,
+    repaired: Optional[Module] = None,
+) -> CovenantReport:
+    """Repair ``@name`` (unless ``repaired`` is given) and verify Covenant 1."""
+    if repaired is None:
+        repaired = repair_module(module, options)
+    repaired_inputs = adapt_inputs(module, name, inputs)
+
+    semantics = compare_semantics(module, repaired, name, inputs, repaired_inputs)
+    invariance = check_invariance(repaired, name, repaired_inputs)
+    consistency = classify_data_consistency(module, name)
+
+    return CovenantReport(
+        function=name,
+        semantics_preserved=semantics,
+        operation_invariant=invariance.operation_invariant,
+        data_invariant=invariance.data_invariant,
+        memory_safe=invariance.memory_safe,
+        predicted_data_invariant=consistency.repaired_data_invariant,
+        inherently_data_inconsistent=consistency.inherently_inconsistent,
+    )

@@ -1,0 +1,143 @@
+"""A dudect-style statistical timing-leak tester.
+
+The paper benchmarks against routines distributed with dudect (Reparaz,
+Balasch, Verbauwhede: "Dude, is my code constant time?", DATE 2017), the
+standard black-box leak detector: run the target on two input classes —
+fixed vs random — collect timings, and apply Welch's t-test; a large |t|
+means the timing distribution depends on the input class, i.e. a leak.
+
+Here the "timings" are the deterministic simulated cycle counts, so the
+test is sharper than on hardware: any |t| above the threshold is a real
+dependence, and truly isochronous code yields *identical* cycle counts
+(t = 0).  A noise model is still included (``jitter``) so the statistical
+machinery is exercised the way dudect uses it on real machines.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from repro.exec.interpreter import Interpreter
+from repro.ir.module import Module
+
+#: dudect's conventional decision threshold for |t|.
+T_THRESHOLD = 4.5
+
+
+@dataclass
+class Welch:
+    """Welch's t-statistic between two sample sets, computed incrementally."""
+
+    n: list[int] = field(default_factory=lambda: [0, 0])
+    mean: list[float] = field(default_factory=lambda: [0.0, 0.0])
+    m2: list[float] = field(default_factory=lambda: [0.0, 0.0])
+
+    def push(self, group: int, value: float) -> None:
+        self.n[group] += 1
+        delta = value - self.mean[group]
+        self.mean[group] += delta / self.n[group]
+        self.m2[group] += delta * (value - self.mean[group])
+
+    def statistic(self) -> float:
+        if min(self.n) < 2:
+            return 0.0
+        var = [
+            self.m2[g] / (self.n[g] - 1) for g in (0, 1)
+        ]
+        denominator = math.sqrt(
+            var[0] / self.n[0] + var[1] / self.n[1]
+        )
+        if denominator == 0.0:
+            # Zero variance in both groups: deterministic timings.  Equal
+            # means is perfect constant-time; different means is a leak with
+            # infinite confidence.
+            return 0.0 if self.mean[0] == self.mean[1] else math.inf
+        return (self.mean[0] - self.mean[1]) / denominator
+
+
+@dataclass
+class DudectReport:
+    function: str
+    measurements: int
+    t_statistic: float
+    max_cycles: int
+    min_cycles: int
+
+    @property
+    def leaking(self) -> bool:
+        return abs(self.t_statistic) > T_THRESHOLD
+
+    def summary(self) -> str:
+        verdict = "LEAKING" if self.leaking else "constant time"
+        return (
+            f"@{self.function}: |t| = {abs(self.t_statistic):.2f} over "
+            f"{self.measurements} measurements -> {verdict}"
+        )
+
+
+def dudect_test(
+    module: Module,
+    name: str,
+    fixed_inputs: Sequence[object],
+    random_inputs: Callable[[random.Random], Sequence[object]],
+    measurements: int = 200,
+    jitter: float = 0.0,
+    seed: int = 0,
+    strict_memory: bool = True,
+) -> DudectReport:
+    """Fixed-vs-random timing test on ``@name``.
+
+    ``fixed_inputs`` is one argument list (the fixed class);
+    ``random_inputs`` draws an argument list for the random class.  With
+    ``jitter > 0`` Gaussian noise of that many cycles is added to each
+    measurement, emulating a real machine.
+    """
+    rng = random.Random(seed)
+    interpreter = Interpreter(module, record_trace=False,
+                              strict_memory=strict_memory)
+    welch = Welch()
+    low = high = None
+    for index in range(measurements):
+        group = index % 2
+        if group == 0:
+            args = [list(a) if isinstance(a, list) else a
+                    for a in fixed_inputs]
+        else:
+            args = list(random_inputs(rng))
+        cycles = interpreter.run(name, args).cycles
+        low = cycles if low is None else min(low, cycles)
+        high = cycles if high is None else max(high, cycles)
+        sample = cycles + (rng.gauss(0.0, jitter) if jitter > 0 else 0.0)
+        welch.push(group, sample)
+    assert low is not None and high is not None
+    return DudectReport(
+        function=name,
+        measurements=measurements,
+        t_statistic=welch.statistic(),
+        max_cycles=high,
+        min_cycles=low,
+    )
+
+
+def make_array_randomizer(
+    shapes: Sequence[object],
+) -> Callable[[random.Random], list[object]]:
+    """Build a random-class generator from an argument template.
+
+    Each element of ``shapes`` is either an int (copied verbatim — a public
+    argument) or a list whose length and element magnitude are mimicked.
+    """
+    def generate(rng: random.Random) -> list[object]:
+        args: list[object] = []
+        for shape in shapes:
+            if isinstance(shape, list):
+                bound = max([abs(v) for v in shape] + [255])
+                args.append([rng.randint(0, bound) for _ in shape])
+            else:
+                args.append(shape)
+        return args
+
+    return generate

@@ -1,0 +1,153 @@
+"""Dynamic isochronicity checking.
+
+The paper validates its Covenant 1 by running the repaired programs under
+cachegrind/valgrind and comparing cache behaviour across inputs.  Here the
+tracing interpreter observes the exact address sequences, so the checks are
+*stronger*: instead of comparing aggregate hit/miss counts we compare the
+full operation and data traces, and additionally offer the cache-level
+check for fidelity with the paper's methodology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.cache.cache import CacheHierarchy
+from repro.exec.interpreter import ExecutionResult, Interpreter
+from repro.exec.memory import AccessViolation
+from repro.ir.module import Module
+
+
+@dataclass
+class InvarianceReport:
+    """Result of comparing executions of one function across inputs."""
+
+    function: str
+    runs: int = 0
+    operation_invariant: bool = True
+    data_invariant: bool = True
+    data_consistent: bool = True
+    memory_safe: bool = True
+    violations: list[AccessViolation] = field(default_factory=list)
+    #: cycle counts per run — equal cycles is the coarse "timing" signal
+    cycles: list[int] = field(default_factory=list)
+
+    @property
+    def isochronous(self) -> bool:
+        """Properties 1 and 2 of the paper both hold."""
+        return self.operation_invariant and self.data_invariant
+
+    def summary(self) -> str:
+        flags = [
+            f"operation_invariant={self.operation_invariant}",
+            f"data_invariant={self.data_invariant}",
+            f"data_consistent={self.data_consistent}",
+            f"memory_safe={self.memory_safe}",
+        ]
+        return f"@{self.function} over {self.runs} runs: " + ", ".join(flags)
+
+
+def check_invariance(
+    module: Module,
+    name: str,
+    inputs: Sequence[Sequence[object]],
+    strict_memory: bool = False,
+) -> InvarianceReport:
+    """Run ``@name`` on every input and compare the traces.
+
+    ``strict_memory=False`` (the default) records out-of-bounds accesses
+    instead of raising, so the report can say "not memory safe" rather than
+    aborting — which is how the evaluation exhibits SC-Eliminator's unsafety.
+    """
+    report = InvarianceReport(name)
+    interpreter = Interpreter(module, strict_memory=strict_memory)
+    first_ops = None
+    first_data = None
+    first_footprint = None
+    for args in inputs:
+        result = interpreter.run(name, list(args))
+        report.runs += 1
+        report.cycles.append(result.cycles)
+        if result.violations:
+            report.memory_safe = False
+            report.violations.extend(result.violations)
+        trace = result.trace
+        assert trace is not None
+        if first_ops is None:
+            first_ops = trace.operation_signature()
+            first_data = trace.data_signature()
+            first_footprint = trace.data_footprint()
+            continue
+        if trace.operation_signature() != first_ops:
+            report.operation_invariant = False
+        if trace.data_signature() != first_data:
+            report.data_invariant = False
+        if trace.data_footprint() != first_footprint:
+            report.data_consistent = False
+    return report
+
+
+@dataclass
+class CacheInvarianceReport:
+    """The paper's literal methodology: input-independent cache counters."""
+
+    function: str
+    signatures: list[tuple[int, ...]] = field(default_factory=list)
+
+    @property
+    def cache_invariant(self) -> bool:
+        return len(set(self.signatures)) <= 1
+
+
+def check_cache_invariance(
+    module: Module,
+    name: str,
+    inputs: Sequence[Sequence[object]],
+    strict_memory: bool = False,
+) -> CacheInvarianceReport:
+    """Run under the cache simulator and compare hit/miss signatures."""
+    report = CacheInvarianceReport(name)
+    for args in inputs:
+        hierarchy = CacheHierarchy()
+        interpreter = Interpreter(
+            module,
+            strict_memory=strict_memory,
+            record_trace=False,
+            cache=hierarchy,
+        )
+        interpreter.run(name, list(args))
+        report.signatures.append(hierarchy.report().signature())
+    return report
+
+
+def compare_semantics(
+    original: Module,
+    transformed: Module,
+    name: str,
+    original_inputs: Sequence[Sequence[object]],
+    transformed_inputs: Sequence[Sequence[object]],
+    strict_original: bool = True,
+) -> bool:
+    """Check Theorem 1 dynamically: same outputs for corresponding inputs.
+
+    The transformed function usually has extra parameters (contracts), so
+    the two input sequences are given separately; they must correspond
+    pairwise.
+    """
+    interpreter_a = Interpreter(original, strict_memory=strict_original)
+    interpreter_b = Interpreter(transformed, strict_memory=False)
+    for args_a, args_b in zip(original_inputs, transformed_inputs):
+        result_a = interpreter_a.run(name, list(args_a))
+        result_b = interpreter_b.run(name, list(args_b))
+        if result_a.value != result_b.value:
+            return False
+        # Contract parameters are plain ints, so the array arguments of both
+        # versions appear in the same relative order; compare them pairwise.
+        arrays_a = [a for a in result_a.arrays if a is not None]
+        arrays_b = [b for b in result_b.arrays if b is not None]
+        if arrays_a != arrays_b:
+            return False
+        if result_a.global_state != result_b.global_state:
+            return False
+    return True

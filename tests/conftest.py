@@ -1,0 +1,72 @@
+"""Shared fixtures: canonical example programs from the paper."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.frontend import compile_source
+from repro.ir import parse_module
+
+#: The unrolled oFdF of the paper's Fig. 5, written directly in the IR.
+OFDF_IR = """
+func @ofdf(a: ptr, b: ptr) {
+l0:
+  x0 = load a[0]
+  y0 = load b[0]
+  p0 = mov x0 != y0
+  br p0, l4, l1
+l1:
+  x1 = load a[1]
+  y1 = load b[1]
+  p1 = mov x1 != y1
+  br p1, l4, l3
+l3:
+  jmp l5
+l4:
+  jmp l5
+l5:
+  r = phi [1, l3], [0, l4]
+  ret r
+}
+"""
+
+#: MiniC version of the paper's Fig. 1 quartet.
+FIG1_MINIC = """
+uint ofdf(secret uint *a, secret uint *b) {
+  for (uint i = 0; i < 2; i = i + 1) {
+    if (a[i] != b[i]) { return 0; }
+  }
+  return 1;
+}
+uint ofdt(secret uint *a, secret uint *b) {
+  uint r = 1;
+  for (uint i = 0; i < 2; i = i + 1) {
+    if (a[i] != b[i]) { r = 0; }
+  }
+  return r;
+}
+uint otdf(uint *a, uint *b, secret uint *t) {
+  uint r = 1;
+  for (uint i = 0; i < 2; i = i + 1) {
+    r = (a[t[i]] == b[t[i]]) ? r : 0;
+  }
+  return r;
+}
+uint otdt(secret uint *a, secret uint *b) {
+  uint r = 1;
+  for (uint i = 0; i < 2; i = i + 1) {
+    r = (a[i] == b[i]) ? r : 0;
+  }
+  return r;
+}
+"""
+
+
+@pytest.fixture
+def ofdf_module():
+    return parse_module(OFDF_IR)
+
+
+@pytest.fixture
+def fig1_module():
+    return compile_source(FIG1_MINIC, name="fig1")

@@ -1,0 +1,171 @@
+"""The benchmark suite itself: registry coherence, reference vectors, and
+a fast covenant sweep over the cheap benchmarks (the heavyweight sweep is
+``benchmarks/bench_validation_covenant.py``)."""
+
+import pytest
+
+from repro.bench.suite import BENCHMARKS, get_benchmark, load_module
+from repro.exec import Interpreter
+from repro.verify import check_covenant
+
+FAST_BENCHMARKS = (
+    "ofdf", "ofdt", "otdf", "otdt", "tea", "xtea", "raiden", "speck",
+    "simon", "rc5", "des", "loki91", "cast5", "khazad",
+)
+
+
+class TestRegistry:
+    def test_twenty_four_benchmarks(self):
+        assert len(BENCHMARKS) == 24
+
+    def test_names_unique(self):
+        names = [b.name for b in BENCHMARKS]
+        assert len(set(names)) == len(names)
+
+    def test_categories_match_paper_composition(self):
+        by_category = {}
+        for bench in BENCHMARKS:
+            by_category.setdefault(bench.category, []).append(bench.name)
+        assert len(by_category["ctbench"]) == 3  # the paper's CTBench trio
+        assert len(by_category["synthetic"]) == 4  # Fig. 1 quartet
+
+    def test_expected_sce_failures(self):
+        errors = [b.name for b in BENCHMARKS if b.sce_expected == "error"]
+        incorrect = [b.name for b in BENCHMARKS
+                     if b.sce_expected == "incorrect"]
+        assert sorted(errors) == [
+            "ctbench_memcmp", "ctbench_modexp", "ctbench_select",
+        ]
+        assert sorted(incorrect) == ["loki91", "ofdf"]
+
+    def test_inherent_inconsistency_flags_are_exclusive(self):
+        for bench in BENCHMARKS:
+            assert bench.data_invariant != bench.inherently_inconsistent, (
+                f"{bench.name}: a benchmark is either repairable to data "
+                "invariance or inherently inconsistent"
+            )
+
+    def test_inputs_are_deterministic(self):
+        bench = get_benchmark("tea")
+        assert bench.make_inputs(3) == bench.make_inputs(3)
+        assert bench.make_inputs(3, seed=1) != bench.make_inputs(3, seed=2)
+
+    def test_inputs_match_arg_specs(self):
+        for bench in BENCHMARKS:
+            for args in bench.make_inputs(2):
+                assert len(args) == len(bench.args)
+
+    @pytest.mark.parametrize("name", [b.name for b in BENCHMARKS])
+    def test_every_benchmark_compiles_and_runs(self, name):
+        bench = get_benchmark(name)
+        module = load_module(name)
+        interp = Interpreter(module, record_trace=False)
+        result = interp.run(bench.entry, bench.make_inputs(1)[0])
+        assert isinstance(result.value, int)
+
+
+class TestReferenceVectors:
+    def test_aes_fips197(self):
+        module = load_module("aes")
+        key = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+        plaintext = bytes.fromhex("00112233445566778899aabbccddeeff")
+        round_keys = _aes_expand(list(key))
+        block = [int.from_bytes(plaintext[4 * i: 4 * i + 4], "big")
+                 for i in range(4)]
+        result = Interpreter(module, record_trace=False).run(
+            "aes128_encrypt", [block, round_keys]
+        )
+        ciphertext = b"".join(v.to_bytes(4, "big") for v in result.arrays[0])
+        assert ciphertext.hex() == "69c4e0d86a7b0430d8cdb78070b4c55a"
+
+    def test_tea_reference(self):
+        module = load_module("tea")
+        v, k = [0x0123_4567, 0x89AB_CDEF], [0xA, 0xB, 0xC, 0xD]
+        result = Interpreter(module, record_trace=False).run(
+            "tea_encrypt", [list(v), list(k)]
+        )
+        assert result.arrays[0] == _tea_reference(v, k)
+
+    def test_xtea_reference(self):
+        module = load_module("xtea")
+        v, k = [0xDEAD_BEEF, 0x0BAD_F00D], [1, 2, 3, 4]
+        result = Interpreter(module, record_trace=False).run(
+            "xtea_encrypt", [list(v), list(k)]
+        )
+        assert result.arrays[0] == _xtea_reference(v, k)
+
+    def test_speck_reference(self):
+        module = load_module("speck")
+        block = [0x3B72_6574, 0x7475_432D]
+        keys = [(i * 0x9E3779B9) & 0xFFFFFFFF for i in range(27)]
+        result = Interpreter(module, record_trace=False).run(
+            "speck_encrypt", [list(block), list(keys)]
+        )
+        assert result.arrays[0] == _speck_reference(block, keys)
+
+
+class TestFastCovenantSweep:
+    @pytest.mark.parametrize("name", FAST_BENCHMARKS)
+    def test_covenant_holds(self, name):
+        bench = get_benchmark(name)
+        module = load_module(name)
+        report = check_covenant(module, bench.entry, bench.make_inputs(2))
+        assert report.semantics_preserved, name
+        assert report.operation_invariant, name
+        assert report.memory_safe, name
+        if bench.data_invariant:
+            assert report.data_invariant, name
+
+
+# -- pure-python references ----------------------------------------------------
+
+_M32 = 0xFFFFFFFF
+
+
+def _tea_reference(v, k):
+    v0, v1 = v
+    total = 0
+    delta = 0x9E3779B9
+    for _ in range(32):
+        total = (total + delta) & _M32
+        v0 = (v0 + ((((v1 << 4) & _M32) + k[0]) ^ (v1 + total)
+                    ^ ((v1 >> 5) + k[1]))) & _M32
+        v1 = (v1 + ((((v0 << 4) & _M32) + k[2]) ^ (v0 + total)
+                    ^ ((v0 >> 5) + k[3]))) & _M32
+    return [v0, v1]
+
+
+def _xtea_reference(v, k):
+    v0, v1 = v
+    total = 0
+    delta = 0x9E3779B9
+    for _ in range(32):
+        v0 = (v0 + ((((v1 << 4) ^ (v1 >> 5)) + v1)
+                    ^ ((total + k[total & 3]) & _M32))) & _M32
+        total = (total + delta) & _M32
+        v1 = (v1 + ((((v0 << 4) ^ (v0 >> 5)) + v0)
+                    ^ ((total + k[(total >> 11) & 3]) & _M32))) & _M32
+    return [v0, v1]
+
+
+def _speck_reference(block, keys):
+    x, y = block
+    for key in keys:
+        x = ((x >> 8) | (x << 24)) & _M32
+        x = ((x + y) & _M32) ^ key
+        y = (((y << 3) | (y >> 29)) & _M32) ^ x
+    return [x, y]
+
+
+def _aes_expand(key):
+    sbox_src = load_module("aes").globals["aes_sbox"].initial_contents()
+    rcon = [1, 2, 4, 8, 16, 32, 64, 128, 27, 54]
+    words = [list(key[4 * i: 4 * i + 4]) for i in range(4)]
+    for i in range(4, 44):
+        temp = list(words[i - 1])
+        if i % 4 == 0:
+            temp = temp[1:] + temp[:1]
+            temp = [sbox_src[b] for b in temp]
+            temp[0] ^= rcon[i // 4 - 1]
+        words.append([a ^ b for a, b in zip(words[i - 4], temp)])
+    return [int.from_bytes(bytes(w), "big") for w in words]

@@ -1,0 +1,78 @@
+"""Property-based tests of the word semantics."""
+
+from hypothesis import given, strategies as st
+
+from repro.ir.ops import WORD_BITS, eval_binop, eval_unop, to_unsigned, wrap
+
+words = st.integers(min_value=-(1 << (WORD_BITS - 1)),
+                    max_value=(1 << (WORD_BITS - 1)) - 1)
+any_ints = st.integers(min_value=-(1 << 80), max_value=1 << 80)
+
+
+class TestWrap:
+    @given(any_ints)
+    def test_wrap_is_idempotent(self, x):
+        assert wrap(wrap(x)) == wrap(x)
+
+    @given(any_ints)
+    def test_wrap_lands_in_range(self, x):
+        w = wrap(x)
+        assert -(1 << (WORD_BITS - 1)) <= w < (1 << (WORD_BITS - 1))
+
+    @given(any_ints)
+    def test_wrap_preserves_value_mod_2n(self, x):
+        assert wrap(x) % (1 << WORD_BITS) == x % (1 << WORD_BITS)
+
+    @given(words)
+    def test_unsigned_round_trip(self, x):
+        assert wrap(to_unsigned(x)) == x
+
+
+class TestAlgebra:
+    @given(words, words)
+    def test_add_commutes(self, a, b):
+        assert eval_binop("+", a, b) == eval_binop("+", b, a)
+
+    @given(words, words)
+    def test_mul_commutes(self, a, b):
+        assert eval_binop("*", a, b) == eval_binop("*", b, a)
+
+    @given(words, words, words)
+    def test_add_associates(self, a, b, c):
+        left = eval_binop("+", eval_binop("+", a, b), c)
+        right = eval_binop("+", a, eval_binop("+", b, c))
+        assert left == right
+
+    @given(words, words)
+    def test_sub_is_add_of_negation(self, a, b):
+        assert eval_binop("-", a, b) == eval_binop("+", a, eval_unop("-", b))
+
+    @given(words)
+    def test_xor_self_is_zero(self, a):
+        assert eval_binop("^", a, a) == 0
+
+    @given(words)
+    def test_double_bitwise_not_is_identity(self, a):
+        assert eval_unop("~", eval_unop("~", a)) == a
+
+    @given(words, words)
+    def test_comparison_trichotomy(self, a, b):
+        lt = eval_binop("<", a, b)
+        eq = eval_binop("==", a, b)
+        gt = eval_binop(">", a, b)
+        assert lt + eq + gt == 1
+
+    @given(words, words)
+    def test_division_identity_when_defined(self, a, b):
+        if b != 0:
+            q = eval_binop("/", a, b)
+            r = eval_binop("%", a, b)
+            assert wrap(q * b + r) == a
+
+    @given(words, st.integers(min_value=0, max_value=WORD_BITS - 1))
+    def test_shift_right_matches_unsigned_division(self, a, n):
+        assert eval_binop(">>", a, n) == wrap(to_unsigned(a) >> n)
+
+    @given(words)
+    def test_logical_not_is_boolean(self, a):
+        assert eval_unop("!", a) in (0, 1)

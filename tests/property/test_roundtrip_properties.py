@@ -1,0 +1,74 @@
+"""Round-trip and structural properties of the textual IR and the traces."""
+
+from hypothesis import HealthCheck, given, settings
+
+from repro.exec import Interpreter
+from repro.ir import module_to_str, parse_module, validate_module
+from repro.transforms import preprocess_module
+
+from tests.property.generators import argument_lists, ir_modules
+
+_SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestPrinterParser:
+    @_SETTINGS
+    @given(ir_modules())
+    def test_print_parse_print_is_stable(self, module):
+        printed = module_to_str(module)
+        reparsed = parse_module(printed)
+        assert module_to_str(reparsed) == printed
+
+    @_SETTINGS
+    @given(ir_modules(), argument_lists())
+    def test_reparsed_module_behaves_identically(self, module, args):
+        reparsed = parse_module(module_to_str(module))
+        run_a = Interpreter(module, strict_memory=False).run(
+            "f", [list(args[0]), args[1], args[2]]
+        )
+        run_b = Interpreter(reparsed, strict_memory=False).run(
+            "f", [list(args[0]), args[1], args[2]]
+        )
+        assert run_a.value == run_b.value
+        assert run_a.arrays == run_b.arrays
+
+
+class TestPreprocessing:
+    @_SETTINGS
+    @given(ir_modules())
+    def test_preprocessed_module_validates(self, module):
+        work = module.clone()
+        preprocess_module(work)
+        validate_module(work)
+
+    @_SETTINGS
+    @given(ir_modules(), argument_lists())
+    def test_preprocessing_preserves_behaviour(self, module, args):
+        work = module.clone()
+        preprocess_module(work)
+        run_a = Interpreter(module, strict_memory=False).run(
+            "f", [list(args[0]), args[1], args[2]]
+        )
+        run_b = Interpreter(work, strict_memory=False).run(
+            "f", [list(args[0]), args[1], args[2]]
+        )
+        assert run_a.value == run_b.value
+        assert run_a.arrays == run_b.arrays
+
+
+class TestDeterminism:
+    @_SETTINGS
+    @given(ir_modules(), argument_lists())
+    def test_execution_is_deterministic(self, module, args):
+        interpreter = Interpreter(module, strict_memory=False)
+        first = interpreter.run("f", [list(args[0]), args[1], args[2]])
+        second = interpreter.run("f", [list(args[0]), args[1], args[2]])
+        assert first.value == second.value
+        assert first.cycles == second.cycles
+        assert (first.trace.operation_signature()
+                == second.trace.operation_signature())
+        assert first.trace.data_signature() == second.trace.data_signature()

@@ -1,0 +1,120 @@
+"""Symbolic array-size analysis (Paisante-style, paper Section III-C2)."""
+
+from repro.analysis import infer_array_sizes, size_at_call_site
+from repro.ir import Const, Var, parse_module
+from repro.ir.instructions import BinExpr
+
+
+def sizes_of(text: str, name: str = "f", contracts=None):
+    module = parse_module(text)
+    return infer_array_sizes(module, module.function(name), contracts)
+
+
+class TestSources:
+    def test_global_has_constant_size(self):
+        sizes = sizes_of("""
+        global @tab[16]
+        func @f() {
+        entry:
+          x = load tab[0]
+          ret x
+        }
+        """)
+        assert sizes["tab"] == Const(16)
+
+    def test_alloc_size_is_symbolic(self):
+        sizes = sizes_of("""
+        func @f(n: int) {
+        entry:
+          buf = alloc n + 1
+          ret 0
+        }
+        """)
+        assert sizes["buf"] == BinExpr("+", Var("n"), Const(1))
+
+    def test_param_without_contract_is_unknown(self):
+        sizes = sizes_of("func @f(a: ptr) { entry: ret 0 }")
+        assert sizes["a"] is None
+
+    def test_param_with_contract_uses_length_param(self):
+        sizes = sizes_of(
+            "func @f(a: ptr, a_n: int) { entry: ret 0 }",
+            contracts={"a": "a_n"},
+        )
+        assert sizes["a"] == Var("a_n")
+
+    def test_pointer_copy_propagates_size(self):
+        sizes = sizes_of("""
+        func @f() {
+        entry:
+          buf = alloc 8
+          alias = mov buf
+          ret 0
+        }
+        """)
+        assert sizes["alias"] == Const(8)
+
+
+class TestJoins:
+    def test_ctsel_of_equal_sizes_keeps_size(self):
+        sizes = sizes_of("""
+        func @f(c: int) {
+        entry:
+          a = alloc 4
+          b = alloc 4
+          p = ctsel c, a, b
+          ret 0
+        }
+        """)
+        assert sizes["p"] == Const(4)
+
+    def test_ctsel_of_constant_sizes_takes_minimum(self):
+        sizes = sizes_of("""
+        func @f(c: int) {
+        entry:
+          a = alloc 4
+          b = alloc 8
+          p = ctsel c, a, b
+          ret 0
+        }
+        """)
+        assert sizes["p"] == Const(4)
+
+    def test_join_with_unknown_is_unknown(self):
+        sizes = sizes_of("""
+        func @f(c: int, q: ptr) {
+        entry:
+          a = alloc 4
+          p = ctsel c, a, q
+          ret 0
+        }
+        """)
+        assert sizes["p"] is None
+
+    def test_phi_join(self):
+        sizes = sizes_of("""
+        func @f(c: int) {
+        entry:
+          a = alloc 4
+          b = alloc 4
+          br c, l, r
+        l:
+          jmp join
+        r:
+          jmp join
+        join:
+          p = phi [a, l], [b, r]
+          ret 0
+        }
+        """)
+        assert sizes["p"] == Const(4)
+
+
+class TestCallSites:
+    def test_size_at_call_site_for_known_pointer(self):
+        sizes = {"buf": Const(8)}
+        assert size_at_call_site(sizes, Var("buf")) == Const(8)
+
+    def test_size_at_call_site_for_unknown(self):
+        assert size_at_call_site({}, Var("mystery")) is None
+        assert size_at_call_site({}, Const(0)) is None

@@ -1,0 +1,259 @@
+"""The SC-Eliminator reimplementation: inlining, preloading, if-conversion,
+and its documented defects."""
+
+import pytest
+
+from repro.baseline import (
+    InlineBudgetExceeded,
+    PRELOAD_SINK,
+    SCEliminatorOptions,
+    SCEliminatorStats,
+    UnsupportedProgramError,
+    inline_all_calls,
+    insert_preloads,
+    referenced_tables,
+    sc_eliminate,
+)
+from repro.exec import Interpreter
+from repro.ir import parse_module, validate_module
+from repro.transforms import preprocess_module
+
+from tests.conftest import OFDF_IR
+
+
+class TestInliner:
+    CALLER = """
+    func @double(x: int) { entry: ret x * 2 }
+    func @f(a: int) {
+    entry:
+      u = call @double(a)
+      v = call @double(u)
+      ret v + 1
+    }
+    """
+
+    def test_inlines_and_preserves_semantics(self):
+        module = parse_module(self.CALLER)
+        preprocess_module(module)
+        assert inline_all_calls(module) == 2
+        validate_module(module)
+        assert Interpreter(module).run("f", [5]).value == 21
+
+    def test_inlined_function_has_no_calls(self):
+        from repro.ir.instructions import Call
+
+        module = parse_module(self.CALLER)
+        preprocess_module(module)
+        inline_all_calls(module)
+        function = module.function("f")
+        assert not any(
+            isinstance(i, Call) for _, i in function.iter_instructions()
+        )
+
+    def test_inlines_branchy_callee(self):
+        module = parse_module("""
+        func @absdiff(a: int, b: int) {
+        entry:
+          p = mov a < b
+          br p, lt, ge
+        lt:
+          x = mov b - a
+          jmp done
+        ge:
+          y = mov a - b
+          jmp done
+        done:
+          r = phi [x, lt], [y, ge]
+          ret r
+        }
+        func @f(a: int, b: int) {
+        entry:
+          d = call @absdiff(a, b)
+          ret d
+        }
+        """)
+        preprocess_module(module)
+        inline_all_calls(module)
+        validate_module(module)
+        interp = Interpreter(module)
+        assert interp.run("f", [3, 10]).value == 7
+        assert interp.run("f", [10, 3]).value == 7
+
+    def test_inline_with_memory_and_globals(self):
+        module = parse_module("""
+        global @g[2]
+        func @bump(p: ptr, i: int) {
+        entry:
+          x = load p[i]
+          y = mov x + 1
+          store y, p[i]
+          t = load g[0]
+          ret t
+        }
+        func @f(a: ptr) {
+        entry:
+          r1 = call @bump(a, 0)
+          r2 = call @bump(a, 0)
+          ret r2
+        }
+        """)
+        preprocess_module(module)
+        inline_all_calls(module)
+        validate_module(module)
+        result = Interpreter(module).run("f", [[5]])
+        assert result.arrays[0] == [7]
+
+    def test_budget_exceeded(self):
+        module = parse_module(self.CALLER)
+        preprocess_module(module)
+        with pytest.raises(InlineBudgetExceeded):
+            inline_all_calls(module, budget=3)
+
+    def test_nested_call_chains_inline_callees_first(self):
+        module = parse_module("""
+        func @a(x: int) { entry: ret x + 1 }
+        func @b(x: int) {
+        entry:
+          r = call @a(x)
+          ret r * 2
+        }
+        func @f(x: int) {
+        entry:
+          r = call @b(x)
+          ret r
+        }
+        """)
+        preprocess_module(module)
+        inline_all_calls(module)
+        assert Interpreter(module).run("f", [4]).value == 10
+
+
+class TestPreload:
+    MODULE = """
+    const global @sbox[4] = [9, 8, 7, 6]
+    global @state[4]
+    func @f(k: int) {
+    entry:
+      x = load sbox[k]
+      store x, state[0]
+      ret x
+    }
+    """
+
+    def test_only_const_tables_preloaded(self):
+        module = parse_module(self.MODULE)
+        tables = referenced_tables(module.function("f"), module)
+        assert [t.name for t in tables] == ["sbox"]
+
+    def test_preload_inserts_one_load_per_cell(self):
+        module = parse_module(self.MODULE)
+        count = insert_preloads(module.function("f"), module)
+        assert count == 4
+        assert PRELOAD_SINK in module.globals
+        validate_module(module)
+
+    def test_preload_is_not_dead_code(self):
+        from repro.opt import optimize
+
+        module = parse_module(self.MODULE)
+        insert_preloads(module.function("f"), module)
+        optimized = optimize(module)
+        from repro.ir.instructions import Load
+
+        loads = [
+            i for _, i in optimized.function("f").iter_instructions()
+            if isinstance(i, Load)
+        ]
+        # The 4 preload loads survive -O1 because they feed the sink store.
+        assert len(loads) >= 5
+
+    def test_no_tables_no_preload(self):
+        module = parse_module("func @f(a: ptr) { entry: x = load a[0] ret x }")
+        assert insert_preloads(module.function("f"), module) == 0
+
+
+class TestSCEliminator:
+    def test_structured_code_transformed_correctly(self, fig1_module):
+        transformed = sc_eliminate(fig1_module)
+        validate_module(transformed)
+        interp = Interpreter(transformed, strict_memory=False)
+        assert interp.run("ofdt", [[1, 2], [1, 2]]).value == 1
+        assert interp.run("ofdt", [[1, 2], [1, 9]]).value == 0
+
+    def test_transformed_code_is_operation_invariant(self, fig1_module):
+        from repro.verify import check_invariance
+
+        transformed = sc_eliminate(fig1_module)
+        report = check_invariance(
+            transformed, "ofdt", [[[1, 2], [1, 2]], [[3, 4], [5, 6]]]
+        )
+        assert report.operation_invariant
+
+    def test_known_bug_multiarm_phi(self, fig1_module):
+        """SC-Eliminator mangles >2-arm merges (paper: wrong on oFdF)."""
+        transformed = sc_eliminate(fig1_module)
+        interp = Interpreter(transformed, strict_memory=False)
+        # Equal arrays: the correct answer is 1; the artifact bug yields 0.
+        assert interp.run("ofdf", [[1, 2], [1, 2]]).value == 0
+
+    def test_memory_unsafety_on_short_arrays(self, ofdf_module):
+        """The paper's Section II-B observation, reproduced."""
+        transformed = sc_eliminate(ofdf_module)
+        interp = Interpreter(transformed, strict_memory=False)
+        result = interp.run("ofdf", [[0], [1]])
+        assert result.violations, "zombie loads must go out of bounds"
+
+    def test_inline_budget_failure_reported(self):
+        module = parse_module("""
+        func @helper(x: int) { entry: ret x + 1 }
+        func @f(x: int) {
+        entry:
+          a = call @helper(x)
+          b = call @helper(a)
+          ret b
+        }
+        """)
+        with pytest.raises(UnsupportedProgramError):
+            sc_eliminate(module, SCEliminatorOptions(inline_budget=4))
+
+    def test_loops_unsupported(self):
+        module = parse_module("""
+        func @f(c: int) {
+        entry:
+          jmp head
+        head:
+          br c, head, done
+        done:
+          ret 0
+        }
+        """)
+        with pytest.raises(UnsupportedProgramError):
+            sc_eliminate(module)
+
+    def test_preload_counted_in_stats(self, fig1_module):
+        stats = SCEliminatorStats()
+        sc_eliminate(fig1_module, stats=stats)
+        assert stats.transformed_instructions > stats.original_instructions
+        assert stats.seconds > 0
+
+    def test_stores_guarded_like_ours(self):
+        module = parse_module("""
+        func @f(a: ptr, c: int) {
+        entry:
+          br c, then, done
+        then:
+          store 99, a[0]
+          jmp done
+        done:
+          ret 0
+        }
+        """)
+        transformed = sc_eliminate(module)
+        interp = Interpreter(transformed, strict_memory=False)
+        assert interp.run("f", [[5], 0]).arrays[0] == [5]
+        assert interp.run("f", [[5], 1]).arrays[0] == [99]
+
+    def test_input_not_mutated(self, fig1_module):
+        before = str(fig1_module)
+        sc_eliminate(fig1_module)
+        assert str(fig1_module) == before

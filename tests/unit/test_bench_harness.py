@@ -1,0 +1,95 @@
+"""The benchmark harness itself: stats helpers and the artifact builder."""
+
+import math
+
+import pytest
+
+from repro.bench.runner import get_artifacts, measure_cycles, repaired_inputs
+from repro.bench.stats import (
+    drop_outliers,
+    format_table,
+    geomean,
+    linear_fit,
+    mean,
+)
+
+
+class TestStats:
+    def test_geomean_of_ratios(self):
+        assert math.isclose(geomean([2.0, 8.0]), 4.0)
+
+    def test_geomean_ignores_nonpositive(self):
+        assert math.isclose(geomean([4.0, 0.0, -1.0]), 4.0)
+
+    def test_geomean_empty(self):
+        assert geomean([]) == 0.0
+
+    def test_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+        assert mean([]) == 0.0
+
+    def test_drop_outliers_removes_spike(self):
+        samples = [10.0] * 10 + [1000.0]
+        cleaned = drop_outliers(samples)
+        assert 1000.0 not in cleaned
+        assert len(cleaned) == 10
+
+    def test_drop_outliers_keeps_small_samples(self):
+        assert drop_outliers([1.0, 99.0]) == [1.0, 99.0]
+
+    def test_drop_outliers_uniform_data(self):
+        assert drop_outliers([5.0] * 8) == [5.0] * 8
+
+    def test_linear_fit_exact(self):
+        fit = linear_fit([1, 2, 3, 4], [3, 5, 7, 9])
+        assert math.isclose(fit.slope, 2.0)
+        assert math.isclose(fit.intercept, 1.0)
+        assert math.isclose(fit.r_squared, 1.0)
+
+    def test_linear_fit_rejects_degenerate(self):
+        with pytest.raises(ValueError):
+            linear_fit([1.0, 1.0], [2.0, 3.0])
+        with pytest.raises(ValueError):
+            linear_fit([1.0], [2.0])
+
+    def test_format_table_aligns(self):
+        table = format_table(["name", "value"], [["a", 1], ["long", 22]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(line.rstrip()) for line in lines[2:])) <= 2
+
+
+class TestArtifacts:
+    def test_artifacts_cached(self):
+        first = get_artifacts("otdt")
+        second = get_artifacts("otdt")
+        assert first is second
+
+    def test_artifact_variants_present(self):
+        artifacts = get_artifacts("otdt")
+        assert artifacts.sce is not None
+        assert artifacts.sce_outcome == "ok"
+        assert (artifacts.repaired.instruction_count()
+                >= artifacts.original.instruction_count())
+        assert (artifacts.repaired_o1.instruction_count()
+                <= artifacts.repaired.instruction_count())
+
+    def test_failed_sce_reported_as_error(self):
+        artifacts = get_artifacts("ctbench_modexp")
+        assert artifacts.sce is None
+        assert artifacts.sce_outcome == "error"
+        assert "budget" in artifacts.sce_error
+
+    def test_incorrect_sce_detected(self):
+        artifacts = get_artifacts("ofdf")
+        assert artifacts.sce is not None
+        assert artifacts.sce_outcome == "incorrect"
+
+    def test_measure_cycles_is_deterministic(self):
+        artifacts = get_artifacts("otdt")
+        inputs = repaired_inputs(
+            artifacts, artifacts.bench.make_inputs(2)
+        )
+        first = measure_cycles(artifacts.repaired, "otdt", inputs)
+        second = measure_cycles(artifacts.repaired, "otdt", inputs)
+        assert first == second

@@ -1,0 +1,85 @@
+"""Set-associative cache simulator."""
+
+import pytest
+
+from repro.cache import Cache, CacheHierarchy
+
+
+class TestCacheGeometry:
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError):
+            Cache(size=3000)
+
+    def test_inconsistent_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            Cache(size=1024, line_size=64, ways=32)
+
+    def test_set_count(self):
+        cache = Cache(size=32768, line_size=64, ways=8)
+        assert cache.num_sets == 64
+
+
+class TestBehaviour:
+    def test_cold_miss_then_hit(self):
+        cache = Cache(size=1024, line_size=64, ways=2)
+        assert cache.access(0) is False
+        assert cache.access(0) is True
+        assert cache.access(63) is True  # same line
+        assert cache.access(64) is False  # next line
+
+    def test_lru_eviction(self):
+        # Direct-mapped-ish: 2 ways per set; three conflicting lines evict.
+        cache = Cache(size=256, line_size=64, ways=2)  # 2 sets
+        stride = 64 * cache.num_sets  # same set every time
+        cache.access(0)
+        cache.access(stride)
+        cache.access(2 * stride)  # evicts line 0
+        assert cache.access(0) is False
+
+    def test_lru_refresh_on_hit(self):
+        cache = Cache(size=256, line_size=64, ways=2)
+        stride = 64 * cache.num_sets
+        cache.access(0)
+        cache.access(stride)
+        cache.access(0)  # refresh 0; stride becomes LRU
+        cache.access(2 * stride)  # evicts stride, not 0
+        assert cache.access(0) is True
+        assert cache.access(stride) is False
+
+    def test_stats_and_reset(self):
+        cache = Cache(size=256, line_size=64, ways=2)
+        cache.access(0)
+        cache.access(0)
+        assert cache.stats.as_tuple() == (2, 1, 1)
+        assert cache.stats.miss_rate == 0.5
+        cache.reset()
+        assert cache.stats.accesses == 0
+        assert cache.access(0) is False  # cold again
+
+
+class TestHierarchy:
+    def test_split_counters(self):
+        hierarchy = CacheHierarchy()
+        hierarchy.instr_fetch(0x1000)
+        hierarchy.data_access(0x2000, is_write=False)
+        hierarchy.data_access(0x2000, is_write=True)
+        report = hierarchy.report()
+        assert report.instr_fetches == 1
+        assert report.i1_misses == 1
+        assert report.data_reads == 1
+        assert report.data_writes == 1
+        assert report.d1_read_misses == 1
+        assert report.d1_write_misses == 0  # second access hits
+
+    def test_signature_is_comparable(self):
+        a = CacheHierarchy()
+        b = CacheHierarchy()
+        for hierarchy in (a, b):
+            hierarchy.data_access(0x40, is_write=False)
+        assert a.report().signature() == b.report().signature()
+
+    def test_reset(self):
+        hierarchy = CacheHierarchy()
+        hierarchy.data_access(0, is_write=True)
+        hierarchy.reset()
+        assert hierarchy.report().signature() == (0, 0, 0, 0, 0, 0)

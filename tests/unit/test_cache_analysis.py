@@ -1,0 +1,116 @@
+"""The baseline's static cache-conflict analysis."""
+
+from repro.baseline.cache_analysis import (
+    WORDS_PER_LINE,
+    analyze_cache_conflicts,
+)
+from repro.ir import parse_function
+
+
+class TestClassification:
+    def test_repeated_constant_access_hits(self):
+        function = parse_function("""
+        func @f(a: ptr) {
+        entry:
+          x = load a[0]
+          y = load a[0]
+          r = mov x + y
+          ret r
+        }
+        """)
+        result = analyze_cache_conflicts(function)
+        assert result.accesses == 2
+        assert result.guaranteed_hits == 1
+        assert result.may_miss == 1  # the cold first touch
+
+    def test_same_line_different_word_hits(self):
+        function = parse_function(f"""
+        func @f(a: ptr) {{
+        entry:
+          x = load a[0]
+          y = load a[{WORDS_PER_LINE - 1}]
+          r = mov x + y
+          ret r
+        }}
+        """)
+        result = analyze_cache_conflicts(function)
+        assert result.guaranteed_hits == 1
+
+    def test_different_lines_both_miss(self):
+        function = parse_function(f"""
+        func @f(a: ptr) {{
+        entry:
+          x = load a[0]
+          y = load a[{WORDS_PER_LINE}]
+          r = mov x + y
+          ret r
+        }}
+        """)
+        result = analyze_cache_conflicts(function)
+        assert result.may_miss == 2
+
+    def test_unknown_index_always_may_miss(self):
+        function = parse_function("""
+        func @f(a: ptr, i: int) {
+        entry:
+          x = load a[i]
+          y = load a[i]
+          r = mov x + y
+          ret r
+        }
+        """)
+        result = analyze_cache_conflicts(function)
+        assert result.may_miss == 2
+        assert "a" in result.miss_prone_arrays
+
+    def test_distinct_arrays_do_not_alias(self):
+        function = parse_function("""
+        func @f(a: ptr, b: ptr) {
+        entry:
+          x = load a[0]
+          y = load b[0]
+          r = mov x + y
+          ret r
+        }
+        """)
+        result = analyze_cache_conflicts(function)
+        assert result.guaranteed_hits == 0
+
+    def test_stores_count_as_accesses(self):
+        function = parse_function("""
+        func @f(a: ptr) {
+        entry:
+          store 1, a[0]
+          x = load a[0]
+          ret x
+        }
+        """)
+        result = analyze_cache_conflicts(function)
+        assert result.accesses == 2
+        assert result.guaranteed_hits == 1
+
+    def test_memory_free_function(self):
+        function = parse_function("func @f(x: int) { entry: ret x }")
+        result = analyze_cache_conflicts(function)
+        assert result.accesses == 0
+        assert result.miss_prone_arrays == frozenset()
+
+
+class TestPreloadGating:
+    def test_no_may_miss_no_preload(self):
+        """sc_eliminate only preloads when the analysis finds leaks."""
+        from repro.baseline import sc_eliminate
+        from repro.baseline.preload import PRELOAD_SINK
+        from repro.ir import parse_module
+
+        module = parse_module("""
+        const global @tab[4] = [1, 2, 3, 4]
+        func @f(k: int) {
+        entry:
+          i = mov k & 3
+          x = load tab[i]
+          ret x
+        }
+        """)
+        transformed = sc_eliminate(module)
+        assert PRELOAD_SINK in transformed.globals  # gated in, table preloaded

@@ -1,0 +1,222 @@
+"""MiniC code generation: SSA construction, widths, calls, errors."""
+
+import pytest
+
+from repro import compile_minic, run_function
+from repro.frontend import CodegenError, compile_source
+from repro.ir import validate_module
+
+
+def result_of(source: str, name: str, args):
+    return run_function(compile_minic(source), name, args)
+
+
+class TestScalars:
+    def test_declarations_and_assignment(self):
+        assert result_of("uint f() { uint x = 3; x = x + 1; return x; }",
+                         "f", []) == 4
+
+    def test_default_initialisation_is_zero(self):
+        assert result_of("uint f() { uint x; return x; }", "f", []) == 0
+
+    def test_uninitialised_before_branch_merge(self):
+        source = """
+        uint f(uint c) {
+          uint x = 0;
+          if (c) { x = 1; } else { x = 2; }
+          return x;
+        }
+        """
+        assert result_of(source, "f", [1]) == 1
+        assert result_of(source, "f", [0]) == 2
+
+    def test_if_without_else(self):
+        source = "uint f(uint c) { uint x = 9; if (c) { x = 1; } return x; }"
+        assert result_of(source, "f", [5]) == 1
+        assert result_of(source, "f", [0]) == 9
+
+    def test_return_inside_branch(self):
+        source = """
+        uint f(uint c) {
+          if (c) { return 1; }
+          return 2;
+        }
+        """
+        assert result_of(source, "f", [1]) == 1
+        assert result_of(source, "f", [0]) == 2
+
+    def test_both_branches_return(self):
+        source = "uint f(uint c) { if (c) { return 1; } else { return 2; } }"
+        assert result_of(source, "f", [0]) == 2
+
+    def test_branch_local_declarations_are_scoped(self):
+        source = """
+        uint f(uint c) {
+          uint r = 0;
+          if (c) { uint t = 5; r = t; } else { uint t = 7; r = t; }
+          return r;
+        }
+        """
+        assert result_of(source, "f", [1]) == 5
+        assert result_of(source, "f", [0]) == 7
+
+
+class TestWidths:
+    def test_u32_wraps(self):
+        assert result_of(
+            "uint f() { u32 x = 0xffffffff; x = x + 1; return x; }", "f", []
+        ) == 0
+
+    def test_u8_wraps(self):
+        assert result_of(
+            "uint f() { u8 x = 255; x = x + 1; return x; }", "f", []
+        ) == 0
+
+    def test_u32_shift_masks(self):
+        assert result_of(
+            "uint f() { u32 x = 0x80000000; return x << 1; }", "f", []
+        ) == 0
+
+    def test_u32_logical_shift_right(self):
+        assert result_of(
+            "uint f() { u32 x = 0x80000000; return x >> 31; }", "f", []
+        ) == 1
+
+    def test_u32_bitnot_masks(self):
+        assert result_of("uint f() { u32 x = 0; return ~x; }", "f", []) \
+            == 0xFFFFFFFF
+
+    def test_cast_truncates(self):
+        assert result_of("uint f(uint v) { return (u8) v; }", "f", [0x1FF]) \
+            == 0xFF
+
+    def test_literal_adapts_to_sized_operand(self):
+        assert result_of(
+            "uint f() { u32 x = 1; return x * 0x100000000 + 7; }", "f", []
+        ) == 7
+
+    def test_loads_from_u8_arrays_are_masked(self):
+        # The caller may pass un-normalised contents.
+        source = "uint f(u8 *a) { return a[0]; }"
+        assert result_of(source, "f", [[0x1FF]]) == 0xFF
+
+
+class TestLogicalOperators:
+    def test_and_or_are_branch_free_and_total(self):
+        source = "uint f(uint a, uint b) { return (a && b) | ((a || b) << 1); }"
+        assert result_of(source, "f", [0, 0]) == 0
+        assert result_of(source, "f", [3, 0]) == 2
+        assert result_of(source, "f", [3, 5]) == 3
+
+    def test_ternary_is_ctsel(self):
+        module = compile_minic("uint f(uint c) { return c ? 1 : 2; }")
+        from repro.ir.instructions import CtSel
+
+        instrs = [i for _, i in module.function("f").iter_instructions()]
+        assert any(isinstance(i, CtSel) for i in instrs)
+
+    def test_no_branches_for_logical_expressions(self):
+        module = compile_minic("uint f(uint a, uint b) { return a && b; }")
+        assert len(module.function("f").blocks) == 1
+
+
+class TestArrays:
+    def test_local_array_with_initialiser(self):
+        source = """
+        uint f() {
+          uint a[3] = {10, 20};
+          return a[0] + a[1] + a[2];
+        }
+        """
+        assert result_of(source, "f", []) == 30
+
+    def test_global_array_read_write(self):
+        source = """
+        uint state[2];
+        uint f(uint v) { state[0] = v; return state[0] + state[1]; }
+        """
+        assert result_of(source, "f", [5]) == 5
+
+    def test_const_global_initialised(self):
+        source = """
+        const u8 tab[4] = {9, 8, 7, 6};
+        uint f(uint i) { return tab[i]; }
+        """
+        assert result_of(source, "f", [2]) == 7
+
+    def test_oversized_initialiser_rejected(self):
+        with pytest.raises(CodegenError, match="initialisers"):
+            compile_minic("uint f() { uint a[1] = {1, 2}; return 0; }")
+
+    def test_array_as_scalar_rejected(self):
+        with pytest.raises(CodegenError, match="used as a scalar"):
+            compile_minic("uint f(uint *a) { return a; }")
+
+    def test_scalar_indexing_rejected(self):
+        with pytest.raises(CodegenError, match="not an array"):
+            compile_minic("uint f(uint a) { return a[0]; }")
+
+    def test_assignment_to_array_rejected(self):
+        with pytest.raises(CodegenError, match="assign to array"):
+            compile_minic("uint f(uint *a, uint *b) { a = b; return 0; }")
+
+
+class TestCalls:
+    def test_call_with_array_and_scalar(self):
+        source = """
+        uint get(uint *p, uint i) { return p[i]; }
+        uint f(uint *a) { return get(a, 1) * 10; }
+        """
+        assert result_of(source, "f", [[3, 4]]) == 40
+
+    def test_void_function_call_statement(self):
+        source = """
+        uint sink[1];
+        void poke(uint v) { sink[0] = v; return; }
+        uint f() { poke(7); return sink[0]; }
+        """
+        assert result_of(source, "f", []) == 7
+
+    def test_void_call_in_expression_rejected(self):
+        with pytest.raises(CodegenError, match="void"):
+            compile_minic("""
+            void g() { return; }
+            uint f() { return g() + 1; }
+            """)
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(CodegenError, match="arguments"):
+            compile_minic("""
+            uint g(uint a) { return a; }
+            uint f() { return g(); }
+            """)
+
+    def test_undefined_callee_rejected(self):
+        with pytest.raises(CodegenError, match="undefined function"):
+            compile_minic("uint f() { return ghost(); }")
+
+    def test_pointer_arg_must_be_array_name(self):
+        with pytest.raises(CodegenError, match="array name"):
+            compile_minic("""
+            uint g(uint *p) { return p[0]; }
+            uint f(uint x) { return g(x + 1); }
+            """)
+
+
+class TestErrors:
+    def test_redefinition_rejected(self):
+        with pytest.raises(CodegenError, match="redefinition"):
+            compile_minic("uint f() { uint x = 1; uint x = 2; return x; }")
+
+    def test_undefined_variable_rejected(self):
+        with pytest.raises(CodegenError, match="undefined variable"):
+            compile_minic("uint f() { return ghost; }")
+
+    def test_sensitive_params_recorded(self):
+        module = compile_minic(
+            "uint f(secret uint *k, uint *pub) { return k[0] ^ pub[0]; }"
+        )
+        assert module.function("f").sensitive_params == ("k",)
+
+    def test_output_is_valid_ssa(self, fig1_module):
+        validate_module(fig1_module)

@@ -1,0 +1,72 @@
+"""Contract/interface construction (paper Definition 2, Section III-C1)."""
+
+from repro.core import build_contract, build_signature_map, called_function_names
+from repro.ir import Function, Param, parse_module
+
+
+class TestBuildContract:
+    def test_length_follows_its_pointer(self):
+        function = Function("f", [
+            Param("a", "ptr"), Param("x", "int"), Param("b", "ptr"),
+        ])
+        contract = build_contract(function, needs_cond=False)
+        assert [p.name for p in contract.new_params] == [
+            "a", "a_n", "x", "b", "b_n",
+        ]
+        assert contract.length_params == {"a": "a_n", "b": "b_n"}
+        assert contract.cond_param is None
+
+    def test_cond_param_appended_last(self):
+        function = Function("f", [Param("a", "ptr")])
+        contract = build_contract(function, needs_cond=True)
+        assert contract.new_params[-1].name == "__cond"
+        assert contract.cond_param == "__cond"
+
+    def test_name_collisions_avoided(self):
+        function = Function("f", [
+            Param("a", "ptr"), Param("a_n", "int"),
+        ])
+        contract = build_contract(function, needs_cond=False)
+        generated = contract.length_params["a"]
+        assert generated != "a_n"
+        assert len({p.name for p in contract.new_params}) == len(
+            contract.new_params
+        )
+
+    def test_pointerless_function_unchanged_modulo_cond(self):
+        function = Function("f", [Param("x", "int")])
+        contract = build_contract(function, needs_cond=False)
+        assert contract.new_params == (Param("x", "int"),)
+
+
+class TestSignatureMap:
+    MODULE = """
+    func @leaf(a: ptr) { entry: ret 0 }
+    func @top(a: ptr) {
+    entry:
+      x = call @leaf(a)
+      ret x
+    }
+    """
+
+    def test_called_functions_detected(self):
+        module = parse_module(self.MODULE)
+        assert called_function_names(module) == {"leaf"}
+
+    def test_only_callees_get_cond(self):
+        module = parse_module(self.MODULE)
+        signatures = build_signature_map(module)
+        assert signatures["leaf"].cond_param is not None
+        assert signatures["top"].cond_param is None
+
+    def test_force_cond_everywhere(self):
+        module = parse_module(self.MODULE)
+        signatures = build_signature_map(module, force_cond=True)
+        assert all(c.cond_param for c in signatures.values())
+
+    def test_describe_renders_signature(self):
+        module = parse_module(self.MODULE)
+        signatures = build_signature_map(module)
+        assert signatures["leaf"].describe() == (
+            "@leaf(a: ptr, a_n: int, __cond: int)"
+        )

@@ -1,0 +1,114 @@
+"""ctsel expansion (paper Example 5)."""
+
+from repro.core import lower_ctsels_in_function, lower_ctsels_in_module
+from repro.exec import Interpreter
+from repro.ir import parse_module, validate_module
+from repro.ir.instructions import CtSel
+
+
+class TestLowering:
+    def test_integer_select_expands(self):
+        module = parse_module("""
+        func @f(c: int, a: int, b: int) {
+        entry:
+          x = ctsel c, a, b
+          ret x
+        }
+        """)
+        count = lower_ctsels_in_module(module, assume_boolean=False)
+        assert count == 1
+        validate_module(module)
+        function = module.function("f")
+        assert not any(
+            isinstance(i, CtSel) for _, i in function.iter_instructions()
+        )
+
+    def test_semantics_preserved_for_boolean_condition(self):
+        module = parse_module("""
+        func @f(c: int, a: int, b: int) {
+        entry:
+          x = ctsel c, a, b
+          ret x
+        }
+        """)
+        lower_ctsels_in_module(module, assume_boolean=False)
+        interp = Interpreter(module)
+        assert interp.run("f", [1, 10, 20]).value == 10
+        assert interp.run("f", [0, 10, 20]).value == 20
+
+    def test_non_boolean_condition_normalised(self):
+        module = parse_module("""
+        func @f(c: int, a: int, b: int) {
+        entry:
+          x = ctsel c, a, b
+          ret x
+        }
+        """)
+        lower_ctsels_in_module(module, assume_boolean=False)
+        interp = Interpreter(module)
+        # Any non-zero condition selects the first operand, like ctsel.
+        assert interp.run("f", [7, 10, 20]).value == 10
+        assert interp.run("f", [-3, 10, 20]).value == 10
+
+    def test_assume_boolean_skips_normalisation(self):
+        source = """
+        func @f(c: int, a: int, b: int) {
+        entry:
+          x = ctsel c, a, b
+          ret x
+        }
+        """
+        trusted = parse_module(source)
+        cautious = parse_module(source)
+        lower_ctsels_in_module(trusted, assume_boolean=True)
+        lower_ctsels_in_module(cautious, assume_boolean=False)
+        assert (trusted.instruction_count()
+                == cautious.instruction_count() - 1)
+
+    def test_pointer_selects_stay_primitive(self):
+        module = parse_module("""
+        func @f(c: int, a: ptr, b: ptr) {
+        entry:
+          p = ctsel c, a, b
+          x = load p[0]
+          ret x
+        }
+        """)
+        count = lower_ctsels_in_function(module.function("f"), module)
+        assert count == 0
+        interp = Interpreter(module)
+        assert interp.run("f", [1, [11], [22]]).value == 11
+        assert interp.run("f", [0, [11], [22]]).value == 22
+
+    def test_selects_of_pointer_derived_names_stay_primitive(self):
+        module = parse_module("""
+        global @tab[2]
+        func @f(c: int, a: ptr) {
+        entry:
+          alias = mov a
+          p = ctsel c, alias, tab
+          x = load p[0]
+          ret x
+        }
+        """)
+        assert lower_ctsels_in_function(module.function("f"), module) == 0
+
+    def test_repair_option_integrates_lowering(self, ofdf_module):
+        from repro.core import RepairOptions, repair_module
+        from repro.verify import check_invariance
+
+        repaired = repair_module(ofdf_module, RepairOptions(lower_ctsel=True))
+        # Only pointer selects (array-or-shadow) remain.
+        for _, instr in repaired.function("ofdf").iter_instructions():
+            if isinstance(instr, CtSel):
+                names = {
+                    v.name for v in (instr.if_true, instr.if_false)
+                    if hasattr(v, "name")
+                }
+                assert names & {"a", "b"} or any(
+                    n.startswith("sh") for n in names
+                )
+        report = check_invariance(
+            repaired, "ofdf", [[[1, 2], 2, [1, 2], 2], [[3, 4], 2, [5, 6], 2]]
+        )
+        assert report.isochronous and report.memory_safe

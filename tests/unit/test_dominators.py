@@ -1,0 +1,129 @@
+"""Dominator/postdominator trees and control dependence."""
+
+import pytest
+
+from repro.analysis import (
+    compute_control_dependence,
+    compute_dominators,
+    compute_postdominators,
+)
+from repro.ir import parse_function
+from repro.ir.cfg import predecessor_map
+
+DIAMOND = """
+func @f(c: int) {
+entry:
+  br c, left, right
+left:
+  jmp join
+right:
+  jmp join
+join:
+  ret 0
+}
+"""
+
+NESTED = """
+func @f(c: int, d: int) {
+entry:
+  br c, outer_then, join
+outer_then:
+  br d, inner_then, inner_join
+inner_then:
+  jmp inner_join
+inner_join:
+  jmp join
+join:
+  ret 0
+}
+"""
+
+
+class TestDominators:
+    def test_entry_dominates_everything(self):
+        tree = compute_dominators(parse_function(DIAMOND))
+        for label in ("entry", "left", "right", "join"):
+            assert tree.dominates("entry", label)
+
+    def test_branch_arms_do_not_dominate_join(self):
+        tree = compute_dominators(parse_function(DIAMOND))
+        assert not tree.dominates("left", "join")
+        assert tree.idom["join"] == "entry"
+
+    def test_dominance_is_reflexive(self):
+        tree = compute_dominators(parse_function(DIAMOND))
+        assert tree.dominates("left", "left")
+
+    def test_strict_dominance(self):
+        tree = compute_dominators(parse_function(DIAMOND))
+        assert tree.strictly_dominates("entry", "join")
+        assert not tree.strictly_dominates("join", "join")
+
+    def test_nested_structure(self):
+        tree = compute_dominators(parse_function(NESTED))
+        assert tree.idom["inner_join"] == "outer_then"
+        assert tree.idom["join"] == "entry"
+
+    def test_dominance_frontier(self):
+        function = parse_function(DIAMOND)
+        tree = compute_dominators(function)
+        frontier = tree.dominance_frontier(predecessor_map(function))
+        assert frontier["left"] == {"join"}
+        assert frontier["right"] == {"join"}
+        assert frontier["entry"] == set()
+
+    def test_unknown_label_does_not_dominate(self):
+        tree = compute_dominators(parse_function(DIAMOND))
+        assert not tree.dominates("ghost", "join")
+
+
+class TestPostdominators:
+    def test_join_postdominates_arms(self):
+        tree = compute_postdominators(parse_function(DIAMOND))
+        assert tree is not None
+        assert tree.dominates("join", "left")
+        assert tree.dominates("join", "entry")
+
+    def test_multiple_exits_unsupported(self):
+        function = parse_function("""
+        func @f(c: int) {
+        entry:
+          br c, a, b
+        a:
+          ret 1
+        b:
+          ret 2
+        }
+        """)
+        assert compute_postdominators(function) is None
+
+
+class TestControlDependence:
+    def test_arms_depend_on_branch(self):
+        deps = compute_control_dependence(parse_function(DIAMOND))
+        assert deps["left"] == {"entry"}
+        assert deps["right"] == {"entry"}
+        assert deps["join"] == set()
+
+    def test_nested_dependence_is_direct(self):
+        # Ferrante-Ottenstein-Warren dependence is direct: inner_then depends
+        # on the inner branch only; the transitive dependence on `entry` is
+        # recovered where needed (taint analysis) by closure.
+        deps = compute_control_dependence(parse_function(NESTED))
+        assert deps["inner_then"] == {"outer_then"}
+        assert deps["inner_join"] == {"entry"}
+        assert deps["join"] == set()
+
+    def test_requires_single_exit(self):
+        function = parse_function("""
+        func @f(c: int) {
+        entry:
+          br c, a, b
+        a:
+          ret 1
+        b:
+          ret 2
+        }
+        """)
+        with pytest.raises(ValueError):
+            compute_control_dependence(function)

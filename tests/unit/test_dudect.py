@@ -1,0 +1,134 @@
+"""The dudect-style statistical timing tester."""
+
+import math
+import random
+
+from repro import compile_minic, repair_module
+from repro.verify import adapt_inputs
+from repro.verify.dudect import (
+    T_THRESHOLD,
+    Welch,
+    dudect_test,
+    make_array_randomizer,
+)
+
+LEAKY_SOURCE = """
+uint check(secret uint *a, secret uint *b) {
+  for (uint i = 0; i < 8; i = i + 1) {
+    if (a[i] != b[i]) { return 0; }
+  }
+  return 1;
+}
+"""
+
+CONSTANT_SOURCE = """
+uint mix(secret uint *a, secret uint *b) {
+  uint acc = 0;
+  for (uint i = 0; i < 8; i = i + 1) {
+    acc = acc ^ (a[i] * b[i]);
+  }
+  return acc;
+}
+"""
+
+
+class TestWelch:
+    def test_identical_groups_score_zero(self):
+        welch = Welch()
+        for value in (10.0, 12.0, 11.0):
+            welch.push(0, value)
+            welch.push(1, value)
+        assert abs(welch.statistic()) < 1e-9
+
+    def test_separated_groups_score_high(self):
+        welch = Welch()
+        rng = random.Random(0)
+        for _ in range(100):
+            welch.push(0, 100.0 + rng.gauss(0, 1))
+            welch.push(1, 10.0 + rng.gauss(0, 1))
+        assert abs(welch.statistic()) > T_THRESHOLD
+
+    def test_deterministic_difference_is_infinite(self):
+        welch = Welch()
+        for _ in range(5):
+            welch.push(0, 100.0)
+            welch.push(1, 10.0)
+        assert math.isinf(welch.statistic())
+
+    def test_too_few_samples_is_zero(self):
+        welch = Welch()
+        welch.push(0, 1.0)
+        assert welch.statistic() == 0.0
+
+
+class TestDudect:
+    def fixed(self):
+        return [[7] * 8, [7] * 8]
+
+    def test_detects_early_exit_leak(self):
+        module = compile_minic(LEAKY_SOURCE)
+        report = dudect_test(
+            module, "check", self.fixed(),
+            make_array_randomizer(self.fixed()), measurements=60,
+        )
+        assert report.leaking
+        assert report.max_cycles > report.min_cycles
+
+    def test_constant_time_code_passes(self):
+        module = compile_minic(CONSTANT_SOURCE)
+        report = dudect_test(
+            module, "mix", self.fixed(),
+            make_array_randomizer(self.fixed()), measurements=60,
+        )
+        assert not report.leaking
+        assert report.max_cycles == report.min_cycles
+
+    def test_repaired_leaky_code_passes(self):
+        module = compile_minic(LEAKY_SOURCE)
+        repaired = repair_module(module)
+        fixed = adapt_inputs(module, "check", [self.fixed()])[0]
+        base = make_array_randomizer(self.fixed())
+
+        def randomize(rng):
+            a, b = base(rng)
+            return [a, 8, b, 8]
+
+        report = dudect_test(repaired, "check", fixed, randomize,
+                             measurements=60)
+        assert not report.leaking
+        assert report.max_cycles == report.min_cycles
+
+    def test_leak_survives_measurement_noise(self):
+        module = compile_minic(LEAKY_SOURCE)
+        report = dudect_test(
+            module, "check", self.fixed(),
+            make_array_randomizer(self.fixed()),
+            measurements=400, jitter=4.0,
+        )
+        assert report.leaking
+
+    def test_noise_does_not_cause_false_positives(self):
+        module = compile_minic(CONSTANT_SOURCE)
+        report = dudect_test(
+            module, "mix", self.fixed(),
+            make_array_randomizer(self.fixed()),
+            measurements=400, jitter=4.0,
+        )
+        assert not report.leaking
+
+    def test_report_summary_text(self):
+        module = compile_minic(CONSTANT_SOURCE)
+        report = dudect_test(
+            module, "mix", self.fixed(),
+            make_array_randomizer(self.fixed()), measurements=20,
+        )
+        assert "constant time" in report.summary()
+        assert report.measurements == 20
+
+    def test_deterministic_given_seed(self):
+        module = compile_minic(LEAKY_SOURCE)
+        args = (module, "check", self.fixed(),
+                make_array_randomizer(self.fixed()))
+        a = dudect_test(*args, measurements=40, jitter=2.0, seed=3)
+        b = dudect_test(*args, measurements=40, jitter=2.0, seed=3)
+        assert a.t_statistic == b.t_statistic

@@ -1,0 +1,113 @@
+"""The executable formalisation (Appendix A / Fig. 17)."""
+
+import pytest
+
+from repro.core import repair_module
+from repro.formal import EPSILON, RewritingSystem, derive_function
+from repro.ir import parse_module
+
+from tests.conftest import OFDF_IR
+
+
+def flatten_production(module, name):
+    """The production repairer's output as a flat instruction list."""
+    rendered = []
+    for block in module.function(name).blocks.values():
+        rendered.extend(str(i) for i in block.instructions)
+        rendered.append(str(block.terminator))
+    return rendered
+
+
+class TestDerivation:
+    @pytest.fixture
+    def derivation(self, ofdf_module):
+        return derive_function(ofdf_module, "ofdf")
+
+    def test_reaches_final_configuration(self, derivation):
+        assert derivation.final.is_final()
+        assert derivation.final.label == EPSILON
+        assert derivation.final.remaining == 0
+
+    def test_one_step_per_source_instruction(self, derivation, ofdf_module):
+        source_size = ofdf_module.function("ofdf").instruction_count()
+        assert len(derivation.steps) == source_size
+
+    def test_rule_trace_shape(self, derivation):
+        rules = derivation.rules_applied()
+        assert rules[-1] == "exit"
+        assert rules.count("exit") == 1
+        # Every non-final terminator is a [flow] application.
+        assert rules.count("flow") == 4  # br(l0), br(l1), jmp(l3), jmp(l4)
+
+    def test_remaining_count_decreases_monotonically(self, derivation):
+        counts = [step.configuration.remaining for step in derivation.steps]
+        assert counts == sorted(counts, reverse=True)
+        assert counts[-1] == 0
+
+    def test_produced_program_grows_monotonically(self, derivation):
+        sizes = [len(step.configuration.produced)
+                 for step in derivation.steps]
+        assert sizes == sorted(sizes)
+
+    def test_render_is_readable(self, derivation):
+        text = derivation.render()
+        assert "[inst]" in text and "[exit]" in text
+
+
+class TestAgreementWithProduction:
+    """The formal system IS the production algorithm, with bookkeeping."""
+
+    def check_agreement(self, text: str, name: str):
+        module = parse_module(text)
+        derivation = derive_function(module, name)
+        production = flatten_production(repair_module(module), name)
+        formal = [str(i) for i in derivation.produced_instructions()]
+        assert formal == production
+
+    def test_ofdf(self):
+        self.check_agreement(OFDF_IR, "ofdf")
+
+    def test_straight_line_memory(self):
+        self.check_agreement("""
+        func @f(a: ptr) {
+        entry:
+          x = load a[0]
+          y = mov x * 2
+          store y, a[1]
+          ret y
+        }
+        """, "f")
+
+    def test_multiarm_merge(self):
+        self.check_agreement("""
+        func @f(c: int, d: int) {
+        entry:
+          br c, a, b
+        a:
+          ret 1
+        b:
+          br d, x, y
+        x:
+          ret 2
+        y:
+          ret 3
+        }
+        """, "f")
+
+
+class TestScope:
+    def test_calls_rejected(self):
+        module = parse_module("""
+        func @g() { entry: ret 0 }
+        func @f() {
+        entry:
+          x = call @g()
+          ret x
+        }
+        """)
+        from repro.transforms import preprocess_module
+
+        work = module.clone()
+        preprocess_module(work)
+        with pytest.raises(ValueError, match="call-free"):
+            RewritingSystem(work, work.function("f"))

@@ -1,0 +1,115 @@
+"""CFG utilities: predecessors, topological order, reachability."""
+
+import pytest
+
+from repro.ir import parse_function
+from repro.ir.cfg import (
+    exit_blocks,
+    is_acyclic,
+    predecessor_map,
+    reachable_labels,
+    remove_unreachable_blocks,
+    reverse_postorder,
+    topological_order,
+)
+
+DIAMOND = """
+func @f(c: int) {
+entry:
+  br c, left, right
+left:
+  jmp join
+right:
+  jmp join
+join:
+  x = phi [1, left], [2, right]
+  ret x
+}
+"""
+
+LOOP = """
+func @f(c: int) {
+entry:
+  jmp head
+head:
+  br c, head, done
+done:
+  ret 0
+}
+"""
+
+
+class TestPredecessors:
+    def test_diamond(self):
+        preds = predecessor_map(parse_function(DIAMOND))
+        assert preds["entry"] == []
+        assert preds["left"] == ["entry"]
+        assert sorted(preds["join"]) == ["left", "right"]
+
+    def test_undefined_target_rejected(self):
+        function = parse_function("func @f() { entry: jmp nowhere\nnowhere: ret 0 }")
+        del function.blocks["nowhere"]
+        with pytest.raises(KeyError):
+            predecessor_map(function)
+
+
+class TestOrdering:
+    def test_topological_order_respects_edges(self):
+        order = topological_order(parse_function(DIAMOND))
+        assert order[0] == "entry"
+        assert order[-1] == "join"
+        assert order.index("left") < order.index("join")
+
+    def test_topological_order_rejects_cycles(self):
+        with pytest.raises(ValueError):
+            topological_order(parse_function(LOOP))
+
+    def test_is_acyclic(self):
+        assert is_acyclic(parse_function(DIAMOND))
+        assert not is_acyclic(parse_function(LOOP))
+
+    def test_reverse_postorder_starts_at_entry(self):
+        rpo = reverse_postorder(parse_function(LOOP))
+        assert rpo[0] == "entry"
+        assert set(rpo) == {"entry", "head", "done"}
+
+    def test_source_order_tiebreak_is_deterministic(self):
+        function = parse_function(DIAMOND)
+        assert topological_order(function) == ["entry", "left", "right", "join"]
+
+
+class TestReachability:
+    def test_unreachable_block_detected_and_removed(self):
+        function = parse_function("""
+        func @f() {
+        entry:
+          ret 0
+        dead:
+          ret 1
+        }
+        """)
+        assert reachable_labels(function) == {"entry"}
+        assert remove_unreachable_blocks(function) == 1
+        assert list(function.blocks) == ["entry"]
+
+    def test_phi_pruned_when_pred_removed(self):
+        function = parse_function("""
+        func @f() {
+        entry:
+          jmp join
+        dead:
+          jmp join
+        join:
+          x = phi [1, entry], [2, dead]
+          ret x
+        }
+        """)
+        remove_unreachable_blocks(function)
+        (instr,) = function.blocks["join"].instructions
+        # Single remaining arm becomes a move.
+        assert instr.dest == "x"
+        assert not hasattr(instr, "incomings")
+
+    def test_exit_blocks(self):
+        function = parse_function(DIAMOND)
+        assert [b.label for b in exit_blocks(function)] == ["join"]

@@ -1,0 +1,172 @@
+"""Values, instructions, blocks, functions, modules."""
+
+import pytest
+
+from repro.ir import (
+    Alloc,
+    BasicBlock,
+    BinExpr,
+    Br,
+    Call,
+    Const,
+    CtSel,
+    Function,
+    GlobalArray,
+    Jmp,
+    Load,
+    Module,
+    Mov,
+    Param,
+    Phi,
+    Ret,
+    Store,
+    UnaryExpr,
+    Var,
+    as_value,
+    fresh_name,
+)
+
+
+class TestValues:
+    def test_as_value_coercions(self):
+        assert as_value(3) == Const(3)
+        assert as_value("x") == Var("x")
+        assert as_value(True) == Const(1)
+        assert as_value(Const(5)) == Const(5)
+
+    def test_as_value_rejects_junk(self):
+        with pytest.raises(TypeError):
+            as_value(3.14)
+
+    def test_values_are_hashable(self):
+        assert len({Const(1), Const(1), Var("a"), Var("a")}) == 2
+
+
+class TestInstructions:
+    def test_mov_uses(self):
+        instr = Mov("x", BinExpr("+", Var("a"), Const(1)))
+        assert instr.used_vars() == ["a"]
+        assert instr.dest == "x"
+
+    def test_replace_uses_substitutes(self):
+        instr = Mov("x", BinExpr("+", Var("a"), Var("b")))
+        replaced = instr.replace_uses({"a": Const(7)})
+        assert replaced == Mov("x", BinExpr("+", Const(7), Var("b")))
+
+    def test_replace_uses_does_not_touch_dest(self):
+        instr = Mov("x", Var("x.old"))
+        assert instr.replace_uses({"x": Const(0)}).dest == "x"
+
+    def test_load_store_uses(self):
+        load = Load("x", Var("arr"), Var("i"))
+        assert set(load.used_vars()) == {"arr", "i"}
+        store = Store(Var("v"), Var("arr"), Const(0))
+        assert store.dest is None
+        assert set(store.used_vars()) == {"v", "arr"}
+
+    def test_load_array_must_stay_variable(self):
+        load = Load("x", Var("arr"), Const(0))
+        with pytest.raises(TypeError):
+            load.replace_uses({"arr": Const(0)})
+
+    def test_phi_incoming_lookup(self):
+        phi = Phi("x", ((Const(1), "a"), (Var("v"), "b")))
+        assert phi.incoming_from("b") == Var("v")
+        with pytest.raises(KeyError):
+            phi.incoming_from("c")
+
+    def test_ctsel_uses(self):
+        sel = CtSel("x", Var("c"), Var("t"), Var("f"))
+        assert sel.used_vars() == ["c", "t", "f"]
+
+    def test_call_str_with_and_without_dest(self):
+        assert str(Call("x", "f", (Const(1),))) == "x = call @f(1)"
+        assert str(Call(None, "f", ())) == "call @f()"
+
+    def test_terminator_successors(self):
+        assert Jmp("a").successors() == ["a"]
+        assert Br(Var("c"), "a", "b").successors() == ["a", "b"]
+        assert Ret(Const(0)).successors() == []
+
+    def test_alloc_size_expression(self):
+        alloc = Alloc("buf", BinExpr("*", Var("n"), Const(2)))
+        assert alloc.used_vars() == ["n"]
+
+
+class TestFunction:
+    def test_duplicate_block_label_rejected(self):
+        function = Function("f")
+        function.add_block("entry")
+        with pytest.raises(ValueError):
+            function.add_block("entry")
+
+    def test_entry_is_first_block(self):
+        function = Function("f")
+        function.add_block("a")
+        function.add_block("b")
+        assert function.entry.label == "a"
+
+    def test_instruction_count_includes_terminators(self):
+        function = Function("f")
+        block = function.add_block("entry")
+        block.append(Mov("x", Const(1)))
+        block.terminator = Ret(Var("x"))
+        assert function.instruction_count() == 2
+
+    def test_param_kind_validation(self):
+        with pytest.raises(ValueError):
+            Param("p", "float")
+        assert Param("p", "ptr").is_pointer
+
+    def test_defined_names_covers_params_and_dests(self):
+        function = Function("f", [Param("a", "ptr")])
+        block = function.add_block("entry")
+        block.append(Mov("x", Const(0)))
+        block.terminator = Ret(Const(0))
+        assert function.defined_names() == {"a", "x"}
+
+    def test_fresh_name_avoids_collisions(self):
+        assert fresh_name("x", {"x", "x.0"}) == "x.1"
+        assert fresh_name("y", {"x"}) == "y"
+
+
+class TestModule:
+    def test_global_initializer_padding(self):
+        array = GlobalArray("t", 4, (1, 2))
+        assert array.initial_contents() == [1, 2, 0, 0]
+
+    def test_global_oversized_initializer_rejected(self):
+        with pytest.raises(ValueError):
+            GlobalArray("t", 1, (1, 2))
+
+    def test_global_nonpositive_size_rejected(self):
+        with pytest.raises(ValueError):
+            GlobalArray("t", 0)
+
+    def test_duplicate_function_rejected(self):
+        module = Module()
+        module.add_function(Function("f"))
+        with pytest.raises(ValueError):
+            module.add_function(Function("f"))
+
+    def test_missing_function_lookup(self):
+        with pytest.raises(KeyError):
+            Module().function("nope")
+
+    def test_clone_shares_instructions_but_not_containers(self):
+        module = Module()
+        function = Function("f")
+        block = function.add_block("entry")
+        instr = Mov("x", Const(1))
+        block.append(instr)
+        block.terminator = Ret(Var("x"))
+        module.add_function(function)
+        module.add_global(GlobalArray("g", 2, (9,)))
+
+        cloned = module.clone()
+        cloned.functions["f"].blocks["entry"].instructions.append(
+            Mov("y", Const(2))
+        )
+        assert len(block.instructions) == 1  # original untouched
+        assert cloned.functions["f"].blocks["entry"].instructions[0] is instr
+        assert cloned.globals["g"].initial_contents() == [9, 0]

@@ -1,0 +1,121 @@
+"""Textual IR parser and printer."""
+
+import pytest
+
+from repro.ir import (
+    Const,
+    IRSyntaxError,
+    UnaryExpr,
+    Var,
+    module_to_str,
+    parse_function,
+    parse_module,
+)
+from repro.ir.instructions import BinExpr, Mov
+
+
+def roundtrip(text: str) -> None:
+    module = parse_module(text)
+    printed = module_to_str(module)
+    assert module_to_str(parse_module(printed)) == printed
+
+
+class TestRoundTrips:
+    def test_minimal_function(self):
+        roundtrip("func @f() { entry: ret 0 }")
+
+    def test_all_instructions(self):
+        roundtrip("""
+        const global @tab[4] = [1, 2, 3, 4]
+        global @buf[8]
+        func @f(a: ptr, n: int) {
+        entry:
+          t = alloc 4
+          x = mov n + 1
+          y = load a[x]
+          store y, t[0]
+          s = ctsel x, y, 0
+          c = call @g(a, s)
+          br c, then, done
+        then:
+          jmp done
+        done:
+          p = phi [s, entry], [c, then]
+          ret p
+        }
+        func @g(a: ptr, v: int) {
+        entry:
+          ret v
+        }
+        """)
+
+    def test_negative_literals(self):
+        module = parse_function("func @f() { entry: x = mov -5 ret x }")
+        instr = module.entry.instructions[0]
+        assert instr == Mov("x", Const(-5))
+
+    def test_unary_minus_on_variable(self):
+        function = parse_function(
+            "func @f(v: int) { entry: x = mov - v ret x }"
+        )
+        assert function.entry.instructions[0] == Mov("x", UnaryExpr("-", Var("v")))
+
+    def test_subtraction_not_negative_literal(self):
+        function = parse_function(
+            "func @f(v: int) { entry: x = mov v -5 ret x }"
+        )
+        assert function.entry.instructions[0] == Mov(
+            "x", BinExpr("-", Var("v"), Const(5))
+        )
+
+    def test_comments_ignored(self):
+        roundtrip("""
+        ; leading comment
+        func @f() {  # trailing comment style
+        entry:
+          ret 0   ; done
+        }
+        """)
+
+    def test_all_binary_operators(self):
+        for op in ("+", "-", "*", "/", "%", "&", "|", "^", "<<", ">>",
+                   "==", "!=", "<", "<=", ">", ">="):
+            function = parse_function(
+                f"func @f(a: int, b: int) {{ entry: x = mov a {op} b ret x }}"
+            )
+            assert function.entry.instructions[0] == Mov(
+                "x", BinExpr(op, Var("a"), Var("b"))
+            )
+
+
+class TestErrors:
+    def test_missing_terminator(self):
+        with pytest.raises(IRSyntaxError):
+            parse_module("func @f() { entry: x = mov 1 }")
+
+    def test_unknown_instruction(self):
+        with pytest.raises(IRSyntaxError):
+            parse_module("func @f() { entry: x = frobnicate 1 ret x }")
+
+    def test_duplicate_global(self):
+        with pytest.raises(ValueError):
+            parse_module("global @g[1] global @g[1]")
+
+    def test_bad_param_kind(self):
+        with pytest.raises(IRSyntaxError):
+            parse_module("func @f(a: float) { entry: ret 0 }")
+
+    def test_unexpected_character(self):
+        with pytest.raises(IRSyntaxError):
+            parse_module("func @f() { entry: ret $ }")
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(IRSyntaxError) as excinfo:
+            parse_module("func @f() {\nentry:\n  x = bogus 1\n  ret 0\n}")
+        assert excinfo.value.line == 3
+
+    def test_parse_function_rejects_multiple(self):
+        with pytest.raises(ValueError):
+            parse_function(
+                "func @f() { entry: ret 0 } func @g() { entry: ret 0 }"
+            )

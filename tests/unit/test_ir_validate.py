@@ -1,0 +1,177 @@
+"""Well-formedness and SSA validation."""
+
+import pytest
+
+from repro.ir import (
+    Function,
+    Module,
+    ValidationError,
+    parse_module,
+    validate_function,
+    validate_module,
+)
+
+
+def check(text: str):
+    module = parse_module(text)
+    validate_module(module)
+    return module
+
+
+class TestStructure:
+    def test_valid_module_passes(self):
+        check("""
+        func @f(a: ptr) {
+        entry:
+          x = load a[0]
+          ret x
+        }
+        """)
+
+    def test_empty_function_rejected(self):
+        with pytest.raises(ValidationError):
+            validate_function(Function("f"))
+
+    def test_unterminated_block_rejected(self):
+        module = parse_module("func @f() { entry: ret 0 }")
+        module.function("f").entry.terminator = None
+        with pytest.raises(ValidationError, match="no terminator"):
+            validate_module(module)
+
+
+class TestSSA:
+    def test_double_definition_rejected(self):
+        with pytest.raises(ValidationError, match="defined twice"):
+            check("""
+            func @f() {
+            entry:
+              x = mov 1
+              x = mov 2
+              ret x
+            }
+            """)
+
+    def test_undefined_use_rejected(self):
+        with pytest.raises(ValidationError, match="undefined"):
+            check("func @f() { entry: ret ghost }")
+
+    def test_use_before_definition_in_block_rejected(self):
+        with pytest.raises(ValidationError, match="before its definition"):
+            check("""
+            func @f() {
+            entry:
+              y = mov x
+              x = mov 1
+              ret y
+            }
+            """)
+
+    def test_non_dominating_definition_rejected(self):
+        with pytest.raises(ValidationError, match="does not dominate"):
+            check("""
+            func @f(c: int) {
+            entry:
+              br c, left, right
+            left:
+              x = mov 1
+              jmp join
+            right:
+              jmp join
+            join:
+              ret x
+            }
+            """)
+
+    def test_phi_makes_cross_branch_value_legal(self):
+        check("""
+        func @f(c: int) {
+        entry:
+          br c, left, right
+        left:
+          x = mov 1
+          jmp join
+        right:
+          jmp join
+        join:
+          y = phi [x, left], [0, right]
+          ret y
+        }
+        """)
+
+    def test_param_shadowing_global_rejected(self):
+        with pytest.raises(ValidationError, match="shadows a global"):
+            check("""
+            global @g[1]
+            func @f(g: ptr) {
+            entry:
+              ret 0
+            }
+            """)
+
+
+class TestPhis:
+    def test_phi_after_non_phi_rejected(self):
+        with pytest.raises(ValidationError, match="does not lead its block"):
+            check("""
+            func @f(c: int) {
+            entry:
+              br c, a, b
+            a:
+              jmp join
+            b:
+              jmp join
+            join:
+              t = mov 1
+              x = phi [1, a], [2, b]
+              ret x
+            }
+            """)
+
+    def test_phi_incomings_must_match_predecessors(self):
+        with pytest.raises(ValidationError, match="do not match"):
+            check("""
+            func @f(c: int) {
+            entry:
+              br c, a, b
+            a:
+              jmp join
+            b:
+              jmp join
+            join:
+              x = phi [1, a], [2, entry]
+              ret x
+            }
+            """)
+
+
+class TestCalls:
+    def test_call_to_undefined_function_rejected(self):
+        with pytest.raises(ValidationError, match="undefined"):
+            check("""
+            func @f() {
+            entry:
+              x = call @ghost()
+              ret x
+            }
+            """)
+
+    def test_call_arity_mismatch_rejected(self):
+        with pytest.raises(ValidationError, match="arguments"):
+            check("""
+            func @g(a: int) { entry: ret a }
+            func @f() {
+            entry:
+              x = call @g()
+              ret x
+            }
+            """)
+
+    def test_valid_call_passes(self):
+        check("""
+        func @g(a: int) { entry: ret a }
+        func @f() {
+        entry:
+          x = call @g(1)
+          ret x
+        }
+        """)

@@ -1,0 +1,123 @@
+"""Word semantics of the baseline language's operators."""
+
+import pytest
+
+from repro.ir.ops import (
+    BINARY_OPS,
+    UNARY_OPS,
+    WORD_BITS,
+    eval_binop,
+    eval_unop,
+    to_unsigned,
+    wrap,
+)
+
+WORD_MAX = (1 << (WORD_BITS - 1)) - 1
+WORD_MIN = -(1 << (WORD_BITS - 1))
+
+
+class TestWrap:
+    def test_identity_in_range(self):
+        assert wrap(42) == 42
+        assert wrap(-42) == -42
+
+    def test_positive_overflow_wraps_negative(self):
+        assert wrap(WORD_MAX + 1) == WORD_MIN
+
+    def test_negative_overflow_wraps_positive(self):
+        assert wrap(WORD_MIN - 1) == WORD_MAX
+
+    def test_extremes(self):
+        assert wrap(WORD_MAX) == WORD_MAX
+        assert wrap(WORD_MIN) == WORD_MIN
+
+    def test_unsigned_reinterpretation(self):
+        assert to_unsigned(-1) == (1 << WORD_BITS) - 1
+        assert to_unsigned(5) == 5
+
+
+class TestArithmetic:
+    def test_add_wraps(self):
+        assert eval_binop("+", WORD_MAX, 1) == WORD_MIN
+
+    def test_sub_wraps(self):
+        assert eval_binop("-", WORD_MIN, 1) == WORD_MAX
+
+    def test_mul_wraps(self):
+        assert eval_binop("*", 1 << 32, 1 << 32) == 0
+
+    def test_div_truncates_toward_zero(self):
+        assert eval_binop("/", 7, 2) == 3
+        assert eval_binop("/", -7, 2) == -3
+        assert eval_binop("/", 7, -2) == -3
+
+    def test_div_by_zero_is_zero(self):
+        # Deliberate total semantics: traps would be input-dependent events.
+        assert eval_binop("/", 42, 0) == 0
+
+    def test_rem_sign_follows_dividend(self):
+        assert eval_binop("%", 7, 2) == 1
+        assert eval_binop("%", -7, 2) == -1
+
+    def test_rem_by_zero_is_zero(self):
+        assert eval_binop("%", 42, 0) == 0
+
+
+class TestBitwise:
+    def test_and_or_xor(self):
+        assert eval_binop("&", 0b1100, 0b1010) == 0b1000
+        assert eval_binop("|", 0b1100, 0b1010) == 0b1110
+        assert eval_binop("^", 0b1100, 0b1010) == 0b0110
+
+    def test_shl_wraps(self):
+        assert eval_binop("<<", 1, WORD_BITS - 1) == WORD_MIN
+
+    def test_shr_is_logical(self):
+        # -1 has all bits set; a logical shift brings in zeros.
+        assert eval_binop(">>", -1, 1) == WORD_MAX
+
+    def test_shift_amount_is_modular(self):
+        assert eval_binop("<<", 3, WORD_BITS) == 3
+        assert eval_binop(">>", 3, WORD_BITS + 1) == 1
+
+
+class TestComparisons:
+    @pytest.mark.parametrize("op,expected", [
+        ("==", 0), ("!=", 1), ("<", 1), ("<=", 1), (">", 0), (">=", 0),
+    ])
+    def test_signed_comparison(self, op, expected):
+        assert eval_binop(op, -1, 1) == expected
+
+    def test_results_are_boolean(self):
+        for op in ("==", "!=", "<", "<=", ">", ">="):
+            assert eval_binop(op, 3, 3) in (0, 1)
+
+
+class TestUnary:
+    def test_neg_wraps(self):
+        assert eval_unop("-", WORD_MIN) == WORD_MIN  # two's complement edge
+
+    def test_logical_not(self):
+        assert eval_unop("!", 0) == 1
+        assert eval_unop("!", 7) == 0
+        assert eval_unop("!", -1) == 0
+
+    def test_bitwise_not(self):
+        assert eval_unop("~", 0) == -1
+        assert eval_unop("~", -1) == 0
+
+
+class TestErrors:
+    def test_unknown_binop_rejected(self):
+        with pytest.raises(ValueError):
+            eval_binop("**", 2, 3)
+
+    def test_unknown_unop_rejected(self):
+        with pytest.raises(ValueError):
+            eval_unop("?", 1)
+
+    def test_op_tables_are_consistent(self):
+        for op in BINARY_OPS:
+            assert isinstance(eval_binop(op, 5, 3), int)
+        for op in UNARY_OPS:
+            assert isinstance(eval_unop(op, 5), int)

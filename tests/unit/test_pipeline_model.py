@@ -1,0 +1,103 @@
+"""The gem5-lite pipeline timing backend.
+
+The point under test is the paper's architecture-independence claim: a
+repaired program's trace is input-independent, so *any* deterministic
+microarchitectural model — not just the flat cost model — must clock it
+identically across inputs, while the original program's timing varies
+under both models.
+"""
+
+from repro import compile_minic, repair_module
+from repro.exec import Interpreter, PipelineConfig, PipelineModel
+from repro.exec.pipeline_model import BranchPredictor
+from repro.verify import adapt_inputs
+
+LEAKY = """
+uint check(secret uint *a, secret uint *b) {
+  for (uint i = 0; i < 8; i = i + 1) {
+    if (a[i] != b[i]) { return 0; }
+  }
+  return 1;
+}
+"""
+
+
+def trace_of(module, name, args):
+    return Interpreter(module).run(name, args).trace
+
+
+class TestBranchPredictor:
+    def test_warms_up_to_stable_direction(self):
+        predictor = BranchPredictor()
+        results = [predictor.predict_and_update("site", True)
+                   for _ in range(5)]
+        assert results[0] is False     # cold counter predicts not-taken
+        assert all(results[2:])        # saturates to taken
+
+    def test_alternating_pattern_mispredicts(self):
+        predictor = BranchPredictor()
+        for i in range(20):
+            predictor.predict_and_update("site", i % 2 == 0)
+        assert predictor.misses > 5
+
+
+class TestPipelineModel:
+    def test_replay_is_deterministic(self):
+        module = compile_minic(LEAKY)
+        trace = trace_of(module, "check", [[1] * 8, [1] * 8])
+        model = PipelineModel()
+        assert model.simulate(trace).cycles == model.simulate(trace).cycles
+
+    def test_original_leaks_under_this_model_too(self):
+        module = compile_minic(LEAKY)
+        fast = trace_of(module, "check", [[9] * 8, [1] * 8])   # early exit
+        slow = trace_of(module, "check", [[1] * 8, [1] * 8])   # full scan
+        model = PipelineModel()
+        assert model.simulate(fast).cycles < model.simulate(slow).cycles
+
+    def test_repaired_program_is_flat_under_this_model(self):
+        module = compile_minic(LEAKY)
+        repaired = repair_module(module)
+        inputs = adapt_inputs(
+            module, "check",
+            [[[1] * 8, [1] * 8], [[9] * 8, [1] * 8], [[5] * 8, [6] * 8]],
+        )
+        interpreter = Interpreter(repaired)
+        model = PipelineModel()
+        cycle_counts = {
+            model.simulate(interpreter.run("check", args).trace).cycles
+            for args in inputs
+        }
+        assert len(cycle_counts) == 1
+
+    def test_report_fields(self):
+        module = compile_minic(LEAKY)
+        trace = trace_of(module, "check", [[1] * 8, [1] * 8])
+        report = PipelineModel().simulate(trace)
+        assert report.instructions == len(trace.instructions)
+        assert report.cycles >= report.instructions  # CPI >= 1
+        assert report.cpi >= 1.0
+        assert report.i1_misses >= 1  # cold caches
+
+    def test_miss_penalty_scales_cycles(self):
+        module = compile_minic(LEAKY)
+        trace = trace_of(module, "check", [[1] * 8, [1] * 8])
+        cheap = PipelineModel(PipelineConfig(l1_miss_penalty=1)).simulate(trace)
+        costly = PipelineModel(
+            PipelineConfig(l1_miss_penalty=100)
+        ).simulate(trace)
+        assert costly.cycles > cheap.cycles
+
+    def test_two_models_agree_on_invariance_not_on_magnitude(self):
+        """The architecture-independence argument, end to end."""
+        module = compile_minic(LEAKY)
+        repaired = repair_module(module)
+        args = adapt_inputs(module, "check", [[[1] * 8, [2] * 8]])[0]
+        result = Interpreter(repaired).run("check", args)
+        pipeline_cycles = PipelineModel().simulate(result.trace).cycles
+        # Different clocks (the interpreter's flat model vs the pipeline) …
+        assert pipeline_cycles != result.cycles
+        # … but both flat across inputs (the set-of-one assertion above
+        # covers the pipeline; the interpreter's own invariance is covered
+        # throughout the suite).
+        assert pipeline_cycles > 0

@@ -1,0 +1,265 @@
+"""The repair transformation: rules, conditions, contracts, driver."""
+
+import pytest
+
+from repro.core import (
+    RepairOptions,
+    RepairStats,
+    build_signature_map,
+    repair_module,
+)
+from repro.exec import Interpreter
+from repro.ir import CtSel, Load, Store, parse_module, validate_module
+from repro.verify import adapt_inputs, check_invariance, compare_semantics
+
+from tests.conftest import OFDF_IR
+
+
+@pytest.fixture
+def repaired_ofdf(ofdf_module):
+    return repair_module(ofdf_module)
+
+
+class TestInterfaceAugmentation:
+    def test_length_param_per_pointer(self, repaired_ofdf):
+        params = [p.name for p in repaired_ofdf.function("ofdf").params]
+        assert params == ["a", "a_n", "b", "b_n"]
+
+    def test_no_cond_param_for_uncalled_functions(self, repaired_ofdf):
+        names = [p.name for p in repaired_ofdf.function("ofdf").params]
+        assert not any(n.startswith("__cond") for n in names)
+
+    def test_force_cond_threads_everywhere(self, ofdf_module):
+        repaired = repair_module(ofdf_module, RepairOptions(force_cond=True))
+        assert repaired.function("ofdf").params[-1].name == "__cond"
+
+    def test_signature_map_length_params(self, ofdf_module):
+        signatures = build_signature_map(ofdf_module)
+        assert signatures["ofdf"].length_params == {"a": "a_n", "b": "b_n"}
+
+
+class TestStructure:
+    def test_no_conditional_branches_remain(self, repaired_ofdf):
+        from repro.ir.instructions import Br
+
+        function = repaired_ofdf.function("ofdf")
+        assert not any(
+            isinstance(b.terminator, Br) for b in function.blocks.values()
+        )
+
+    def test_no_phis_remain(self, repaired_ofdf):
+        from repro.ir.instructions import Phi
+
+        function = repaired_ofdf.function("ofdf")
+        assert not any(
+            isinstance(i, Phi) for _, i in function.iter_instructions()
+        )
+
+    def test_shadow_variable_allocated(self, repaired_ofdf):
+        from repro.ir.instructions import Alloc
+
+        entry = repaired_ofdf.function("ofdf").entry
+        allocs = [i for i in entry.instructions if isinstance(i, Alloc)]
+        assert len(allocs) == 1
+        assert allocs[0].dest.startswith("sh")
+
+    def test_loads_are_guarded(self, repaired_ofdf):
+        function = repaired_ofdf.function("ofdf")
+        loads = [i for _, i in function.iter_instructions()
+                 if isinstance(i, Load)]
+        # Every load's array operand is a ctsel result (original array or
+        # shadow), i.e. no raw access survives.
+        ctsel_dests = {
+            i.dest for _, i in function.iter_instructions()
+            if isinstance(i, CtSel)
+        }
+        assert loads
+        assert all(l.array.name in ctsel_dests for l in loads)
+
+    def test_result_is_valid_module(self, repaired_ofdf):
+        validate_module(repaired_ofdf)
+
+    def test_input_module_unchanged(self, ofdf_module):
+        before = str(ofdf_module)
+        repair_module(ofdf_module)
+        assert str(ofdf_module) == before
+
+
+class TestSemanticsAndInvariance:
+    CASES = [
+        ([1, 2], [1, 2], 1),
+        ([1, 2], [1, 3], 0),
+        ([9, 2], [1, 2], 0),
+        ([0, 0], [0, 0], 1),
+    ]
+
+    def test_outputs_preserved(self, ofdf_module, repaired_ofdf):
+        interpreter = Interpreter(repaired_ofdf)
+        for a, b, expected in self.CASES:
+            assert interpreter.run("ofdf", [a, 2, b, 2]).value == expected
+
+    def test_operation_and_data_invariance(self, repaired_ofdf):
+        report = check_invariance(
+            repaired_ofdf, "ofdf",
+            [[list(a), 2, list(b), 2] for a, b, _ in self.CASES],
+        )
+        assert report.operation_invariant
+        assert report.data_invariant
+        assert report.memory_safe
+
+    def test_example2_short_arrays_are_safe(self, repaired_ofdf):
+        """The paper's Example 2: a = {0}, b = {1} must not fault.
+
+        Note the subtlety: on *differing* size-1 arrays the original oFdF
+        returns early without touching a[1], so a memory-safe repair must
+        not touch it either.  (On *equal* size-1 arrays the original itself
+        reads a[1] out of bounds, and Property 3 permits the repaired code
+        to do whatever the original did.)
+        """
+        report = check_invariance(
+            repaired_ofdf, "ofdf", [[[0], 1, [1], 1], [[3], 1, [4], 1]]
+        )
+        assert report.memory_safe
+        # Data invariance is forfeited outside the contract, by design:
+        # operation invariance must still hold.
+        assert report.operation_invariant
+
+    def test_zero_contract_disables_data_invariance_only(self, ofdf_module):
+        repaired = repair_module(ofdf_module)
+        # Lie about the contract: claim length 0 for both arrays.
+        report = check_invariance(
+            repaired, "ofdf",
+            [[[1, 2], 0, [1, 2], 0], [[3, 4], 0, [5, 6], 0]],
+        )
+        assert report.operation_invariant
+        assert report.memory_safe
+
+
+class TestManualContracts:
+    def test_manual_size_overrides_analysis(self):
+        module = parse_module("""
+        func @f(a: ptr) {
+        entry:
+          x = load a[1]
+          ret x
+        }
+        """)
+        options = RepairOptions(manual_sizes={"f": {"a": 2}})
+        repaired = repair_module(module, options)
+        interpreter = Interpreter(repaired)
+        assert interpreter.run("f", [[7, 8], 99]).value == 8
+
+    def test_manual_size_can_name_a_parameter(self):
+        module = parse_module("""
+        func @f(a: ptr, n: int) {
+        entry:
+          x = load a[0]
+          ret x
+        }
+        """)
+        options = RepairOptions(manual_sizes={"f": {"a": "n"}})
+        repaired = repair_module(module, options)
+        validate_module(repaired)
+
+    def test_bad_manual_size_type_rejected(self):
+        module = parse_module("func @f(a: ptr) { entry: ret 0 }")
+        with pytest.raises(TypeError):
+            repair_module(module, RepairOptions(manual_sizes={"f": {"a": 1.5}}))
+
+
+class TestStoreRule:
+    def test_zombie_store_preserves_memory(self):
+        module = parse_module("""
+        func @f(a: ptr, c: int) {
+        entry:
+          br c, then, done
+        then:
+          store 99, a[0]
+          jmp done
+        done:
+          ret 0
+        }
+        """)
+        repaired = repair_module(module)
+        interpreter = Interpreter(repaired)
+        # Condition false: the store must not take effect...
+        result = interpreter.run("f", [[5], 1, 0])
+        assert result.arrays[0] == [5]
+        # ...but it still performs the same memory traffic.
+        kinds = [a.kind for a in result.trace.memory]
+        assert kinds.count("store") == 1
+        # Condition true: the store happens.
+        assert interpreter.run("f", [[5], 1, 1]).arrays[0] == [99]
+
+    def test_store_emits_preparatory_load(self):
+        module = parse_module("""
+        func @f(a: ptr) {
+        entry:
+          store 1, a[0]
+          ret 0
+        }
+        """)
+        repaired = repair_module(module)
+        function = repaired.function("f")
+        instrs = [i for _, i in function.iter_instructions()]
+        load_index = next(i for i, x in enumerate(instrs) if isinstance(x, Load))
+        store_index = next(i for i, x in enumerate(instrs) if isinstance(x, Store))
+        assert load_index < store_index
+
+
+class TestRepairStats:
+    def test_stats_populated(self, ofdf_module):
+        stats = RepairStats()
+        repair_module(ofdf_module, stats=stats)
+        assert stats.seconds > 0
+        assert stats.original_instructions == 12
+        assert stats.repaired_instructions > stats.original_instructions
+        assert stats.size_ratio > 1
+        assert "ofdf" in stats.per_function
+
+
+class TestPreprocessIntegration:
+    def test_loopy_function_rejected(self):
+        module = parse_module("""
+        func @f(c: int) {
+        entry:
+          jmp head
+        head:
+          br c, head, done
+        done:
+          ret 0
+        }
+        """)
+        from repro.transforms import PreprocessError
+
+        with pytest.raises(PreprocessError, match="loop"):
+            repair_module(module)
+
+    def test_recursive_module_rejected(self):
+        module = parse_module("""
+        func @f(n: int) {
+        entry:
+          x = call @f(n)
+          ret x
+        }
+        """)
+        from repro.transforms import PreprocessError
+
+        with pytest.raises(PreprocessError, match="recursive"):
+            repair_module(module)
+
+    def test_multiple_returns_are_merged(self):
+        module = parse_module("""
+        func @f(c: int) {
+        entry:
+          br c, a, b
+        a:
+          ret 1
+        b:
+          ret 2
+        }
+        """)
+        repaired = repair_module(module)
+        interpreter = Interpreter(repaired)
+        assert interpreter.run("f", [1]).value == 1
+        assert interpreter.run("f", [0]).value == 2

@@ -1,0 +1,145 @@
+"""The Fig. 7 rewriting rules in isolation."""
+
+import itertools
+
+from repro.core.rules import (
+    RuleContext,
+    materialize_length,
+    rewrite_load,
+    rewrite_phi,
+    rewrite_store,
+)
+from repro.ir import Const, CtSel, Load, Mov, Phi, Store, Var
+from repro.ir.instructions import BinExpr
+
+
+def make_context(out_cond=Var("c"), edge_conds=None, lengths=None,
+                 signed_guard=True):
+    counter = itertools.count()
+    return RuleContext(
+        fresh=lambda hint="z": f"{hint}{next(counter)}",
+        out_cond=out_cond,
+        edge_conds=edge_conds or {},
+        length_of=lambda array: (lengths or {}).get(array.name),
+        shadow=Var("sh"),
+        signed_guard=signed_guard,
+    )
+
+
+class TestPhiRules:
+    def test_phi1_becomes_mov(self):
+        instrs = rewrite_phi(Phi("x", ((Var("v"), "l0"),)), make_context())
+        assert instrs == [Mov("x", Var("v"))]
+
+    def test_phi2_becomes_single_ctsel(self):
+        ctx = make_context(edge_conds={"l0": Var("c0"), "l1": Var("c1")})
+        instrs = rewrite_phi(
+            Phi("x", ((Var("a"), "l0"), (Var("b"), "l1"))), ctx
+        )
+        assert instrs == [CtSel("x", Var("c0"), Var("a"), Var("b"))]
+
+    def test_phin_builds_nested_chain(self):
+        ctx = make_context(edge_conds={
+            "l0": Var("c0"), "l1": Var("c1"), "l2": Var("c2"),
+        })
+        instrs = rewrite_phi(
+            Phi("x", ((Var("a"), "l0"), (Var("b"), "l1"), (Var("d"), "l2"))),
+            ctx,
+        )
+        # Chain: z = ctsel(c1, b, d); x = ctsel(c0, a, z).
+        assert len(instrs) == 2
+        inner, outer = instrs
+        assert isinstance(inner, CtSel) and inner.cond == Var("c1")
+        assert outer.dest == "x" and outer.cond == Var("c0")
+        assert outer.if_false == Var(inner.dest)
+
+
+class TestLoadRule:
+    def test_structure_matches_figure7(self):
+        ctx = make_context(lengths={"m": Var("n")})
+        access = rewrite_load(Load("x", Var("m"), Var("i")), ctx)
+        kinds = [type(i).__name__ for i in access.instructions]
+        # bound check(s), the or-with-condition, two selects, the load.
+        assert kinds[-3:] == ["CtSel", "CtSel", "Load"]
+        final = access.instructions[-1]
+        assert final.dest == "x"
+        assert final.array == access.safe_array
+
+    def test_unknown_length_becomes_zero_contract(self):
+        ctx = make_context(lengths={})
+        access = rewrite_load(Load("x", Var("m"), Var("i")), ctx)
+        first = access.instructions[0]
+        assert isinstance(first.expr, BinExpr)
+        assert first.expr.rhs == Const(0)
+
+    def test_signed_guard_adds_lower_bound_check(self):
+        with_guard = rewrite_load(
+            Load("x", Var("m"), Var("i")),
+            make_context(lengths={"m": Var("n")}, signed_guard=True),
+        )
+        without_guard = rewrite_load(
+            Load("x", Var("m"), Var("i")),
+            make_context(lengths={"m": Var("n")}, signed_guard=False),
+        )
+        assert (len(with_guard.instructions)
+                == len(without_guard.instructions) + 2)
+
+    def test_constant_index_skips_lower_bound_check(self):
+        access = rewrite_load(
+            Load("x", Var("m"), Const(3)),
+            make_context(lengths={"m": Var("n")}, signed_guard=True),
+        )
+        # 0 <= 3 is proven statically; only the upper bound is emitted.
+        comparisons = [
+            i for i in access.instructions
+            if isinstance(i, Mov) and isinstance(i.expr, BinExpr)
+            and i.expr.op in ("<", "<=")
+        ]
+        assert len(comparisons) == 1
+
+    def test_expression_length_is_materialized(self):
+        ctx = make_context(lengths={"m": BinExpr("*", Var("n"), Const(2))})
+        access = rewrite_load(Load("x", Var("m"), Var("i")), ctx)
+        first = access.instructions[0]
+        assert isinstance(first, Mov)
+        assert first.expr == BinExpr("*", Var("n"), Const(2))
+
+
+class TestStoreRule:
+    def test_store_reuses_load_artefacts(self):
+        ctx = make_context(lengths={"m": Var("n")})
+        instrs = rewrite_store(Store(Var("v"), Var("m"), Var("i")), ctx)
+        kinds = [type(i).__name__ for i in instrs]
+        assert kinds[-2:] == ["CtSel", "Store"]
+        select = instrs[-2]
+        store = instrs[-1]
+        assert select.cond == Var("c")          # the outgoing condition
+        assert select.if_true == Var("v")       # new value when c holds
+        assert store.value == Var(select.dest)
+
+    def test_store_address_goes_through_selects(self):
+        ctx = make_context(lengths={})
+        instrs = rewrite_store(Store(Const(1), Var("m"), Var("i")), ctx)
+        store = instrs[-1]
+        ctsel_dests = {i.dest for i in instrs if isinstance(i, CtSel)}
+        assert store.array.name in ctsel_dests
+
+
+class TestMaterializeLength:
+    def test_values_pass_through(self):
+        out = []
+        assert materialize_length(Var("n"), lambda h: "t0", out) == Var("n")
+        assert materialize_length(Const(4), lambda h: "t0", out) == Const(4)
+        assert out == []
+
+    def test_none_is_zero(self):
+        out = []
+        assert materialize_length(None, lambda h: "t0", out) == Const(0)
+
+    def test_expression_emits_mov(self):
+        out = []
+        result = materialize_length(
+            BinExpr("+", Var("n"), Const(1)), lambda h: "len0", out
+        )
+        assert result == Var("len0")
+        assert out == [Mov("len0", BinExpr("+", Var("n"), Const(1)))]

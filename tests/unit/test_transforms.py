@@ -1,0 +1,132 @@
+"""Preprocessing: single return, acyclicity, recursion, call ordering."""
+
+import pytest
+
+from repro.exec import Interpreter
+from repro.ir import parse_function, parse_module, validate_module
+from repro.ir.instructions import Phi, Ret
+from repro.transforms import (
+    PreprocessError,
+    call_topological_order,
+    ensure_single_return,
+    preprocess_function,
+    preprocess_module,
+)
+
+
+class TestSingleReturn:
+    def test_already_single_untouched(self):
+        function = parse_function("func @f() { entry: ret 0 }")
+        assert not ensure_single_return(function)
+
+    def test_two_returns_merged_via_phi(self):
+        module = parse_module("""
+        func @f(c: int) {
+        entry:
+          br c, a, b
+        a:
+          ret 1
+        b:
+          ret 2
+        }
+        """)
+        function = module.function("f")
+        assert ensure_single_return(function)
+        rets = [b for b in function.blocks.values()
+                if isinstance(b.terminator, Ret)]
+        assert len(rets) == 1
+        (exit_block,) = rets
+        assert isinstance(exit_block.instructions[0], Phi)
+        validate_module(module)
+        interp = Interpreter(module)
+        assert interp.run("f", [1]).value == 1
+        assert interp.run("f", [0]).value == 2
+
+    def test_expression_returns_materialised(self):
+        module = parse_module("""
+        func @f(c: int, x: int) {
+        entry:
+          br c, a, b
+        a:
+          ret x + 1
+        b:
+          ret x * 2
+        }
+        """)
+        function = module.function("f")
+        ensure_single_return(function)
+        validate_module(module)
+        interp = Interpreter(module)
+        assert interp.run("f", [1, 10]).value == 11
+        assert interp.run("f", [0, 10]).value == 20
+
+    def test_function_without_return_rejected(self):
+        function = parse_function("""
+        func @f() {
+        entry:
+          jmp entry
+        }
+        """)
+        with pytest.raises(ValueError, match="no return"):
+            ensure_single_return(function)
+
+
+class TestPreprocess:
+    def test_unreachable_blocks_removed(self):
+        module = parse_module("""
+        func @f() {
+        entry:
+          ret 0
+        dead:
+          ret 1
+        }
+        """)
+        report = preprocess_function(module.function("f"), module)
+        assert report.unreachable_blocks_removed == 1
+
+    def test_loop_rejected_with_pointer_to_paper(self):
+        module = parse_module("""
+        func @f(c: int) {
+        entry:
+          jmp head
+        head:
+          br c, head, out
+        out:
+          ret 0
+        }
+        """)
+        with pytest.raises(PreprocessError, match="unroll"):
+            preprocess_module(module)
+
+    def test_mutual_recursion_rejected(self):
+        module = parse_module("""
+        func @even(n: int) {
+        entry:
+          x = call @odd(n)
+          ret x
+        }
+        func @odd(n: int) {
+        entry:
+          x = call @even(n)
+          ret x
+        }
+        """)
+        with pytest.raises(PreprocessError, match="recursive"):
+            preprocess_module(module)
+
+    def test_call_topological_order_callees_first(self):
+        module = parse_module("""
+        func @top(n: int) {
+        entry:
+          x = call @mid(n)
+          ret x
+        }
+        func @mid(n: int) {
+        entry:
+          x = call @leaf(n)
+          ret x
+        }
+        func @leaf(n: int) { entry: ret n }
+        """)
+        order = call_topological_order(module)
+        assert order.index("leaf") < order.index("mid") < order.index("top")

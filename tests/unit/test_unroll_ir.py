@@ -1,0 +1,227 @@
+"""IR-level counted-loop unrolling."""
+
+import pytest
+
+from repro.exec import Interpreter
+from repro.ir import Module, parse_module, validate_module
+from repro.transforms import IRUnrollError, unroll_module_loops
+from repro.transforms.unroll_ir import MAX_TRIP_COUNT
+
+SUM_LOOP = """
+func @sum(a: ptr) {
+entry:
+  jmp header
+header:
+  i = phi [0, entry], [i.next, latch]
+  acc = phi [0, entry], [acc.next, latch]
+  p = mov i < 4
+  br p, body, done
+body:
+  x = load a[i]
+  acc.next = mov acc + x
+  jmp latch
+latch:
+  i.next = mov i + 1
+  jmp header
+done:
+  ret acc
+}
+"""
+
+
+def unrolled(text: str) -> Module:
+    module = parse_module(text)
+    unroll_module_loops(module)
+    validate_module(module)
+    return module
+
+
+class TestBasicUnrolling:
+    def test_sum_loop(self):
+        module = unrolled(SUM_LOOP)
+        assert Interpreter(module).run("sum", [[1, 2, 3, 4]]).value == 10
+
+    def test_result_is_acyclic(self):
+        from repro.ir.cfg import is_acyclic
+
+        module = unrolled(SUM_LOOP)
+        assert is_acyclic(module.function("sum"))
+
+    def test_indices_become_constants(self):
+        from repro.ir.instructions import Load
+        from repro.ir.values import Const
+
+        module = unrolled(SUM_LOOP)
+        loads = [i for _, i in module.function("sum").iter_instructions()
+                 if isinstance(i, Load)]
+        assert len(loads) == 4
+        assert sorted(l.index.value for l in loads) == [0, 1, 2, 3]
+        assert all(isinstance(l.index, Const) for l in loads)
+
+    def test_zero_trip_loop(self):
+        module = unrolled(SUM_LOOP.replace("i < 4", "i < 0"))
+        assert Interpreter(module).run("sum", [[1, 2, 3, 4]]).value == 0
+
+    def test_descending_loop(self):
+        module = unrolled("""
+        func @f(a: ptr) {
+        entry:
+          jmp header
+        header:
+          i = phi [3, entry], [i.next, latch]
+          acc = phi [0, entry], [acc.next, latch]
+          p = mov i >= 1
+          br p, body, done
+        body:
+          x = load a[i]
+          acc.next = mov acc + x
+          jmp latch
+        latch:
+          i.next = mov i - 1
+          jmp header
+        done:
+          ret acc
+        }
+        """)
+        assert Interpreter(module).run("f", [[100, 1, 2, 3]]).value == 6
+
+    def test_exit_on_true_arm(self):
+        module = unrolled("""
+        func @f() {
+        entry:
+          jmp header
+        header:
+          i = phi [0, entry], [i.next, latch]
+          acc = phi [0, entry], [acc.next, latch]
+          p = mov i >= 3
+          br p, done, body
+        body:
+          acc.next = mov acc + 10
+          jmp latch
+        latch:
+          i.next = mov i + 1
+          jmp header
+        done:
+          ret acc
+        }
+        """)
+        assert Interpreter(module).run("f", []).value == 30
+
+    def test_final_induction_value_visible_after_loop(self):
+        module = unrolled("""
+        func @f() {
+        entry:
+          jmp header
+        header:
+          i = phi [0, entry], [i.next, latch]
+          p = mov i < 5
+          br p, latch, done
+        latch:
+          i.next = mov i + 2
+          jmp header
+        done:
+          ret i
+        }
+        """)
+        # Exit is taken when i = 6 (0, 2, 4 iterate; 6 fails the test).
+        assert Interpreter(module).run("f", []).value == 6
+
+
+class TestNestedAndRepair:
+    def test_nested_loops(self):
+        module = unrolled("""
+        func @f() {
+        entry:
+          jmp oh
+        oh:
+          i = phi [0, entry], [i.n, ol]
+          total = phi [0, entry], [total.o, ol]
+          po = mov i < 2
+          br po, pre, done
+        pre:
+          jmp ih
+        ih:
+          j = phi [0, pre], [j.n, il]
+          acc = phi [total, pre], [acc.n, il]
+          pi = mov j < 2
+          br pi, ib, oexit
+        ib:
+          acc.n = mov acc + 1
+          jmp il
+        il:
+          j.n = mov j + 1
+          jmp ih
+        oexit:
+          total.o = mov acc
+          jmp ol
+        ol:
+          i.n = mov i + 1
+          jmp oh
+        done:
+          ret total
+        }
+        """)
+        assert Interpreter(module).run("f", []).value == 4
+
+    def test_unrolled_loop_is_repairable(self):
+        from repro.core import repair_module
+        from repro.verify import check_invariance
+
+        module = unrolled(SUM_LOOP)
+        repaired = repair_module(module)
+        report = check_invariance(
+            repaired, "sum", [[[1, 2, 3, 4], 4], [[9, 9, 9, 9], 4]]
+        )
+        assert report.isochronous and report.memory_safe
+
+
+class TestRejections:
+    def test_dynamic_bound_rejected(self):
+        with pytest.raises(IRUnrollError):
+            unrolled("""
+            func @f(n: int) {
+            entry:
+              jmp header
+            header:
+              i = phi [0, entry], [i.next, latch]
+              p = mov i < n
+              br p, latch, done
+            latch:
+              i.next = mov i + 1
+              jmp header
+            done:
+              ret i
+            }
+            """)
+
+    def test_irreducible_style_loop_rejected(self):
+        # A self-loop with no induction structure at all.
+        with pytest.raises(IRUnrollError):
+            unrolled("""
+            func @f(c: int) {
+            entry:
+              jmp spin
+            spin:
+              br c, spin, done
+            done:
+              ret 0
+            }
+            """)
+
+    def test_runaway_trip_count_rejected(self):
+        with pytest.raises(IRUnrollError, match="iterations"):
+            unrolled(f"""
+            func @f() {{
+            entry:
+              jmp header
+            header:
+              i = phi [0, entry], [i.next, latch]
+              p = mov i != {MAX_TRIP_COUNT * 2}
+              br p, latch, done
+            latch:
+              i.next = mov i + 3
+              jmp header
+            done:
+              ret i
+            }}
+            """)

@@ -1,0 +1,168 @@
+"""Verification layer: invariance checks, covenant, cache invariance."""
+
+from repro.core import repair_module
+from repro.ir import parse_module
+from repro.verify import (
+    adapt_inputs,
+    check_cache_invariance,
+    check_covenant,
+    check_invariance,
+    compare_semantics,
+)
+
+LEAKY = """
+func @f(k: int, a: ptr) {
+entry:
+  p = mov k == 0
+  br p, fast, slow
+fast:
+  jmp done
+slow:
+  x0 = load a[0]
+  x1 = load a[1]
+  t = mov x0 + x1
+  jmp done
+done:
+  r = phi [0, fast], [t, slow]
+  ret r
+}
+"""
+
+
+class TestCheckInvariance:
+    def test_leaky_function_flagged(self):
+        module = parse_module(LEAKY)
+        report = check_invariance(module, "f", [[0, [1, 2]], [5, [1, 2]]])
+        assert not report.operation_invariant
+        assert not report.data_invariant
+        assert not report.isochronous
+        assert report.runs == 2
+
+    def test_repaired_function_clean(self):
+        module = parse_module(LEAKY)
+        repaired = repair_module(module)
+        inputs = adapt_inputs(module, "f", [[0, [1, 2]], [5, [3, 4]]])
+        report = check_invariance(repaired, "f", inputs)
+        assert report.isochronous
+        assert report.memory_safe
+        assert len(set(report.cycles)) == 1  # constant simulated time
+
+    def test_violations_surface_in_report(self):
+        module = parse_module("""
+        func @f(a: ptr) {
+        entry:
+          x = load a[5]
+          ret x
+        }
+        """)
+        report = check_invariance(module, "f", [[[1]]])
+        assert not report.memory_safe
+        assert report.violations
+
+    def test_data_consistent_but_not_invariant(self):
+        # Same set of addresses, different order.
+        module = parse_module("""
+        func @f(a: ptr, c: int) {
+        entry:
+          br c, fwd, bwd
+        fwd:
+          x0 = load a[0]
+          x1 = load a[1]
+          jmp done
+        bwd:
+          y1 = load a[1]
+          y0 = load a[0]
+          jmp done
+        done:
+          r = phi [x0, fwd], [y0, bwd]
+          ret r
+        }
+        """)
+        report = check_invariance(module, "f", [[[7, 8], 1], [[7, 8], 0]])
+        assert report.data_consistent
+        assert not report.data_invariant
+
+
+class TestCompareSemantics:
+    def test_matching_functions(self):
+        module = parse_module(LEAKY)
+        repaired = repair_module(module)
+        inputs = [[0, [1, 2]], [9, [4, 5]]]
+        adapted = adapt_inputs(module, "f", inputs)
+        assert compare_semantics(module, repaired, "f", inputs, adapted)
+
+    def test_detects_divergence(self):
+        module_a = parse_module("func @f(x: int) { entry: ret x }")
+        module_b = parse_module("func @f(x: int) { entry: ret x + 1 }")
+        assert not compare_semantics(
+            module_a, module_b, "f", [[3]], [[3]]
+        )
+
+    def test_detects_array_divergence(self):
+        module_a = parse_module("""
+        func @f(a: ptr) { entry: store 1, a[0] ret 0 }
+        """)
+        module_b = parse_module("""
+        func @f(a: ptr) { entry: store 2, a[0] ret 0 }
+        """)
+        assert not compare_semantics(
+            module_a, module_b, "f", [[[0]]], [[[0]]]
+        )
+
+
+class TestAdaptInputs:
+    def test_lengths_inserted_after_pointers(self):
+        module = parse_module("""
+        func @f(a: ptr, n: int, b: ptr) { entry: ret n }
+        """)
+        adapted = adapt_inputs(module, "f", [[[1, 2, 3], 7, [4]]])
+        assert adapted == [[[1, 2, 3], 3, 7, [4], 1]]
+
+    def test_cond_appended_for_called_functions(self):
+        module = parse_module("""
+        func @g(a: ptr) { entry: ret 0 }
+        func @f(a: ptr) {
+        entry:
+          x = call @g(a)
+          ret x
+        }
+        """)
+        adapted = adapt_inputs(module, "g", [[[1]]], cond=1)
+        assert adapted == [[[1], 1, 1]]
+
+
+class TestCovenant:
+    def test_holds_for_repairable_program(self):
+        module = parse_module(LEAKY)
+        report = check_covenant(module, "f", [[0, [1, 2]], [3, [4, 5]]])
+        assert report.holds
+        assert report.semantics_preserved
+        assert report.operation_invariant
+        assert report.memory_safe
+
+    def test_data_invariance_not_required_when_inherent(self):
+        module = parse_module("""
+        func @f(a: ptr, i: int) {
+        entry:
+          x = load a[i]
+          ret x
+        }
+        """)
+        report = check_covenant(module, "f", [[[1, 2, 3], 0], [[1, 2, 3], 2]])
+        assert report.inherently_data_inconsistent
+        assert not report.predicted_data_invariant
+        assert report.holds  # clauses 1 and 2 suffice
+
+
+class TestCacheInvariance:
+    def test_repaired_program_cache_invariant(self):
+        module = parse_module(LEAKY)
+        repaired = repair_module(module)
+        inputs = adapt_inputs(module, "f", [[0, [1, 2]], [5, [9, 9]]])
+        report = check_cache_invariance(repaired, "f", inputs)
+        assert report.cache_invariant
+
+    def test_original_program_cache_variant(self):
+        module = parse_module(LEAKY)
+        report = check_cache_invariance(module, "f", [[0, [1, 2]], [5, [1, 2]]])
+        assert not report.cache_invariant
