@@ -60,17 +60,20 @@ def run_function(
     name: str,
     args: Sequence[object],
     trace: bool = False,
+    backend: Optional[str] = None,
 ):
     """Execute ``@name`` with Python arguments (ints, or lists for arrays).
 
     Returns the integer result; with ``trace=True`` returns an
     :class:`repro.exec.interpreter.ExecutionResult` carrying the instruction
-    and memory traces plus the simulated cycle count.
+    and memory traces plus the simulated cycle count.  ``backend`` selects
+    the execution engine (``"interp"`` or ``"compiled"``; the default comes
+    from :func:`repro.exec.backend.default_backend`).
     """
-    from repro.exec.interpreter import Interpreter
+    from repro.exec.backend import make_executor
 
-    interpreter = Interpreter(module)
-    result = interpreter.run(name, list(args))
+    executor = make_executor(module, backend=backend, record_trace=trace)
+    result = executor.run(name, list(args))
     return result if trace else result.value
 
 
@@ -78,6 +81,7 @@ def check_isochronous(
     module: Module,
     name: str,
     inputs: Sequence[Sequence[object]],
+    backend: Optional[str] = None,
 ):
     """Check operation/data invariance of ``@name`` across the given inputs.
 
@@ -85,4 +89,4 @@ def check_isochronous(
     """
     from repro.verify.isochronicity import check_invariance
 
-    return check_invariance(module, name, inputs)
+    return check_invariance(module, name, inputs, backend=backend)

@@ -21,7 +21,7 @@ from repro.baseline import (
 )
 from repro.bench.suite import Benchmark, get_benchmark, load_module
 from repro.core import RepairOptions, RepairStats, repair_module
-from repro.exec import Interpreter
+from repro.exec import make_executor
 from repro.ir.module import Module
 from repro.opt import optimize
 from repro.verify import adapt_inputs
@@ -95,11 +95,16 @@ def get_artifacts(name: str) -> BenchArtifacts:
     )
 
 
-def _outputs_match(bench: Benchmark, original: Module, transformed: Module) -> bool:
+def _outputs_match(
+    bench: Benchmark,
+    original: Module,
+    transformed: Module,
+    backend: Optional[str] = None,
+) -> bool:
     """Same-signature output comparison (the artifact's pass/fail check)."""
-    interpreter_a = Interpreter(original, record_trace=False)
-    interpreter_b = Interpreter(
-        transformed, record_trace=False, strict_memory=False
+    interpreter_a = make_executor(original, backend=backend, record_trace=False)
+    interpreter_b = make_executor(
+        transformed, backend=backend, record_trace=False, strict_memory=False
     )
     for args in bench.make_inputs(4):
         result_a = interpreter_a.run(bench.entry, [_copy(a) for a in args])
@@ -124,9 +129,12 @@ def measure_cycles(
     module: Module,
     entry: str,
     inputs: Sequence[Sequence[object]],
+    backend: Optional[str] = None,
 ) -> float:
     """Mean simulated cycle count over the inputs (deterministic)."""
-    interpreter = Interpreter(module, record_trace=False, strict_memory=False)
+    interpreter = make_executor(
+        module, backend=backend, record_trace=False, strict_memory=False
+    )
     total = 0
     for args in inputs:
         total += interpreter.run(entry, [_copy(a) for a in args]).cycles

@@ -7,6 +7,7 @@ different inputs and check that hit/miss counts are input-independent.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 
@@ -44,8 +45,12 @@ class Cache:
         self.ways = ways
         self.num_sets = size // (line_size * ways)
         self.stats = CacheStats()
-        # Each set is an LRU-ordered list of tags (front = most recent).
-        self._sets: list[list[int]] = [[] for _ in range(self.num_sets)]
+        # Each set is an LRU-ordered mapping of tags (last = most recent);
+        # OrderedDict gives O(1) recency updates where a list's
+        # remove/insert pair would rescan the set on every hit.
+        self._sets: list[OrderedDict[int, None]] = [
+            OrderedDict() for _ in range(self.num_sets)
+        ]
 
     def access(self, address: int) -> bool:
         """Touch the line containing ``address``; returns True on a hit."""
@@ -55,19 +60,18 @@ class Cache:
         entries = self._sets[index]
         self.stats.accesses += 1
         if tag in entries:
-            entries.remove(tag)
-            entries.insert(0, tag)
+            entries.move_to_end(tag)
             self.stats.hits += 1
             return True
-        entries.insert(0, tag)
+        entries[tag] = None
         if len(entries) > self.ways:
-            entries.pop()
+            entries.popitem(last=False)
         self.stats.misses += 1
         return False
 
     def reset(self) -> None:
         self.stats = CacheStats()
-        self._sets = [[] for _ in range(self.num_sets)]
+        self._sets = [OrderedDict() for _ in range(self.num_sets)]
 
 
 @dataclass

@@ -18,7 +18,7 @@ from pathlib import Path
 
 from repro.analysis import analyze_sensitivity, classify_data_consistency
 from repro.core import RepairOptions, RepairStats, repair_module
-from repro.exec import Interpreter
+from repro.exec import BACKENDS, make_executor
 from repro.frontend import compile_source
 from repro.ir import module_to_str, parse_module
 from repro.opt import optimize
@@ -68,7 +68,7 @@ def _cmd_repair(args: argparse.Namespace) -> int:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     module = _load(args.file)
-    interpreter = Interpreter(module)
+    interpreter = make_executor(module, backend=args.backend)
     result = interpreter.run(args.function, [_parse_arg(a) for a in args.args])
     print(f"result = {result.value}")
     print(f"cycles = {result.cycles}")
@@ -111,7 +111,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
             else:
                 call.append(rng.getrandbits(16))
         inputs.append(call)
-    report = check_covenant(module, args.function, inputs)
+    report = check_covenant(module, args.function, inputs, backend=args.backend)
     print(f"semantics preserved : {report.semantics_preserved}")
     print(f"operation invariant : {report.operation_invariant}")
     print(f"data invariant      : {report.data_invariant} "
@@ -147,6 +147,9 @@ def main(argv: "list[str] | None" = None) -> int:
     p_run.add_argument("function")
     p_run.add_argument("args", nargs="*",
                        help="ints, or comma-separated lists for arrays")
+    p_run.add_argument("--backend", choices=BACKENDS, default=None,
+                       help="execution engine (default: compiled, or "
+                            "$REPRO_BACKEND)")
     p_run.set_defaults(func=_cmd_run)
 
     p_check = sub.add_parser("check", help="detect side-channel leaks")
@@ -160,6 +163,9 @@ def main(argv: "list[str] | None" = None) -> int:
     p_verify.add_argument("--runs", type=int, default=4)
     p_verify.add_argument("--array-size", type=int, default=8)
     p_verify.add_argument("--seed", type=int, default=0)
+    p_verify.add_argument("--backend", choices=BACKENDS, default=None,
+                          help="execution engine (default: compiled, or "
+                               "$REPRO_BACKEND)")
     p_verify.set_defaults(func=_cmd_verify)
 
     args = parser.parse_args(argv)

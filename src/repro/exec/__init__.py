@@ -1,5 +1,20 @@
-"""Execution substrate: memory model, tracing interpreter, cost model."""
+"""Execution substrate: memory model, interpreter, compiled backend, costs."""
 
+from repro.exec.backend import (
+    BACKEND_ENV_VAR,
+    BACKENDS,
+    default_backend,
+    make_executor,
+    resolve_backend,
+)
+from repro.exec.compiled import (
+    CompiledExecutor,
+    CompiledModule,
+    clear_compile_cache,
+    compile_cache_stats,
+    compile_ir_module,
+    get_compiled,
+)
 from repro.exec.costs import DEFAULT_COST_MODEL, CostModel
 from repro.exec.interpreter import (
     ExecutionResult,
@@ -30,10 +45,14 @@ from repro.exec.traces import (
 )
 
 __all__ = [
-    "AccessViolation", "CostModel", "DEFAULT_COST_MODEL", "ExecutionResult",
-    "InstructionSite", "Interpreter", "InterpreterError", "Memory",
-    "MemoryAccess", "MemorySafetyViolation", "PipelineConfig",
-    "PipelineModel", "PipelineReport", "BranchPredictor", "Pointer", "Region",
-    "StepLimitExceeded", "Trace", "traces_data_consistent",
-    "traces_data_invariant", "traces_operation_invariant",
+    "AccessViolation", "BACKENDS", "BACKEND_ENV_VAR", "BranchPredictor",
+    "CompiledExecutor", "CompiledModule", "CostModel", "DEFAULT_COST_MODEL",
+    "ExecutionResult", "InstructionSite", "Interpreter", "InterpreterError",
+    "Memory", "MemoryAccess", "MemorySafetyViolation", "PipelineConfig",
+    "PipelineModel", "PipelineReport", "Pointer", "Region",
+    "StepLimitExceeded", "Trace", "clear_compile_cache",
+    "compile_cache_stats", "compile_ir_module", "default_backend",
+    "get_compiled", "make_executor", "resolve_backend",
+    "traces_data_consistent", "traces_data_invariant",
+    "traces_operation_invariant",
 ]

@@ -1,0 +1,96 @@
+"""Backend selection: one knob choosing how IR modules are executed.
+
+Two backends share the same constructor signature and the same
+:meth:`run` contract:
+
+* ``"interp"`` — :class:`repro.exec.interpreter.Interpreter`, the direct
+  operational semantics of the paper's language.  Slow, obviously correct;
+  this is the reference every other backend is tested against.
+* ``"compiled"`` — :class:`repro.exec.compiled.CompiledExecutor`, the
+  closure-compiled backend.  Roughly an order of magnitude faster on the
+  figure workloads; semantics are enforced to be identical by the
+  differential test suite (``tests/integration/test_backend_equivalence.py``).
+
+The default is ``"compiled"``.  It can be overridden per call site (every
+public entry point takes a ``backend=`` argument) or process-wide through
+the ``REPRO_BACKEND`` environment variable — handy for re-running any
+experiment on the reference semantics without touching code::
+
+    REPRO_BACKEND=interp python benchmarks/bench_figures.py
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from repro.exec.compiled import CompiledExecutor
+from repro.exec.costs import DEFAULT_COST_MODEL, CostModel
+from repro.exec.interpreter import (
+    DEFAULT_MAX_CALL_DEPTH,
+    DEFAULT_MAX_STEPS,
+    Interpreter,
+)
+from repro.ir.module import Module
+
+#: Recognised backend names.
+BACKENDS = ("interp", "compiled")
+
+#: Environment variable consulted when no explicit backend is requested.
+BACKEND_ENV_VAR = "REPRO_BACKEND"
+
+_DEFAULT_BACKEND = "compiled"
+
+
+def default_backend() -> str:
+    """The backend used when none is requested explicitly."""
+    name = os.environ.get(BACKEND_ENV_VAR, "").strip()
+    if name:
+        if name not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {name!r} in ${BACKEND_ENV_VAR} "
+                f"(expected one of {', '.join(BACKENDS)})"
+            )
+        return name
+    return _DEFAULT_BACKEND
+
+
+def resolve_backend(backend: Optional[str]) -> str:
+    """Normalise a ``backend=`` argument (``None`` means "the default")."""
+    if backend is None:
+        return default_backend()
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown backend {backend!r} "
+            f"(expected one of {', '.join(BACKENDS)})"
+        )
+    return backend
+
+
+def make_executor(
+    module: Module,
+    *,
+    backend: Optional[str] = None,
+    strict_memory: bool = True,
+    record_trace: bool = True,
+    cost_model: CostModel = DEFAULT_COST_MODEL,
+    cache=None,
+    max_steps: int = DEFAULT_MAX_STEPS,
+    max_call_depth: int = DEFAULT_MAX_CALL_DEPTH,
+):
+    """Build an executor for ``module`` on the selected backend.
+
+    The returned object is either an :class:`Interpreter` or a
+    :class:`CompiledExecutor`; both expose ``run(name, args)`` returning an
+    :class:`~repro.exec.interpreter.ExecutionResult`.
+    """
+    cls = Interpreter if resolve_backend(backend) == "interp" else CompiledExecutor
+    return cls(
+        module,
+        strict_memory=strict_memory,
+        record_trace=record_trace,
+        cost_model=cost_model,
+        cache=cache,
+        max_steps=max_steps,
+        max_call_depth=max_call_depth,
+    )

@@ -49,6 +49,10 @@ class StepLimitExceeded(InterpreterError):
 
 RuntimeValue = "int | Pointer"
 
+#: Runaway-loop guard and recursion guard, shared with the compiled backend.
+DEFAULT_MAX_STEPS = 50_000_000
+DEFAULT_MAX_CALL_DEPTH = 64
+
 
 @dataclass
 class ExecutionResult:
@@ -114,8 +118,8 @@ class Interpreter:
         record_trace: bool = True,
         cost_model: CostModel = DEFAULT_COST_MODEL,
         cache=None,
-        max_steps: int = 50_000_000,
-        max_call_depth: int = 64,
+        max_steps: int = DEFAULT_MAX_STEPS,
+        max_call_depth: int = DEFAULT_MAX_CALL_DEPTH,
     ) -> None:
         self.module = module
         self.strict_memory = strict_memory
@@ -125,6 +129,9 @@ class Interpreter:
         self.max_steps = max_steps
         self.max_call_depth = max_call_depth
         self._instr_addresses = _layout_instructions(module) if cache else {}
+        #: True when per-instruction observation (traces or cache simulation)
+        #: is required; when false the timing path skips that bookkeeping.
+        self._observing = record_trace or cache is not None
 
     # -- public API ----------------------------------------------------------
 
@@ -210,19 +217,22 @@ class Interpreter:
         previous_label: Optional[str] = None
         while True:
             self._execute_phis(function, block, previous_label, frame, state)
+            observing = self._observing
             for index, instr in enumerate(block.instructions):
                 if isinstance(instr, Phi):
                     continue
                 self._step(state)
-                self._record_site(function.name, block.label, index, state)
+                if observing:
+                    self._record_site(function.name, block.label, index, state)
                 state.cycles += self.cost_model.instruction_cost(instr)
                 self._execute(instr, frame, state, depth)
             terminator = block.terminator
             assert terminator is not None
             self._step(state)
-            self._record_site(
-                function.name, block.label, len(block.instructions), state
-            )
+            if observing:
+                self._record_site(
+                    function.name, block.label, len(block.instructions), state
+                )
             state.cycles += self.cost_model.terminator_cost(terminator)
 
             if isinstance(terminator, Ret):
@@ -265,7 +275,8 @@ class Interpreter:
         staged: list[tuple[str, "int | Pointer"]] = []
         for index, phi in enumerate(phis):
             self._step(state)
-            self._record_site(function.name, block.label, index, state)
+            if self._observing:
+                self._record_site(function.name, block.label, index, state)
             state.cycles += self.cost_model.phi
             staged.append(
                 (phi.dest, self._eval_value(phi.incoming_from(previous_label), frame))
@@ -280,7 +291,8 @@ class Interpreter:
             pointer = self._eval_pointer(instr.array, frame)
             index = self._eval_int(instr.index, frame, "load index")
             site = f"{frame.function.name}:{instr}"
-            self._touch_data(pointer, index, "load", state)
+            if self._observing:
+                self._touch_data(pointer, index, "load", state)
             frame.env[instr.dest] = state.memory.load(pointer, index, site)
         elif isinstance(instr, Store):
             pointer = self._eval_pointer(instr.array, frame)
@@ -289,7 +301,8 @@ class Interpreter:
             if isinstance(value, Pointer):
                 raise InterpreterError("storing pointers into memory is not supported")
             site = f"{frame.function.name}:{instr}"
-            self._touch_data(pointer, index, "store", state)
+            if self._observing:
+                self._touch_data(pointer, index, "store", state)
             state.memory.store(pointer, index, value, site)
         elif isinstance(instr, CtSel):
             cond = self._eval_int(instr.cond, frame, "ctsel condition")

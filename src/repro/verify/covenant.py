@@ -88,14 +88,19 @@ def check_covenant(
     inputs: Sequence[Sequence[object]],
     options: Optional[RepairOptions] = None,
     repaired: Optional[Module] = None,
+    backend: Optional[str] = None,
 ) -> CovenantReport:
     """Repair ``@name`` (unless ``repaired`` is given) and verify Covenant 1."""
     if repaired is None:
         repaired = repair_module(module, options)
     repaired_inputs = adapt_inputs(module, name, inputs)
 
-    semantics = compare_semantics(module, repaired, name, inputs, repaired_inputs)
-    invariance = check_invariance(repaired, name, repaired_inputs)
+    semantics = compare_semantics(
+        module, repaired, name, inputs, repaired_inputs, backend=backend
+    )
+    invariance = check_invariance(
+        repaired, name, repaired_inputs, backend=backend
+    )
     consistency = classify_data_consistency(module, name)
 
     return CovenantReport(

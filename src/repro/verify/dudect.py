@@ -20,7 +20,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
 
-from repro.exec.interpreter import Interpreter
+from repro.exec.backend import make_executor
 from repro.ir.module import Module
 
 #: dudect's conventional decision threshold for |t|.
@@ -87,6 +87,7 @@ def dudect_test(
     jitter: float = 0.0,
     seed: int = 0,
     strict_memory: bool = True,
+    backend: Optional[str] = None,
 ) -> DudectReport:
     """Fixed-vs-random timing test on ``@name``.
 
@@ -96,8 +97,8 @@ def dudect_test(
     measurement, emulating a real machine.
     """
     rng = random.Random(seed)
-    interpreter = Interpreter(module, record_trace=False,
-                              strict_memory=strict_memory)
+    interpreter = make_executor(module, backend=backend, record_trace=False,
+                                strict_memory=strict_memory)
     welch = Welch()
     low = high = None
     for index in range(measurements):

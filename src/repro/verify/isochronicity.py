@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 from repro.cache.cache import CacheHierarchy
-from repro.exec.interpreter import ExecutionResult, Interpreter
+from repro.exec.backend import make_executor
 from repro.exec.memory import AccessViolation
 from repro.ir.module import Module
 
@@ -53,6 +53,7 @@ def check_invariance(
     name: str,
     inputs: Sequence[Sequence[object]],
     strict_memory: bool = False,
+    backend: Optional[str] = None,
 ) -> InvarianceReport:
     """Run ``@name`` on every input and compare the traces.
 
@@ -61,7 +62,9 @@ def check_invariance(
     aborting — which is how the evaluation exhibits SC-Eliminator's unsafety.
     """
     report = InvarianceReport(name)
-    interpreter = Interpreter(module, strict_memory=strict_memory)
+    interpreter = make_executor(
+        module, backend=backend, strict_memory=strict_memory
+    )
     first_ops = None
     first_data = None
     first_footprint = None
@@ -105,13 +108,15 @@ def check_cache_invariance(
     name: str,
     inputs: Sequence[Sequence[object]],
     strict_memory: bool = False,
+    backend: Optional[str] = None,
 ) -> CacheInvarianceReport:
     """Run under the cache simulator and compare hit/miss signatures."""
     report = CacheInvarianceReport(name)
     for args in inputs:
         hierarchy = CacheHierarchy()
-        interpreter = Interpreter(
+        interpreter = make_executor(
             module,
+            backend=backend,
             strict_memory=strict_memory,
             record_trace=False,
             cache=hierarchy,
@@ -128,6 +133,7 @@ def compare_semantics(
     original_inputs: Sequence[Sequence[object]],
     transformed_inputs: Sequence[Sequence[object]],
     strict_original: bool = True,
+    backend: Optional[str] = None,
 ) -> bool:
     """Check Theorem 1 dynamically: same outputs for corresponding inputs.
 
@@ -135,8 +141,13 @@ def compare_semantics(
     the two input sequences are given separately; they must correspond
     pairwise.
     """
-    interpreter_a = Interpreter(original, strict_memory=strict_original)
-    interpreter_b = Interpreter(transformed, strict_memory=False)
+    interpreter_a = make_executor(
+        original, backend=backend, strict_memory=strict_original,
+        record_trace=False,
+    )
+    interpreter_b = make_executor(
+        transformed, backend=backend, strict_memory=False, record_trace=False,
+    )
     for args_a, args_b in zip(original_inputs, transformed_inputs):
         result_a = interpreter_a.run(name, list(args_a))
         result_b = interpreter_b.run(name, list(args_b))

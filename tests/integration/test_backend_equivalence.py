@@ -1,0 +1,129 @@
+"""Differential testing of the compiled backend against the interpreter.
+
+Every bundled benchmark program — original, repaired, and repaired at -O1 —
+runs under both execution backends on the same inputs; the backends must
+agree on every observable: return value, simulated cycles, dynamic step
+count, access violations, array outputs, and global state.  With tracing
+enabled, the full instruction and memory traces must also match.
+
+This is the acceptance gate for ``repro.exec.compiled``: the interpreter is
+the reference semantics, and any divergence here is a compiler bug.
+"""
+
+from functools import lru_cache
+
+import pytest
+
+from repro.bench.suite import BENCHMARKS, get_benchmark, load_module
+from repro.core import repair_module
+from repro.exec import make_executor
+from repro.opt import optimize
+from repro.verify import adapt_inputs
+
+ALL_NAMES = [b.name for b in BENCHMARKS]
+
+
+@lru_cache(maxsize=None)
+def _variants(name):
+    """(module, inputs) per variant; inputs adapted to contract signatures."""
+    bench = get_benchmark(name)
+    original = load_module(name)
+    repaired = repair_module(original)
+    repaired_o1 = optimize(repaired)
+    inputs = bench.make_inputs(2)
+    contract_inputs = adapt_inputs(original, bench.entry, inputs)
+    return bench.entry, (
+        ("original", original, inputs),
+        ("repaired", repaired, contract_inputs),
+        ("repaired_o1", repaired_o1, contract_inputs),
+    )
+
+
+def _copy(arg):
+    return list(arg) if isinstance(arg, list) else arg
+
+
+def _observation(result):
+    """Everything a backend must agree on, with violations as strings so
+    dataclass identity does not matter."""
+    return (
+        result.value,
+        result.cycles,
+        result.steps,
+        [str(v) for v in result.violations],
+        result.arrays,
+        result.global_state,
+    )
+
+
+class TestNoTraceEquivalence:
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_all_variants_agree(self, name):
+        entry, variants = _variants(name)
+        for label, module, inputs in variants:
+            interp = make_executor(
+                module, backend="interp", record_trace=False,
+                strict_memory=False,
+            )
+            compiled = make_executor(
+                module, backend="compiled", record_trace=False,
+                strict_memory=False,
+            )
+            for args in inputs:
+                ref = interp.run(entry, [_copy(a) for a in args])
+                got = compiled.run(entry, [_copy(a) for a in args])
+                assert _observation(got) == _observation(ref), (
+                    f"{name}/{label}: backends diverge on {args!r}"
+                )
+
+
+class TestTraceEquivalence:
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_traces_agree(self, name):
+        entry, variants = _variants(name)
+        for label, module, inputs in variants:
+            interp = make_executor(
+                module, backend="interp", strict_memory=False,
+            )
+            compiled = make_executor(
+                module, backend="compiled", strict_memory=False,
+            )
+            args = inputs[0]
+            ref = interp.run(entry, [_copy(a) for a in args])
+            got = compiled.run(entry, [_copy(a) for a in args])
+            assert _observation(got) == _observation(ref), f"{name}/{label}"
+            assert ref.trace is not None and got.trace is not None
+            assert got.trace.operation_signature() == (
+                ref.trace.operation_signature()
+            ), f"{name}/{label}: instruction traces diverge"
+            assert got.trace.data_signature() == ref.trace.data_signature(), (
+                f"{name}/{label}: memory traces diverge"
+            )
+            assert got.trace.memory == ref.trace.memory, (
+                f"{name}/{label}: memory access records diverge"
+            )
+
+
+class TestCacheModeEquivalence:
+    """Cache-hierarchy simulation must see the same address streams."""
+
+    @pytest.mark.parametrize("name", ["tea", "ctbench_memcmp", "ofdf"])
+    def test_cache_reports_agree(self, name):
+        from repro.cache import CacheHierarchy
+
+        entry, variants = _variants(name)
+        for label, module, inputs in variants:
+            signatures = {}
+            for backend in ("interp", "compiled"):
+                hierarchy = CacheHierarchy()
+                executor = make_executor(
+                    module, backend=backend, record_trace=False,
+                    strict_memory=False, cache=hierarchy,
+                )
+                result = executor.run(entry, [_copy(a) for a in inputs[0]])
+                signatures[backend] = (
+                    result.cycles, hierarchy.report().signature()
+                )
+            assert signatures["interp"] == signatures["compiled"], (
+                f"{name}/{label}: cache behaviour diverges"
+            )

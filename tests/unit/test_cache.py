@@ -1,8 +1,37 @@
 """Set-associative cache simulator."""
 
+import random
+
 import pytest
 
 from repro.cache import Cache, CacheHierarchy
+
+
+class _ListLRUCache(Cache):
+    """The original list-based implementation, kept as a reference model
+    for the OrderedDict rewrite: same geometry, same LRU policy, O(ways)
+    per hit."""
+
+    def __init__(self, **kwargs):
+        super().__init__(**kwargs)
+        self._lists = [[] for _ in range(self.num_sets)]
+
+    def access(self, address: int) -> bool:
+        line = address // self.line_size
+        index = line % self.num_sets
+        tag = line // self.num_sets
+        entries = self._lists[index]
+        self.stats.accesses += 1
+        if tag in entries:
+            entries.remove(tag)
+            entries.insert(0, tag)
+            self.stats.hits += 1
+            return True
+        entries.insert(0, tag)
+        if len(entries) > self.ways:
+            entries.pop()
+        self.stats.misses += 1
+        return False
 
 
 class TestCacheGeometry:
@@ -55,6 +84,39 @@ class TestBehaviour:
         cache.reset()
         assert cache.stats.accesses == 0
         assert cache.access(0) is False  # cold again
+
+
+class TestLRUEquivalence:
+    """The OrderedDict-based sets must reproduce the original list-based
+    implementation access for access, not just in aggregate."""
+
+    @pytest.mark.parametrize("geometry", [
+        dict(size=256, line_size=64, ways=2),
+        dict(size=1024, line_size=64, ways=4),
+        dict(size=4096, line_size=32, ways=8),
+    ])
+    def test_identical_hit_miss_sequences(self, geometry):
+        fast = Cache(**geometry)
+        reference = _ListLRUCache(**geometry)
+        rng = random.Random(1234)
+        # Skewed towards small addresses so sets actually fill and evict.
+        addresses = [rng.randrange(0, 8 * geometry["size"])
+                     for _ in range(5000)]
+        sequence_fast = [fast.access(a) for a in addresses]
+        sequence_ref = [reference.access(a) for a in addresses]
+        assert sequence_fast == sequence_ref
+        assert fast.stats.as_tuple() == reference.stats.as_tuple()
+
+    def test_equivalence_survives_reset(self):
+        fast = Cache(size=256, line_size=64, ways=2)
+        reference = _ListLRUCache(size=256, line_size=64, ways=2)
+        for cache in (fast, reference):
+            cache.access(0)
+            cache.access(64)
+        fast.reset()
+        # After reset the rewritten cache is cold again.
+        assert fast.access(0) is False
+        assert fast.stats.as_tuple() == (1, 0, 1)
 
 
 class TestHierarchy:

@@ -71,6 +71,26 @@ class TestRun:
         assert main(["run", source_file, "compare", "1,2", "3,4"]) == 0
         assert "result = 0" in capsys.readouterr().out
 
+    @pytest.mark.parametrize("backend", ["interp", "compiled"])
+    def test_run_backend_flag(self, source_file, capsys, backend):
+        assert main(["run", source_file, "compare", "1,2", "1,2",
+                     "--backend", backend]) == 0
+        out = capsys.readouterr().out
+        assert "result = 1" in out
+
+    def test_backends_report_same_cycles(self, source_file, capsys):
+        outputs = {}
+        for backend in ("interp", "compiled"):
+            main(["run", source_file, "compare", "1,2", "1,2",
+                  "--backend", backend])
+            outputs[backend] = capsys.readouterr().out
+        assert outputs["interp"] == outputs["compiled"]
+
+    def test_unknown_backend_rejected(self, source_file):
+        with pytest.raises(SystemExit):
+            main(["run", source_file, "compare", "1,2", "1,2",
+                  "--backend", "turbo"])
+
 
 class TestCheck:
     def test_leaky_function_reports_and_fails(self, source_file, capsys):

@@ -1,0 +1,328 @@
+"""The compiled backend: semantics, error parity, and backend selection.
+
+Most tests here run the same program under both backends and require not
+just the same results but the same *failures* — exception type and message
+— because downstream tooling (the verifiers, the CLI) matches on them.
+"""
+
+import pytest
+
+from repro.exec import (
+    CompiledExecutor,
+    Interpreter,
+    InterpreterError,
+    MemorySafetyViolation,
+    StepLimitExceeded,
+    make_executor,
+    resolve_backend,
+)
+from repro.exec.backend import BACKEND_ENV_VAR
+from repro.ir import parse_module
+
+
+def run(text: str, name: str, args, **kwargs):
+    return CompiledExecutor(parse_module(text), **kwargs).run(name, args)
+
+
+def run_both(text: str, name: str, args, **kwargs):
+    """Run under both backends; assert identical observations; return the
+    compiled result."""
+    module = parse_module(text)
+    ref = Interpreter(module, **kwargs).run(name, list(args))
+    got = CompiledExecutor(module, **kwargs).run(name, list(args))
+    assert got.value == ref.value
+    assert got.cycles == ref.cycles
+    assert got.steps == ref.steps
+    assert got.arrays == ref.arrays
+    assert got.global_state == ref.global_state
+    assert [str(v) for v in got.violations] == [str(v) for v in ref.violations]
+    return got
+
+
+def error_both(text: str, name: str, args, **kwargs):
+    """Both backends must raise the same exception type and message."""
+    module = parse_module(text)
+    with pytest.raises(Exception) as ref_info:
+        Interpreter(module, **kwargs).run(name, list(args))
+    with pytest.raises(Exception) as got_info:
+        CompiledExecutor(module, **kwargs).run(name, list(args))
+    assert type(got_info.value) is type(ref_info.value)
+    assert str(got_info.value) == str(ref_info.value)
+    return got_info
+
+
+class TestSemantics:
+    def test_arithmetic_and_return(self):
+        result = run_both(
+            "func @f(a: int, b: int) { entry: x = mov a * b ret x + 1 }",
+            "f", [6, 7],
+        )
+        assert result.value == 43
+
+    def test_wrapping_matches_interpreter(self):
+        # Register values may be raw (unwrapped) ints loaded from memory;
+        # fused arithmetic must wrap exactly where eval_binop wraps.
+        result = run_both("""
+        func @f(a: ptr) {
+        entry:
+          x = load a[0]
+          y = mov x + 1
+          z = mov y & x
+          w = mov z >> 1
+          c = mov x < y
+          store w, a[0]
+          ret c
+        }
+        """, "f", [[2**63 - 1]])
+        assert isinstance(result.value, int)
+
+    def test_division_and_modulo(self):
+        result = run_both("""
+        func @f(a: int, b: int) {
+        entry:
+          q = mov a / b
+          r = mov a % b
+          z = mov a / 0
+          qs = mov q * 1000
+          rs = mov r * 10
+          t = mov qs + rs
+          ret t + z
+        }
+        """, "f", [-7, 2])
+        # C semantics: truncation toward zero; division by zero yields 0.
+        assert result.value == -3010
+
+    def test_phi_parallel_evaluation(self):
+        result = run_both("""
+        func @f(n: int) {
+        entry:
+          jmp body
+        body:
+          a = phi [1, entry]
+          b = phi [2, entry]
+          jmp swap
+        swap:
+          x = phi [b, body]
+          y = phi [a, body]
+          r = mov x * 10
+          ret r + y
+        }
+        """, "f", [0])
+        assert result.value == 21
+
+    def test_branch_ctsel_alloc(self):
+        result = run_both("""
+        func @f(c: int) {
+        entry:
+          buf = alloc 2
+          x = ctsel c, 10, 20
+          store x, buf[0]
+          br c, yes, no
+        yes:
+          jmp done
+        no:
+          jmp done
+        done:
+          r = phi [1, yes], [2, no]
+          y = load buf[0]
+          ret r + y
+        }
+        """, "f", [1])
+        assert result.value == 11
+
+    def test_calls_and_globals(self):
+        result = run_both("""
+        global @g[2]
+        func @helper(v: int) {
+        entry:
+          store v, g[1]
+          ret v + 1
+        }
+        func @f(v: int) {
+        entry:
+          x = call @helper(v)
+          y = load g[1]
+          ret x + y
+        }
+        """, "f", [9])
+        assert result.value == 19
+
+    def test_argument_word_wrapping(self):
+        assert run_both("func @f(a: int) { entry: ret a }",
+                        "f", [2**64 + 5]).value == 5
+
+    def test_unary_operators(self):
+        result = run_both("""
+        func @f(a: int) {
+        entry:
+          x = mov -a
+          y = mov ~a
+          z = mov !a
+          t = mov x + y
+          ret t + z
+        }
+        """, "f", [3])
+        assert result.value == -7
+
+
+class TestTraceParity:
+    def test_instruction_and_memory_traces(self):
+        text = """
+        func @f(a: ptr) {
+        entry:
+          x = load a[1]
+          store x, a[0]
+          ret x
+        }
+        """
+        module = parse_module(text)
+        ref = Interpreter(module).run("f", [[5, 6]])
+        got = CompiledExecutor(module).run("f", [[5, 6]])
+        assert got.trace.operation_signature() == ref.trace.operation_signature()
+        assert got.trace.memory == ref.trace.memory
+
+    def test_call_sites_interleave_like_interpreter(self):
+        # The callee's sites must appear between the call site and the
+        # caller's subsequent instructions, exactly as the interpreter
+        # records them step by step.
+        text = """
+        func @inner(v: int) { entry: x = mov v + 1 ret x }
+        func @f(v: int) {
+        entry:
+          a = call @inner(v)
+          b = call @inner(a)
+          ret b
+        }
+        """
+        module = parse_module(text)
+        ref = Interpreter(module).run("f", [1])
+        got = CompiledExecutor(module).run("f", [1])
+        assert got.trace.operation_signature() == ref.trace.operation_signature()
+
+    def test_no_trace_mode_has_no_trace(self):
+        result = run("func @f() { entry: ret 0 }", "f", [],
+                     record_trace=False)
+        assert result.trace is None
+
+
+class TestErrorParity:
+    def test_wrong_arity(self):
+        info = error_both("func @f(a: int) { entry: ret a }", "f", [])
+        assert "expects" in str(info.value)
+
+    def test_pointer_arithmetic_rejected(self):
+        error_both("func @f(a: ptr) { entry: x = mov a + 1 ret x }",
+                   "f", [[1]])
+
+    def test_pointer_equality_allowed(self):
+        result = run_both("func @f(a: ptr) { entry: x = mov a == a ret x }",
+                          "f", [[1]])
+        assert result.value == 1
+
+    def test_returning_pointer_rejected(self):
+        error_both("func @f(a: ptr) { entry: xp = mov a ret xp }",
+                   "f", [[1]])
+
+    def test_undefined_variable(self):
+        error_both("""
+        func @f(c: int) {
+        entry:
+          br c, use, skip
+        use:
+          x = mov 1
+          jmp done
+        skip:
+          jmp done
+        done:
+          y = mov x + 1
+          ret y
+        }
+        """, "f", [0])
+
+    def test_strict_oob_raises_same_violation(self):
+        info = error_both("func @f(a: ptr) { entry: x = load a[5] ret x }",
+                          "f", [[1]])
+        assert isinstance(info.value, MemorySafetyViolation)
+
+    def test_permissive_oob_recorded(self):
+        result = run_both("func @f(a: ptr) { entry: x = load a[5] ret 0 }",
+                          "f", [[1]], strict_memory=False)
+        assert len(result.violations) == 1
+
+    def test_step_limit(self):
+        module = parse_module("func @f() { entry: jmp entry }")
+        with pytest.raises(StepLimitExceeded):
+            CompiledExecutor(module, max_steps=100).run("f", [])
+
+    def test_recursion_depth_limit(self):
+        module = parse_module("""
+        func @f(n: int) {
+        entry:
+          x = call @f(n)
+          ret x
+        }
+        """)
+        with pytest.raises(InterpreterError, match="depth"):
+            CompiledExecutor(module).run("f", [1])
+
+    def test_branch_condition_pointer(self):
+        error_both("""
+        func @f(a: ptr) {
+        entry:
+          br a, yes, no
+        yes:
+          jmp done
+        no:
+          jmp done
+        done:
+          ret 0
+        }
+        """, "f", [[1]])
+
+    def test_store_pointer_rejected(self):
+        error_both("""
+        func @f(a: ptr, b: ptr) {
+        entry:
+          store b, a[0]
+          ret 0
+        }
+        """, "f", [[1], [2]])
+
+    def test_unknown_function(self):
+        module = parse_module("func @f() { entry: ret 0 }")
+        with pytest.raises(KeyError):
+            CompiledExecutor(module).run("nope", [])
+
+
+class TestBackendSelection:
+    def test_make_executor_compiled_default(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        module = parse_module("func @f() { entry: ret 1 }")
+        executor = make_executor(module)
+        assert isinstance(executor, CompiledExecutor)
+        assert executor.run("f", []).value == 1
+
+    def test_make_executor_interp(self):
+        module = parse_module("func @f() { entry: ret 1 }")
+        executor = make_executor(module, backend="interp")
+        assert isinstance(executor, Interpreter)
+
+    def test_env_var_selects_backend(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "interp")
+        assert resolve_backend(None) == "interp"
+        monkeypatch.setenv(BACKEND_ENV_VAR, "compiled")
+        assert resolve_backend(None) == "compiled"
+
+    def test_explicit_backend_overrides_env(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "interp")
+        assert resolve_backend("compiled") == "compiled"
+
+    def test_unknown_backend_rejected(self):
+        module = parse_module("func @f() { entry: ret 1 }")
+        with pytest.raises(ValueError):
+            make_executor(module, backend="jit")
+
+    def test_invalid_env_var_rejected(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "turbo")
+        with pytest.raises(ValueError):
+            resolve_backend(None)
