@@ -77,6 +77,33 @@ def run_function(
     return result if trace else result.value
 
 
+def build_suite(
+    names: Optional[Sequence[str]] = None,
+    jobs: Optional[int] = None,
+):
+    """Build benchmark artifacts in parallel, through the on-disk cache.
+
+    Returns a list of :class:`repro.bench.runner.BenchArtifacts` in suite
+    order.  ``jobs`` defaults to ``REPRO_JOBS`` or the CPU count; the cache
+    location honours ``REPRO_CACHE_DIR`` (and ``REPRO_CACHE=0`` disables
+    it).  See ``docs/PIPELINE.md``.
+    """
+    from repro.bench.runner import build_suite as _build_suite
+
+    return _build_suite(names, jobs=jobs)
+
+
+def verify_suite(
+    names: Optional[Sequence[str]] = None,
+    jobs: Optional[int] = None,
+    runs: int = 4,
+):
+    """Verify Covenant 1 across benchmarks in parallel; ``{name: report}``."""
+    from repro.verify.suite import verify_suite as _verify_suite
+
+    return _verify_suite(names, jobs=jobs, runs=runs)
+
+
 def check_isochronous(
     module: Module,
     name: str,

@@ -1,0 +1,41 @@
+"""Content-addressed build artifacts and the parallel build fan-out.
+
+The bench/verify harnesses rebuild the same six module variants (original,
+repaired, SC-Eliminated, each at -O0 and -O1) for every benchmark on every
+invocation.  This package makes that incremental and parallel:
+
+* :mod:`repro.artifacts.keys` — cache keys: SHA-256 over (source text,
+  build options, pipeline code version).
+* :mod:`repro.artifacts.build` — build one benchmark's variants with
+  per-stage timings, serialised through the IR printer/parser round-trip.
+* :mod:`repro.artifacts.store` — the on-disk ``.repro-cache/`` layout.
+* :mod:`repro.artifacts.parallel` — ``concurrent.futures`` process-pool
+  fan-out with a deterministic, input-ordered merge.
+"""
+
+from repro.artifacts.build import (
+    VARIANTS,
+    BuildRequest,
+    BuiltArtifacts,
+    build_artifacts,
+    outputs_match,
+    parse_variant,
+)
+from repro.artifacts.keys import cache_key, pipeline_version
+from repro.artifacts.parallel import build_many, resolve_jobs
+from repro.artifacts.store import ArtifactStore, default_store
+
+__all__ = [
+    "ArtifactStore",
+    "BuildRequest",
+    "BuiltArtifacts",
+    "VARIANTS",
+    "build_artifacts",
+    "build_many",
+    "cache_key",
+    "default_store",
+    "outputs_match",
+    "parse_variant",
+    "pipeline_version",
+    "resolve_jobs",
+]

@@ -1,0 +1,50 @@
+"""Cache keys: content addresses for built benchmark variants.
+
+A key identifies *everything* that determines a build's output: the MiniC
+source text, the build options, and the pipeline code itself.  Hashing the
+package sources means any edit to a pass, the repair rules, or the printer
+invalidates every artifact the previous code produced — there is no manual
+version constant to forget to bump.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from functools import lru_cache
+from pathlib import Path
+
+#: Bump when the on-disk artifact layout changes incompatibly (it is part of
+#: the key, so old entries are simply never looked up again).
+SCHEMA_VERSION = 1
+
+
+@lru_cache(maxsize=1)
+def pipeline_version() -> str:
+    """Digest of every ``repro`` source file — the "pipeline code version"."""
+    package_root = Path(__file__).resolve().parent.parent
+    digest = hashlib.sha256()
+    for path in sorted(package_root.rglob("*.py")):
+        digest.update(str(path.relative_to(package_root)).encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()[:16]
+
+
+def cache_key(source: str, options: object) -> str:
+    """SHA-256 of (source text, build options, pipeline version).
+
+    ``options`` must be JSON-serialisable; key stability across processes
+    comes from ``sort_keys`` canonicalisation.
+    """
+    payload = json.dumps(
+        {
+            "schema": SCHEMA_VERSION,
+            "pipeline": pipeline_version(),
+            "source": source,
+            "options": options,
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()

@@ -1,0 +1,124 @@
+"""The on-disk content-addressed artifact store.
+
+Layout, under the cache root (default ``.repro-cache/``)::
+
+    <key[:2]>/<key>/meta.json      name, entry, stats, timings, variant list
+    <key[:2]>/<key>/<variant>.ir   printed IR, one file per variant
+
+Writes are atomic: a build lands in a temp directory that is ``os.replace``d
+into place, so a reader never observes a half-written entry and concurrent
+writers of the same key race benignly (content-addressing makes their
+payloads identical).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import tempfile
+from pathlib import Path
+from typing import Optional
+
+from repro.artifacts.build import BuiltArtifacts
+
+_META = "meta.json"
+
+
+def default_store() -> "Optional[ArtifactStore]":
+    """The store selected by the environment.
+
+    ``REPRO_CACHE=0`` disables caching entirely; ``REPRO_CACHE_DIR``
+    relocates the root (default ``.repro-cache`` in the working directory).
+    """
+    if os.environ.get("REPRO_CACHE", "1") == "0":
+        return None
+    return ArtifactStore(os.environ.get("REPRO_CACHE_DIR", ".repro-cache"))
+
+
+class ArtifactStore:
+    """Content-addressed artifact directory."""
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+
+    def _entry_dir(self, key: str) -> Path:
+        return self.root / key[:2] / key
+
+    def has(self, key: str) -> bool:
+        """Cheap existence check (meta present, IR not read)."""
+        return (self._entry_dir(key) / _META).is_file()
+
+    def load(self, key: str) -> Optional[BuiltArtifacts]:
+        """Return the cached build for ``key``, or None on any miss."""
+        entry = self._entry_dir(key)
+        try:
+            meta = json.loads((entry / _META).read_text())
+            ir = {
+                variant: (entry / f"{variant}.ir").read_text()
+                for variant in meta["variants"]
+            }
+        except (OSError, ValueError, KeyError):
+            return None
+        return BuiltArtifacts(
+            name=meta["name"],
+            key=key,
+            entry=meta["entry"],
+            ir=ir,
+            module_names=meta["module_names"],
+            repair_stats=meta["repair_stats"],
+            sce_stats=meta["sce_stats"],
+            sce_error=meta["sce_error"],
+            sce_correct=meta["sce_correct"],
+            timings=meta["timings"],
+            instruction_counts=meta["instruction_counts"],
+            cache_hit=True,
+        )
+
+    def save(self, built: BuiltArtifacts) -> None:
+        entry = self._entry_dir(built.key)
+        entry.parent.mkdir(parents=True, exist_ok=True)
+        staging = Path(tempfile.mkdtemp(dir=entry.parent, prefix=".staging-"))
+        try:
+            meta = {
+                "name": built.name,
+                "entry": built.entry,
+                "variants": sorted(built.ir),
+                "module_names": built.module_names,
+                "repair_stats": built.repair_stats,
+                "sce_stats": built.sce_stats,
+                "sce_error": built.sce_error,
+                "sce_correct": built.sce_correct,
+                "timings": built.timings,
+                "instruction_counts": built.instruction_counts,
+            }
+            for variant, text in built.ir.items():
+                (staging / f"{variant}.ir").write_text(text)
+            (staging / _META).write_text(json.dumps(meta, indent=1, sort_keys=True))
+            try:
+                os.replace(staging, entry)
+            except OSError:
+                # The entry already exists.  If it is readable another
+                # writer won a benign race (identical content); otherwise
+                # it is a corrupt leftover — clear it and try once more.
+                if self.load(built.key) is None:
+                    shutil.rmtree(entry, ignore_errors=True)
+                    os.replace(staging, entry)
+                else:
+                    shutil.rmtree(staging, ignore_errors=True)
+        except OSError:
+            # Unwritable cache dir or a second lost race: the build itself
+            # still succeeded, so drop the staging copy and go on.
+            shutil.rmtree(staging, ignore_errors=True)
+
+    def known_keys(self) -> list[str]:
+        """Keys with a complete entry on disk (for tests and diagnostics)."""
+        if not self.root.is_dir():
+            return []
+        return sorted(
+            entry.name
+            for shard in self.root.iterdir()
+            if shard.is_dir() and not shard.name.startswith(".")
+            for entry in shard.iterdir()
+            if (entry / _META).is_file()
+        )

@@ -44,8 +44,12 @@ def inline_all_calls(module: Module, budget: int = 1_000_000) -> int:
         function = module.functions[name]
         # Callees processed first are already call-free, so one sweep per
         # function suffices even though inlining splices new blocks in.
+        # Blocks verified call-free stay call-free (inlining only rewrites
+        # the block holding the call and appends fresh blocks), so remember
+        # them instead of rescanning from the entry every round.
+        call_free: set[str] = set()
         while True:
-            site = _find_call(function)
+            site = _find_call(function, call_free)
             if site is None:
                 break
             _inline_call(module, function, *site, suffix=f"inl{inlined}")
@@ -56,11 +60,15 @@ def inline_all_calls(module: Module, budget: int = 1_000_000) -> int:
     return inlined
 
 
-def _find_call(function: Function):
+def _find_call(function: Function, call_free: "set[str] | None" = None):
     for block in function.blocks.values():
+        if call_free is not None and block.label in call_free:
+            continue
         for index, instr in enumerate(block.instructions):
             if isinstance(instr, Call):
                 return block.label, index
+        if call_free is not None:
+            call_free.add(block.label)
     return None
 
 
@@ -164,13 +172,13 @@ def _relabel_successor_phis(
     for candidate in caller.blocks.values():
         if candidate.label == skip:
             continue
-        rewritten = []
-        for instr in candidate.instructions:
-            if isinstance(instr, Phi):
+        instructions = candidate.instructions
+        for index, instr in enumerate(instructions):
+            if type(instr) is Phi and any(
+                pred == old for _, pred in instr.incomings
+            ):
                 arms = tuple(
                     (value, new if pred == old else pred)
                     for value, pred in instr.incomings
                 )
-                instr = Phi(instr.dest, arms)
-            rewritten.append(instr)
-        candidate.instructions = rewritten
+                instructions[index] = Phi(instr.dest, arms)

@@ -1,6 +1,12 @@
 """Benchmark suite and evaluation harness (paper Section IV)."""
 
-from repro.bench.runner import BenchArtifacts, get_artifacts, measure_cycles
+from repro.bench.runner import (
+    BenchArtifacts,
+    build_request,
+    build_suite,
+    get_artifacts,
+    measure_cycles,
+)
 from repro.bench.stats import (
     LinearFit,
     drop_outliers,
@@ -22,7 +28,8 @@ from repro.bench.suite import (
 
 __all__ = [
     "ArrayArg", "BENCHMARKS", "BenchArtifacts", "Benchmark", "IntArg",
-    "LinearFit", "benchmark_names", "drop_outliers", "format_table",
-    "geomean", "get_artifacts", "get_benchmark", "linear_fit", "load_module",
-    "make_ofdf_source", "mean", "measure_cycles",
+    "LinearFit", "benchmark_names", "build_request", "build_suite",
+    "drop_outliers", "format_table", "geomean", "get_artifacts",
+    "get_benchmark", "linear_fit", "load_module", "make_ofdf_source",
+    "mean", "measure_cycles",
 ]

@@ -4,48 +4,127 @@ For each benchmark the harness produces six modules — original, repaired
 (ours), SC-Eliminated (baseline), each unoptimised and at -O1 — plus the
 baseline's observed outcome (ok / incorrect output / unsupported), matching
 the pass/fail/error trichotomy of the original artifact's ``run.sh``.
+
+Since PR 2 the build goes through :mod:`repro.artifacts`: results are
+content-addressed on disk (``.repro-cache/``) and whole-suite builds fan
+out across a process pool (``--jobs`` / ``REPRO_JOBS``).  Modules are
+materialised lazily from the printed IR, so loading a cached suite costs
+file reads, not parses.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
-from functools import lru_cache
-from typing import Optional, Sequence
+from typing import Iterable, Optional, Sequence
 
+from repro.artifacts import (
+    BuildRequest,
+    BuiltArtifacts,
+    build_artifacts,
+    build_many,
+    default_store,
+    parse_variant,
+)
 from repro.baseline import (
     SCEliminatorOptions,
     SCEliminatorStats,
     UnsupportedProgramError,
     sc_eliminate,
 )
-from repro.bench.suite import Benchmark, get_benchmark, load_module
+from repro.bench.suite import Benchmark, benchmark_names, get_benchmark
 from repro.core import RepairOptions, RepairStats, repair_module
 from repro.exec import make_executor
 from repro.ir.module import Module
-from repro.opt import optimize
 from repro.verify import adapt_inputs
 
 #: Default baseline options used across all experiments.  The inline budget
 #: matches what the CTBench routines exceed (the artifact's failure mode).
 SCE_OPTIONS = SCEliminatorOptions(inline_budget=20_000)
 
+_MODULE_VARIANTS = (
+    ("original", "original"),
+    ("original_o1", "original_o1"),
+    ("repaired", "repaired"),
+    ("repaired_o1", "repaired_o1"),
+    ("sce", "sce"),
+    ("sce_o1", "sce_o1"),
+)
 
-@dataclass
+
 class BenchArtifacts:
-    """All compiled variants and metadata for one benchmark."""
+    """All compiled variants and metadata for one benchmark.
 
-    bench: Benchmark
-    original: Module
-    original_o1: Module
-    repaired: Module
-    repaired_o1: Module
-    repair_stats: RepairStats
-    sce: Optional[Module]
-    sce_o1: Optional[Module]
-    sce_stats: Optional[SCEliminatorStats]
-    sce_error: Optional[str]
-    sce_correct: Optional[bool]
+    A thin lazy view over :class:`repro.artifacts.BuiltArtifacts`: modules
+    are parsed from their printed IR on first attribute access, and stats
+    dataclasses are rebuilt from the serialised dicts.
+    """
+
+    def __init__(self, bench: Benchmark, built: BuiltArtifacts) -> None:
+        self.bench = bench
+        self.built = built
+        self._modules: dict = {}
+
+    def _module(self, variant: str) -> Optional[Module]:
+        if variant not in self._modules:
+            if variant in self.built.ir:
+                self._modules[variant] = parse_variant(self.built, variant)
+            else:
+                self._modules[variant] = None
+        return self._modules[variant]
+
+    @property
+    def original(self) -> Module:
+        return self._module("original")
+
+    @property
+    def original_o1(self) -> Module:
+        return self._module("original_o1")
+
+    @property
+    def repaired(self) -> Module:
+        return self._module("repaired")
+
+    @property
+    def repaired_o1(self) -> Module:
+        return self._module("repaired_o1")
+
+    @property
+    def sce(self) -> Optional[Module]:
+        return self._module("sce")
+
+    @property
+    def sce_o1(self) -> Optional[Module]:
+        return self._module("sce_o1")
+
+    @property
+    def repair_stats(self) -> RepairStats:
+        data = dict(self.built.repair_stats)
+        data["per_function"] = {
+            name: tuple(pair) for name, pair in data.get("per_function", {}).items()
+        }
+        return RepairStats(**data)
+
+    @property
+    def sce_stats(self) -> Optional[SCEliminatorStats]:
+        if self.built.sce_stats is None:
+            return None
+        data = dict(self.built.sce_stats)
+        data["per_function"] = {
+            name: tuple(pair) for name, pair in data.get("per_function", {}).items()
+        }
+        return SCEliminatorStats(**data)
+
+    @property
+    def sce_error(self) -> Optional[str]:
+        return self.built.sce_error
+
+    @property
+    def sce_correct(self) -> Optional[bool]:
+        return self.built.sce_correct
+
+    @property
+    def cache_hit(self) -> bool:
+        return self.built.cache_hit
 
     @property
     def sce_outcome(self) -> str:
@@ -55,67 +134,60 @@ class BenchArtifacts:
         return "ok" if self.sce_correct else "incorrect"
 
 
-@lru_cache(maxsize=None)
+def build_request(bench: Benchmark) -> BuildRequest:
+    """The content-addressed build request for one benchmark."""
+    check_inputs = tuple(
+        tuple(tuple(arg) if isinstance(arg, list) else arg for arg in args)
+        for args in bench.make_inputs(4)
+    )
+    return BuildRequest(
+        name=bench.name,
+        source=bench.source(),
+        entry=bench.entry,
+        check_inputs=check_inputs,
+        sce_inline_budget=SCE_OPTIONS.inline_budget,
+    )
+
+
+_MEMO: dict = {}
+
+
 def get_artifacts(name: str) -> BenchArtifacts:
-    bench = get_benchmark(name)
-    original = load_module(name)
-
-    repair_stats = RepairStats()
-    repaired = repair_module(original, RepairOptions(), stats=repair_stats)
-
-    sce = sce_stats = sce_o1 = None
-    sce_error: Optional[str] = None
-    sce_correct: Optional[bool] = None
-    try:
-        sce_stats = SCEliminatorStats()
-        sce = sc_eliminate(original, SCE_OPTIONS, stats=sce_stats)
-    except UnsupportedProgramError as error:
-        sce = None
-        sce_stats = None
-        sce_error = str(error)
-
-    original_o1 = optimize(original)
-    repaired_o1 = optimize(repaired)
-    if sce is not None:
-        sce_o1 = optimize(sce)
-        sce_correct = _outputs_match(bench, original, sce)
-
-    return BenchArtifacts(
-        bench=bench,
-        original=original,
-        original_o1=original_o1,
-        repaired=repaired,
-        repaired_o1=repaired_o1,
-        repair_stats=repair_stats,
-        sce=sce,
-        sce_o1=sce_o1,
-        sce_stats=sce_stats,
-        sce_error=sce_error,
-        sce_correct=sce_correct,
-    )
+    """Build (or load from the artifact cache) one benchmark, memoised."""
+    if name not in _MEMO:
+        bench = get_benchmark(name)
+        built = build_artifacts(build_request(bench), store=default_store())
+        _MEMO[name] = BenchArtifacts(bench, built)
+    return _MEMO[name]
 
 
-def _outputs_match(
-    bench: Benchmark,
-    original: Module,
-    transformed: Module,
-    backend: Optional[str] = None,
-) -> bool:
-    """Same-signature output comparison (the artifact's pass/fail check)."""
-    interpreter_a = make_executor(original, backend=backend, record_trace=False)
-    interpreter_b = make_executor(
-        transformed, backend=backend, record_trace=False, strict_memory=False
-    )
-    for args in bench.make_inputs(4):
-        result_a = interpreter_a.run(bench.entry, [_copy(a) for a in args])
-        result_b = interpreter_b.run(bench.entry, [_copy(a) for a in args])
-        if result_a.value != result_b.value or result_a.arrays != result_b.arrays:
-            return False
-    return True
+def clear_artifact_memo() -> None:
+    """Drop the in-process memo (the on-disk store is untouched)."""
+    _MEMO.clear()
 
 
-def _copy(arg):
-    return list(arg) if isinstance(arg, list) else arg
+def build_suite(
+    names: "Optional[Iterable[str]]" = None,
+    jobs: Optional[int] = None,
+    store="unset",
+) -> "list[BenchArtifacts]":
+    """Build many benchmarks at once, fanning out across processes.
+
+    Results come back in input order.  ``store`` defaults to the
+    environment-selected cache (:func:`repro.artifacts.default_store`);
+    pass ``None`` to force uncached builds.
+    """
+    if store == "unset":
+        store = default_store()
+    selected = list(names) if names is not None else benchmark_names()
+    benches = [get_benchmark(name) for name in selected]
+    built = build_many([build_request(b) for b in benches], jobs=jobs, store=store)
+    artifacts = []
+    for bench, record in zip(benches, built):
+        wrapped = BenchArtifacts(bench, record)
+        _MEMO.setdefault(bench.name, wrapped)
+        artifacts.append(wrapped)
+    return artifacts
 
 
 def repaired_inputs(
@@ -139,6 +211,10 @@ def measure_cycles(
     for args in inputs:
         total += interpreter.run(entry, [_copy(a) for a in args]).cycles
     return total / len(inputs)
+
+
+def _copy(arg):
+    return list(arg) if isinstance(arg, (list, tuple)) else arg
 
 
 def time_repair(

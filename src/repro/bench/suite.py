@@ -15,6 +15,7 @@ incorrect code, or fail).
 from __future__ import annotations
 
 import random
+import zlib
 from dataclasses import dataclass, field
 from functools import lru_cache
 from pathlib import Path
@@ -69,7 +70,10 @@ class Benchmark:
 
     def make_inputs(self, count: int, seed: int = 0) -> list[list[object]]:
         """Deterministic argument lists: special inputs first, then random."""
-        rng = random.Random((hash(self.name) & 0xFFFF) ^ seed)
+        # zlib.crc32 rather than hash(): str hashing is salted per process,
+        # and worker processes must generate identical inputs for the same
+        # benchmark (the differential checks compare their results).
+        rng = random.Random((zlib.crc32(self.name.encode()) & 0xFFFF) ^ seed)
         inputs: list[list[object]] = [list(args) for args in self.special_inputs]
         while len(inputs) < count:
             args: list[object] = []

@@ -121,6 +121,63 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     return 0 if report.holds else 1
 
 
+def _cmd_suite(args: argparse.Namespace) -> int:
+    import os
+    import time
+
+    # Publish the cache selection via the environment so pool workers
+    # (which build their store from it) agree with the parent.
+    if args.no_cache:
+        os.environ["REPRO_CACHE"] = "0"
+    elif args.cache_dir:
+        os.environ["REPRO_CACHE_DIR"] = args.cache_dir
+
+    from repro.bench.runner import build_suite
+    from repro.bench.suite import benchmark_names
+
+    names = args.benchmarks or benchmark_names()
+    unknown = set(names) - set(benchmark_names())
+    if unknown:
+        sys.stderr.write(f"unknown benchmarks: {', '.join(sorted(unknown))}\n")
+        return 2
+
+    started = time.perf_counter()
+    artifacts = build_suite(names, jobs=args.jobs)
+    elapsed = time.perf_counter() - started
+
+    reports = {}
+    if args.verify:
+        from repro.verify.suite import verify_suite
+
+        reports = verify_suite(names, jobs=args.jobs, runs=args.runs)
+
+    hits = 0
+    for entry in artifacts:
+        hits += entry.cache_hit
+        built = entry.built
+        line = (
+            f"{entry.bench.name:18s} sce={entry.sce_outcome:9s} "
+            f"{'cached' if entry.cache_hit else f'built {sum(built.timings.values()):.2f}s'}"
+        )
+        if args.verify:
+            report = reports[entry.bench.name]
+            line += f" covenant={'ok' if report.holds else 'VIOLATED'}"
+        print(line)
+    print(
+        f"{len(artifacts)} benchmarks in {elapsed:.2f}s "
+        f"({hits} cached, jobs={args.jobs or 'auto'})"
+    )
+
+    if args.verify and not all(r.holds for r in reports.values()):
+        return 1
+    if args.expect_cached and hits < len(artifacts):
+        sys.stderr.write(
+            f"expected every artifact cached, got {hits}/{len(artifacts)}\n"
+        )
+        return 1
+    return 0
+
+
 def main(argv: "list[str] | None" = None) -> int:
     parser = argparse.ArgumentParser(
         prog="lif",
@@ -167,6 +224,27 @@ def main(argv: "list[str] | None" = None) -> int:
                           help="execution engine (default: compiled, or "
                                "$REPRO_BACKEND)")
     p_verify.set_defaults(func=_cmd_verify)
+
+    p_suite = sub.add_parser(
+        "suite", help="build (and optionally verify) benchmark artifacts"
+    )
+    p_suite.add_argument("benchmarks", nargs="*",
+                         help="benchmark names (default: all)")
+    p_suite.add_argument("-j", "--jobs", type=int, default=None,
+                         help="worker processes (default: $REPRO_JOBS or "
+                              "cpu count)")
+    p_suite.add_argument("--verify", action="store_true",
+                         help="also verify Covenant 1 per benchmark")
+    p_suite.add_argument("--runs", type=int, default=4,
+                         help="verification inputs per benchmark")
+    p_suite.add_argument("--no-cache", action="store_true",
+                         help="bypass the artifact cache entirely")
+    p_suite.add_argument("--cache-dir", default=None,
+                         help="artifact cache root (default: "
+                              "$REPRO_CACHE_DIR or .repro-cache)")
+    p_suite.add_argument("--expect-cached", action="store_true",
+                         help="fail unless every artifact was a cache hit")
+    p_suite.set_defaults(func=_cmd_suite)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -126,7 +126,11 @@ class Function:
         return names
 
     def __str__(self) -> str:
-        params = ", ".join(str(p) for p in self.params)
+        sensitive = set(self.sensitive_params)
+        params = ", ".join(
+            f"{p.name}: secret {p.kind}" if p.name in sensitive else str(p)
+            for p in self.params
+        )
         body = "\n".join(str(block) for block in self.blocks.values())
         return f"func @{self.name}({params}) {{\n{body}\n}}"
 

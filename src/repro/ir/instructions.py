@@ -53,6 +53,28 @@ def expr_uses(expr: Expr) -> list[Value]:
     return [expr.lhs, expr.rhs]
 
 
+def expr_used_names(expr: Expr) -> list[str]:
+    """Names of the variables an expression reads (hot-path helper).
+
+    Equivalent to filtering :func:`expr_uses` down to ``Var`` names without
+    building the intermediate value list — the optimisation passes call
+    ``used_vars`` on every instruction every iteration.
+    """
+    kind = type(expr)
+    if kind is Var:
+        return [expr.name]
+    if kind is Const:
+        return []
+    if kind is UnaryExpr:
+        return [expr.operand.name] if type(expr.operand) is Var else []
+    names = []
+    if type(expr.lhs) is Var:
+        names.append(expr.lhs.name)
+    if type(expr.rhs) is Var:
+        names.append(expr.rhs.name)
+    return names
+
+
 def substitute_expr(expr: Expr, mapping: dict[str, Value]) -> Expr:
     """Replace variable uses in an expression, returning a new expression."""
     if isinstance(expr, Var):
@@ -111,6 +133,9 @@ class Alloc(Instruction):
     def replace_uses(self, mapping: dict[str, Value]) -> "Alloc":
         return Alloc(self.dest, substitute_expr(self.size, mapping))
 
+    def used_vars(self) -> list[str]:
+        return expr_used_names(self.size)
+
     def __str__(self) -> str:
         return f"{self.dest} = alloc {self.size}"
 
@@ -127,6 +152,9 @@ class Mov(Instruction):
 
     def replace_uses(self, mapping: dict[str, Value]) -> "Mov":
         return Mov(self.dest, substitute_expr(self.expr, mapping))
+
+    def used_vars(self) -> list[str]:
+        return expr_used_names(self.expr)
 
     def __str__(self) -> str:
         return f"{self.dest} = mov {self.expr}"
@@ -148,6 +176,11 @@ class Load(Instruction):
         if not isinstance(array, Var):
             raise TypeError("a load's array operand must remain a variable")
         return Load(self.dest, array, _substitute_value(self.index, mapping))
+
+    def used_vars(self) -> list[str]:
+        if type(self.index) is Var:
+            return [self.array.name, self.index.name]
+        return [self.array.name]
 
     def __str__(self) -> str:
         return f"{self.dest} = load {self.array}[{self.index}]"
@@ -174,6 +207,11 @@ class Store(Instruction):
             array,
             _substitute_value(self.index, mapping),
         )
+
+    def used_vars(self) -> list[str]:
+        names = [v.name for v in (self.value, self.index) if type(v) is Var]
+        names.append(self.array.name)
+        return names
 
     def __str__(self) -> str:
         return f"store {self.value}, {self.array}[{self.index}]"
@@ -202,6 +240,9 @@ class Phi(Instruction):
             for value, label in self.incomings
         )
         return Phi(self.dest, incomings)
+
+    def used_vars(self) -> list[str]:
+        return [v.name for v, _ in self.incomings if type(v) is Var]
 
     def __str__(self) -> str:
         arms = ", ".join(f"[{value}, {label}]" for value, label in self.incomings)
@@ -234,6 +275,13 @@ class CtSel(Instruction):
             _substitute_value(self.if_false, mapping),
         )
 
+    def used_vars(self) -> list[str]:
+        return [
+            v.name
+            for v in (self.cond, self.if_true, self.if_false)
+            if type(v) is Var
+        ]
+
     def __str__(self) -> str:
         return f"{self.dest} = ctsel {self.cond}, {self.if_true}, {self.if_false}"
 
@@ -256,6 +304,9 @@ class Call(Instruction):
     def replace_uses(self, mapping: dict[str, Value]) -> "Call":
         args = tuple(_substitute_value(arg, mapping) for arg in self.args)
         return Call(self.dest, self.callee, args)
+
+    def used_vars(self) -> list[str]:
+        return [v.name for v in self.args if type(v) is Var]
 
     def __str__(self) -> str:
         args = ", ".join(str(arg) for arg in self.args)
@@ -309,6 +360,9 @@ class Br(Terminator):
     def replace_uses(self, mapping: dict[str, Value]) -> "Br":
         return Br(_substitute_value(self.cond, mapping), self.if_true, self.if_false)
 
+    def used_vars(self) -> list[str]:
+        return [self.cond.name] if type(self.cond) is Var else []
+
     def __str__(self) -> str:
         return f"br {self.cond}, {self.if_true}, {self.if_false}"
 
@@ -324,6 +378,9 @@ class Ret(Terminator):
 
     def replace_uses(self, mapping: dict[str, Value]) -> "Ret":
         return Ret(substitute_expr(self.expr, mapping))
+
+    def used_vars(self) -> list[str]:
+        return expr_used_names(self.expr)
 
     def __str__(self) -> str:
         return f"ret {self.expr}"

@@ -28,9 +28,10 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Optional
 
-from repro.ir.function import Function, Param
+from repro.ir.function import PARAM_KINDS, Function, Param
 from repro.ir.instructions import (
     Alloc,
     BinExpr,
@@ -75,7 +76,7 @@ _PUNCT = ("(", ")", "[", "]", "{", "}", ",", ":", "=", "@")
 
 _KEYWORDS = {
     "global", "const", "func", "mov", "alloc", "load", "store", "phi",
-    "ctsel", "call", "jmp", "br", "ret", "int", "ptr",
+    "ctsel", "call", "jmp", "br", "ret", "int", "ptr", "secret",
 }
 
 
@@ -223,21 +224,25 @@ class _Parser:
         name = self._expect("NAME").text
         self._expect("PUNCT", "(")
         params: list[Param] = []
+        secret: list[str] = []
         if not self._accept("PUNCT", ")"):
-            params.append(self._parse_param())
+            params.append(self._parse_param(secret))
             while self._accept("PUNCT", ","):
-                params.append(self._parse_param())
+                params.append(self._parse_param(secret))
             self._expect("PUNCT", ")")
-        function = Function(name, params)
+        function = Function(name, params, sensitive_params=tuple(secret))
         self._expect("PUNCT", "{")
         while not self._accept("PUNCT", "}"):
             self._parse_block(function)
         return function
 
-    def _parse_param(self) -> Param:
+    def _parse_param(self, secret: list[str]) -> Param:
         name = self._expect("NAME").text
         self._expect("PUNCT", ":")
         kind = self._expect("NAME").text
+        if kind == "secret":
+            secret.append(name)
+            kind = self._expect("NAME").text
         if kind not in ("int", "ptr"):
             raise IRSyntaxError(f"unknown parameter kind {kind!r}", self._line())
         return Param(name, kind)
@@ -358,8 +363,218 @@ class _Parser:
         raise IRSyntaxError(f"expected a value, found {tok.text!r}", tok.line)
 
 
+# -- fast path for printer-emitted IR ----------------------------------------
+#
+# The printer emits exactly one canonical shape per construct (one
+# instruction per line, single spaces, no comments).  Cached artifacts and
+# most parse_module inputs are printer output, so a line-oriented parser
+# that only accepts that shape recovers the module several times faster
+# than the token-stream parser.  Any deviation raises _FastParseError and
+# parse_module falls back to the general parser, which accepts the full
+# grammar and reports proper diagnostics — so the fast path can only ever
+# change speed, never the language.
+
+
+class _FastParseError(Exception):
+    """Input is not (recognisably) printer-shaped; use the slow parser."""
+
+
+_LABEL_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_.]*\Z")
+_GLOBAL_RE = re.compile(
+    r"(const )?global @([A-Za-z_][A-Za-z0-9_.]*)\[(\d+)\]"
+    r"(?: = \[([^\]]*)\])?\Z"
+)
+_UNARY_OPS = ("-", "!", "~")
+
+
+@lru_cache(maxsize=65536)
+def _fast_value(tok: str) -> Value:
+    # Values are frozen dataclasses, so memoised instances can be shared
+    # freely between instructions, functions, and parses.
+    if not tok:
+        raise _FastParseError
+    head = tok[0]
+    if head.isdigit() or head == "-":
+        return Const(int(tok))  # ValueError -> caller falls back
+    if _LABEL_RE.match(tok) is None:
+        raise _FastParseError
+    return Var(tok)
+
+
+def _fast_expr(text: str) -> Expr:
+    parts = text.split(" ")
+    count = len(parts)
+    if count == 1:
+        return _fast_value(parts[0])
+    if count == 2 and parts[0] in _UNARY_OPS:
+        return UnaryExpr(parts[0], _fast_value(parts[1]))
+    if count == 3 and parts[1] in BINARY_OPS:
+        return BinExpr(parts[1], _fast_value(parts[0]), _fast_value(parts[2]))
+    raise _FastParseError
+
+
+def _fast_access(text: str) -> tuple[Var, Value]:
+    """Split ``arr[idx]`` into its array variable and index value."""
+    array, bracket, rest = text.partition("[")
+    if not bracket or not rest.endswith("]"):
+        raise _FastParseError
+    return Var(array), _fast_value(rest[:-1])
+
+
+def _fast_call(text: str, dest: Optional[str]) -> Call:
+    # text is "call @callee(arg, arg)"
+    body = text[6:]
+    callee, paren, rest = body.partition("(")
+    if not paren or not rest.endswith(")") or _LABEL_RE.match(callee) is None:
+        raise _FastParseError
+    inner = rest[:-1]
+    args = tuple(_fast_value(a) for a in inner.split(", ")) if inner else ()
+    return Call(dest, callee, args)
+
+
+def _fast_instruction(line: str):
+    dest, sep, rhs = line.partition(" = ")
+    if not sep or " = " in rhs or _LABEL_RE.match(dest) is None:
+        raise _FastParseError
+    if rhs.startswith("mov "):
+        return Mov(dest, _fast_expr(rhs[4:]))
+    if rhs.startswith("load "):
+        array, index = _fast_access(rhs[5:])
+        return Load(dest, array, index)
+    if rhs.startswith("ctsel "):
+        parts = rhs[6:].split(", ")
+        if len(parts) != 3:
+            raise _FastParseError
+        return CtSel(dest, *(_fast_value(p) for p in parts))
+    if rhs.startswith("phi "):
+        arms = rhs[4:]
+        if not arms.startswith("[") or not arms.endswith("]"):
+            raise _FastParseError
+        incomings = []
+        for arm in arms[1:-1].split("], ["):
+            value, comma, label = arm.partition(", ")
+            if not comma or _LABEL_RE.match(label) is None:
+                raise _FastParseError
+            incomings.append((_fast_value(value), label))
+        return Phi(dest, tuple(incomings))
+    if rhs.startswith("alloc "):
+        return Alloc(dest, _fast_expr(rhs[6:]))
+    if rhs.startswith("call @"):
+        return _fast_call(rhs, dest)
+    raise _FastParseError
+
+
+def _fast_params(text: str) -> tuple[list[Param], tuple[str, ...]]:
+    params: list[Param] = []
+    secret: list[str] = []
+    if text:
+        for part in text.split(", "):
+            pieces = part.split(": ")
+            if len(pieces) != 2 or _LABEL_RE.match(pieces[0]) is None:
+                raise _FastParseError
+            name, kind = pieces
+            if kind.startswith("secret "):
+                secret.append(name)
+                kind = kind[7:]
+            if kind not in PARAM_KINDS:
+                raise _FastParseError
+            params.append(Param(name, kind))
+    return params, tuple(secret)
+
+
+def _fast_parse(text: str, name: str) -> Module:
+    module = Module(name)
+    function: Optional[Function] = None
+    block = None
+    for raw in text.split("\n"):
+        line = raw.strip()
+        if not line:
+            continue
+        if ";" in line or "#" in line:
+            raise _FastParseError  # comments: slow parser territory
+        if function is None:
+            if line.startswith("func @"):
+                if not line.endswith(") {"):
+                    raise _FastParseError
+                header, paren, rest = line[6:-3].partition("(")
+                if not paren or _LABEL_RE.match(header) is None:
+                    raise _FastParseError
+                params, secret = _fast_params(rest)
+                function = Function(header, params, sensitive_params=secret)
+                block = None
+                continue
+            match = _GLOBAL_RE.match(line)
+            if match is None:
+                raise _FastParseError
+            const, gname, size, init = match.groups()
+            values = (
+                tuple(int(v) for v in init.split(", ")) if init else ()
+            )
+            module.add_global(
+                GlobalArray(gname, int(size), values, const is not None)
+            )
+            continue
+        if line == "}":
+            if block is not None:  # unterminated final block
+                raise _FastParseError
+            module.add_function(function)
+            function = None
+            continue
+        if block is None:
+            if not line.endswith(":"):
+                raise _FastParseError
+            label = line[:-1]
+            if _LABEL_RE.match(label) is None:
+                raise _FastParseError
+            block = function.add_block(label)
+            continue
+        if line.startswith("jmp "):
+            target = line[4:]
+            if _LABEL_RE.match(target) is None:
+                raise _FastParseError
+            block.terminator = Jmp(target)
+            block = None
+        elif line.startswith("br "):
+            parts = line[3:].split(", ")
+            if len(parts) != 3 or any(
+                _LABEL_RE.match(p) is None for p in parts[1:]
+            ):
+                raise _FastParseError
+            block.terminator = Br(_fast_value(parts[0]), parts[1], parts[2])
+            block = None
+        elif line.startswith("ret "):
+            block.terminator = Ret(_fast_expr(line[4:]))
+            block = None
+        elif line.startswith("store "):
+            value, comma, access = line[6:].partition(", ")
+            if not comma:
+                raise _FastParseError
+            array, index = _fast_access(access)
+            block.append(Store(_fast_value(value), array, index))
+        elif line.startswith("call @"):
+            block.append(_fast_call(line, None))
+        else:
+            block.append(_fast_instruction(line))
+    if function is not None:
+        raise _FastParseError  # unclosed function body
+    return module
+
+
 def parse_module(text: str, name: str = "module") -> Module:
-    """Parse a whole module from its textual form."""
+    """Parse a whole module from its textual form.
+
+    Printer-emitted text takes a fast line-oriented path; anything else
+    (comments, free-form whitespace, single-line functions) falls back to
+    the general recursive-descent parser.
+    """
+    try:
+        return _fast_parse(text, name)
+    except _FastParseError:
+        pass
+    except ValueError as error:
+        if isinstance(error, IRSyntaxError):
+            raise
+        pass  # e.g. malformed integer literal on the fast path
     return _Parser(_tokenize(text)).parse_module(name)
 
 

@@ -29,20 +29,25 @@ def replace_uses_everywhere(function: Function, mapping: dict[str, Value]) -> bo
     if not mapping:
         return False
     mapping = resolve_mapping(mapping)
+    keys = set(mapping)
     changed = False
     for block in function.blocks.values():
-        new_instructions = []
-        for instr in block.instructions:
+        instructions = block.instructions
+        for index, instr in enumerate(instructions):
+            # Rebuilding an instruction (and deep-comparing the copy) is far
+            # more expensive than checking whether any mapped name is read.
+            if keys.isdisjoint(instr.used_vars()):
+                continue
             replaced = instr.replace_uses(mapping)
-            if replaced is not instr and replaced != instr:
+            if replaced != instr:
+                instructions[index] = replaced
                 changed = True
-            new_instructions.append(replaced)
-        block.instructions = new_instructions
-        if block.terminator is not None:
-            replaced_term = block.terminator.replace_uses(mapping)
-            if replaced_term != block.terminator:
+        terminator = block.terminator
+        if terminator is not None and not keys.isdisjoint(terminator.used_vars()):
+            replaced_term = terminator.replace_uses(mapping)
+            if replaced_term != terminator:
+                block.terminator = replaced_term
                 changed = True
-            block.terminator = replaced_term
     return changed
 
 

@@ -13,33 +13,58 @@ from repro.analysis.dominators import compute_dominators
 from repro.ir.cfg import reachable_labels
 from repro.ir.function import Function
 from repro.ir.instructions import BinExpr, CtSel, Mov, UnaryExpr
-from repro.ir.values import Value, Var
+from repro.ir.values import Const, Value, Var
 from repro.opt.common import replace_uses_everywhere
 
 _COMMUTATIVE = {"+", "*", "&", "|", "^", "==", "!="}
+
+
+def _rep(value):
+    """A primitive stand-in for a value: Const -> int, Var -> name.
+
+    ints and strs never compare equal, so the two kinds cannot collide in
+    the availability table, and hashing primitives is much cheaper than
+    hashing the dataclass values themselves.
+    """
+    return value.value if type(value) is Const else value.name
+
+
+def _operand_order(rep) -> tuple:
+    """A cheap total order over reps (Const before Var, then by payload)."""
+    return (1, rep) if type(rep) is str else (0, rep)
 
 
 def _key(instr) -> "tuple | None":
     if isinstance(instr, Mov):
         expr = instr.expr
         if isinstance(expr, BinExpr):
-            lhs, rhs = expr.lhs, expr.rhs
-            if expr.op in _COMMUTATIVE and str(rhs) < str(lhs):
+            lhs, rhs = _rep(expr.lhs), _rep(expr.rhs)
+            if expr.op in _COMMUTATIVE and _operand_order(rhs) < _operand_order(lhs):
                 lhs, rhs = rhs, lhs
             return ("bin", expr.op, lhs, rhs)
         if isinstance(expr, UnaryExpr):
-            return ("un", expr.op, expr.operand)
+            return ("un", expr.op, _rep(expr.operand))
         return None  # plain copies are copy-propagation's job
     if isinstance(instr, CtSel):
-        return ("sel", instr.cond, instr.if_true, instr.if_false)
+        return ("sel", _rep(instr.cond), _rep(instr.if_true), _rep(instr.if_false))
     return None
 
 
-def eliminate_common_subexpressions(function: Function) -> bool:
+def cse_scope(function: Function) -> "tuple[dict, set[str]]":
+    """Dominator-tree children plus reachable labels — the traversal scope.
+
+    The scope only depends on the CFG *shape*, so callers running CSE inside
+    a fixpoint loop may compute it once and reuse it until a CFG-mutating
+    pass (``simplifycfg``) reports a change.
+    """
+    return compute_dominators(function).children(), reachable_labels(function)
+
+
+def eliminate_common_subexpressions(
+    function: Function, scope: "tuple[dict, set[str]] | None" = None
+) -> bool:
     """Scoped-hash-table CSE over the dominator tree, in place."""
-    domtree = compute_dominators(function)
-    children = domtree.children()
-    reachable = reachable_labels(function)
+    children, reachable = cse_scope(function) if scope is None else scope
     mapping: dict[str, Value] = {}
 
     def visit(label: str, available: dict) -> None:

@@ -9,6 +9,8 @@ calls are never removed: stores are observable, and callees may store.
 
 from __future__ import annotations
 
+from collections import Counter
+
 from repro.ir.function import Function
 from repro.ir.instructions import Alloc, Call, CtSel, Load, Mov, Phi, Store
 
@@ -17,28 +19,40 @@ _REMOVABLE = (Mov, CtSel, Phi, Alloc, Load)
 
 
 def eliminate_dead_code(function: Function) -> bool:
-    """Iteratively drop unused pure definitions, in place."""
+    """Iteratively drop unused pure definitions, in place.
+
+    Use counts are computed once and maintained incrementally as definitions
+    are removed, so cascading removals don't re-scan the whole function to
+    rebuild the used-variable set on every round.
+    """
+    use_counts: Counter[str] = Counter()
+    for block in function.blocks.values():
+        for instr in block.instructions:
+            use_counts.update(instr.used_vars())
+        if block.terminator is not None:
+            use_counts.update(block.terminator.used_vars())
+
+    # Sweeping bottom-up lets a whole def-use chain fall in one round: the
+    # dead use goes first, zeroing its operands' counts before they are
+    # visited.  The loop still runs to fixpoint for cross-block chains
+    # against the block order.
     changed = False
     while True:
-        used: set[str] = set()
-        for block in function.blocks.values():
-            for instr in block.instructions:
-                used.update(instr.used_vars())
-            if block.terminator is not None:
-                used.update(block.terminator.used_vars())
-
         removed_any = False
-        for block in function.blocks.values():
+        for block in reversed(function.blocks.values()):
             kept = []
-            for instr in block.instructions:
+            for instr in reversed(block.instructions):
                 if (
                     isinstance(instr, _REMOVABLE)
                     and instr.dest is not None
-                    and instr.dest not in used
+                    and not use_counts[instr.dest]
                 ):
+                    for name in instr.used_vars():
+                        use_counts[name] -= 1
                     removed_any = True
                     continue
                 kept.append(instr)
+            kept.reverse()
             block.instructions = kept
         if not removed_any:
             return changed

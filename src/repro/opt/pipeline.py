@@ -8,6 +8,7 @@ repair produces.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 
 from repro.ir.function import Function
@@ -15,7 +16,7 @@ from repro.ir.module import Module
 from repro.ir.validate import validate_module
 from repro.opt.constfold import constant_fold
 from repro.opt.copyprop import propagate_copies
-from repro.opt.cse import eliminate_common_subexpressions
+from repro.opt.cse import cse_scope, eliminate_common_subexpressions
 from repro.opt.dce import eliminate_dead_code
 from repro.opt.simplify import simplify_algebraic
 from repro.opt.simplifycfg import simplify_cfg
@@ -44,10 +45,21 @@ class OptReport:
 def optimize_function(function: Function) -> list[str]:
     """Run the pipeline on one function to fixpoint; returns passes that fired."""
     fired: list[str] = []
+    # Of the pipeline passes only simplifycfg rewires CFG edges, so the
+    # dominator tree CSE walks stays valid across iterations until it fires.
+    scope = None
     for _ in range(_MAX_ITERATIONS):
         changed = False
         for name, pass_fn in PASSES:
-            if pass_fn(function):
+            if name == "cse":
+                if scope is None:
+                    scope = cse_scope(function)
+                did_change = eliminate_common_subexpressions(function, scope)
+            else:
+                did_change = pass_fn(function)
+                if did_change and name == "simplifycfg":
+                    scope = None
+            if did_change:
                 fired.append(name)
                 changed = True
         if not changed:
@@ -55,8 +67,23 @@ def optimize_function(function: Function) -> list[str]:
     return fired
 
 
-def optimize(module: Module, level: int = 1, report: "OptReport | None" = None) -> Module:
-    """Optimise a copy of the module; ``level=0`` is the identity."""
+def _default_validate() -> bool:
+    return os.environ.get("REPRO_OPT_VALIDATE", "1") != "0"
+
+
+def optimize(
+    module: Module,
+    level: int = 1,
+    report: "OptReport | None" = None,
+    validate: "bool | None" = None,
+) -> Module:
+    """Optimise a copy of the module; ``level=0`` is the identity.
+
+    ``validate`` gates the full-module validation of the result: ``None``
+    defers to the ``REPRO_OPT_VALIDATE`` env var (on unless set to ``0``).
+    The bench harness passes ``False`` so hot-loop rebuilds skip it; tests
+    keep the default.
+    """
     result = module.clone()
     if level <= 0:
         return result
@@ -65,5 +92,6 @@ def optimize(module: Module, level: int = 1, report: "OptReport | None" = None) 
         if report is not None:
             report.fired[function.name] = fired
             report.iterations[function.name] = len(fired)
-    validate_module(result)
+    if validate if validate is not None else _default_validate():
+        validate_module(result)
     return result

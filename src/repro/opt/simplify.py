@@ -16,91 +16,112 @@ from repro.ir.values import Const, Value, Var
 from repro.opt.common import boolean_variables
 
 _ALL_ONES = Const(-1)
+_ZERO = Const(0)
+_ONE = Const(1)
+
+
+def _is_bool(value: Value, booleans: set[str]) -> bool:
+    if isinstance(value, Const):
+        return value.value in (0, 1)
+    return value.name in booleans
 
 
 def _simplify_binexpr(expr: BinExpr, booleans: set[str]) -> Optional[Expr]:
     """Return a simpler expression, or None when nothing applies."""
     op, lhs, rhs = expr.op, expr.lhs, expr.rhs
+    lhs_const = type(lhs) is Const
+    rhs_const = type(rhs) is Const
 
-    def is_bool(value: Value) -> bool:
-        if isinstance(value, Const):
-            return value.value in (0, 1)
-        return value.name in booleans
+    if not lhs_const and not rhs_const:
+        # Two variables — only the identical-operand identities can fire,
+        # so the common distinct-operand case exits without touching the
+        # per-op ladder below.
+        if lhs.name != rhs.name:
+            return None
+        if op in ("-", "^", "!=", "<", ">"):
+            return _ZERO
+        if op in ("==", "<=", ">="):
+            return _ONE
+        if op in ("&", "|"):
+            return lhs
+        return None
 
-    zero, one = Const(0), Const(1)
+    lv = lhs.value if lhs_const else None
+    rv = rhs.value if rhs_const else None
+    same = lhs_const and rhs_const and lv == rv
 
     if op == "+":
-        if lhs == zero:
+        if lv == 0:
             return rhs
-        if rhs == zero:
+        if rv == 0:
             return lhs
     elif op == "-":
-        if rhs == zero:
+        if rv == 0:
             return lhs
-        if lhs == rhs:
-            return zero
+        if same:
+            return _ZERO
     elif op == "*":
-        if lhs == one:
+        if lv == 1:
             return rhs
-        if rhs == one:
+        if rv == 1:
             return lhs
-        if lhs == zero or rhs == zero:
-            return zero
+        if lv == 0 or rv == 0:
+            return _ZERO
     elif op == "/":
-        if rhs == one:
+        if rv == 1:
             return lhs
     elif op == "&":
-        if lhs == zero or rhs == zero:
-            return zero
-        if lhs == rhs:
+        if lv == 0 or rv == 0:
+            return _ZERO
+        if same:
             return lhs
-        if lhs == _ALL_ONES:
+        if lv == -1:
             return rhs
-        if rhs == _ALL_ONES:
+        if rv == -1:
             return lhs
-        if rhs == one and is_bool(lhs):
+        if rv == 1 and _is_bool(lhs, booleans):
             return lhs
-        if lhs == one and is_bool(rhs):
+        if lv == 1 and _is_bool(rhs, booleans):
             return rhs
     elif op == "|":
-        if lhs == zero:
+        if lv == 0:
             return rhs
-        if rhs == zero:
+        if rv == 0:
             return lhs
-        if lhs == rhs:
+        if same:
             return lhs
-        if (lhs == one and is_bool(rhs)) or (rhs == one and is_bool(lhs)):
-            return one
-        if lhs == _ALL_ONES or rhs == _ALL_ONES:
+        if (lv == 1 and _is_bool(rhs, booleans)) or (rv == 1 and _is_bool(lhs, booleans)):
+            return _ONE
+        if lv == -1 or rv == -1:
             return _ALL_ONES
     elif op == "^":
-        if lhs == zero:
+        if lv == 0:
             return rhs
-        if rhs == zero:
+        if rv == 0:
             return lhs
-        if lhs == rhs:
-            return zero
+        if same:
+            return _ZERO
     elif op in ("<<", ">>"):
-        if rhs == zero:
+        if rv == 0:
             return lhs
     elif op == "==":
-        if lhs == rhs:
-            return one
+        if same:
+            return _ONE
     elif op == "!=":
-        if lhs == rhs:
-            return zero
+        if same:
+            return _ZERO
     elif op == "<":
-        if lhs == rhs:
-            return zero
+        if same:
+            return _ZERO
     elif op == "<=":
-        if lhs == rhs:
-            return one
+        if same:
+            return _ONE
     elif op == ">":
-        if lhs == rhs:
-            return zero
+        if same:
+            return _ZERO
     elif op == ">=":
-        if lhs == rhs:
-            return one
+        if same:
+            return _ONE
     return None
 
 

@@ -15,6 +15,7 @@ from repro.verify.isochronicity import (
     check_invariance,
     compare_semantics,
 )
+from repro.verify.suite import verify_suite
 
 __all__ = [
     "CacheInvarianceReport",
@@ -30,4 +31,5 @@ __all__ = [
     "check_covenant",
     "check_invariance",
     "compare_semantics",
+    "verify_suite",
 ]

@@ -1,0 +1,66 @@
+"""Whole-suite covenant verification on top of the parallel build fan-out.
+
+Each worker loads (or builds) the benchmark's artifacts through the
+content-addressed store, so a verify run after a bench run re-parses cached
+IR instead of repairing from scratch, and the per-benchmark covenant checks
+run concurrently.  Imports of the bench layer stay inside functions: the
+``repro.verify`` package is imported *by* ``repro.bench``, so importing it
+back at module level would be circular.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import Iterable, Optional
+
+
+def _verify_one(name: str, runs: int, cache_root: Optional[str]):
+    from repro.artifacts import ArtifactStore, build_artifacts
+    from repro.bench.runner import BenchArtifacts, build_request
+    from repro.bench.suite import get_benchmark
+    from repro.verify.covenant import check_covenant
+
+    bench = get_benchmark(name)
+    store = ArtifactStore(cache_root) if cache_root is not None else None
+    built = build_artifacts(build_request(bench), store=store)
+    artifacts = BenchArtifacts(bench, built)
+    return check_covenant(
+        artifacts.original,
+        bench.entry,
+        bench.make_inputs(runs),
+        repaired=artifacts.repaired,
+    )
+
+
+def verify_suite(
+    names: "Optional[Iterable[str]]" = None,
+    jobs: Optional[int] = None,
+    runs: int = 4,
+    store="unset",
+) -> dict:
+    """Verify Covenant 1 for each benchmark; returns ``{name: report}``.
+
+    Results are keyed and ordered by the input name order regardless of
+    worker completion order.  ``store`` defaults to the environment-selected
+    artifact cache; pass ``None`` to force uncached builds.
+    """
+    from repro.artifacts import default_store, resolve_jobs
+    from repro.bench.suite import benchmark_names
+
+    if store == "unset":
+        store = default_store()
+    selected = list(names) if names is not None else benchmark_names()
+    jobs = resolve_jobs(jobs)
+    cache_root = str(store.root) if store is not None else None
+    if jobs <= 1 or len(selected) <= 1:
+        return {name: _verify_one(name, runs, cache_root) for name in selected}
+
+    results: dict = {}
+    with ProcessPoolExecutor(max_workers=min(jobs, len(selected))) as pool:
+        futures = [
+            (name, pool.submit(_verify_one, name, runs, cache_root))
+            for name in selected
+        ]
+        for name, future in futures:
+            results[name] = future.result()
+    return results

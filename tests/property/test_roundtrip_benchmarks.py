@@ -1,0 +1,56 @@
+"""Satellite: the printer→parser round-trip is lossless on every benchmark.
+
+This is the invariant the on-disk artifact cache rests on — a cached module
+is exactly its printed text, so ``parse_module(module_to_str(m))`` must
+reprint byte-identically for the original, repaired, and -O1 form of all 24
+benchmark programs.  The fast line-oriented parser must also agree with the
+general tokenizing parser on this corpus.
+"""
+
+import pytest
+
+from repro.bench.suite import BENCHMARKS, load_module
+from repro.core import RepairOptions, repair_module
+from repro.ir.parser import _Parser, _tokenize, parse_module
+from repro.ir.printer import module_to_str
+from repro.opt import optimize
+
+_NAMES = [bench.name for bench in BENCHMARKS]
+
+
+def _variants(name):
+    original = load_module(name)
+    repaired = repair_module(original, RepairOptions(validate_output=False))
+    return {
+        "original": original,
+        "repaired": repaired,
+        "repaired_o1": optimize(repaired, validate=False),
+    }
+
+
+@pytest.mark.parametrize("name", _NAMES)
+def test_round_trip_is_lossless(name):
+    for variant, module in _variants(name).items():
+        text = module_to_str(module)
+        reparsed = parse_module(text, name=module.name)
+        assert module_to_str(reparsed) == text, f"{name}/{variant}"
+
+
+@pytest.mark.parametrize("name", _NAMES)
+def test_fast_parser_agrees_with_tokenizing_parser(name):
+    for variant, module in _variants(name).items():
+        text = module_to_str(module)
+        slow = _Parser(_tokenize(text)).parse_module(module.name)
+        fast = parse_module(text, name=module.name)
+        assert module_to_str(fast) == module_to_str(slow), f"{name}/{variant}"
+
+
+@pytest.mark.parametrize("name", _NAMES)
+def test_secret_qualifiers_survive(name):
+    original = load_module(name)
+    reparsed = parse_module(module_to_str(original), name=original.name)
+    for function in original.functions.values():
+        assert (
+            reparsed.function(function.name).sensitive_params
+            == function.sensitive_params
+        )

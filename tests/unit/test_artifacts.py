@@ -1,0 +1,115 @@
+"""Unit tests for the content-addressed artifact subsystem."""
+
+import json
+
+import pytest
+
+from repro.artifacts import (
+    ArtifactStore,
+    BuildRequest,
+    build_artifacts,
+    cache_key,
+    pipeline_version,
+)
+from repro.bench.runner import build_request
+from repro.bench.suite import get_benchmark
+
+
+def _request(name: str) -> BuildRequest:
+    return build_request(get_benchmark(name))
+
+
+class TestKeys:
+    def test_pipeline_version_is_stable(self):
+        assert pipeline_version() == pipeline_version()
+        assert len(pipeline_version()) == 16
+
+    def test_key_is_stable(self):
+        request = _request("otdt")
+        assert request.key() == request.key()
+
+    def test_key_depends_on_source(self):
+        base = cache_key("int f() { return 1; }", {"entry": "f"})
+        other = cache_key("int f() { return 2; }", {"entry": "f"})
+        assert base != other
+
+    def test_key_depends_on_options(self):
+        source = "int f() { return 1; }"
+        assert cache_key(source, {"budget": 1}) != cache_key(source, {"budget": 2})
+
+    def test_requests_for_different_benchmarks_differ(self):
+        assert _request("otdt").key() != _request("ofdf").key()
+
+
+class TestStore:
+    def test_missing_key_is_none(self, tmp_path):
+        assert ArtifactStore(tmp_path).load("ab" * 32) is None
+
+    def test_save_load_round_trip(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        built = build_artifacts(_request("otdt"), store=store)
+        assert not built.cache_hit
+        loaded = store.load(built.key)
+        assert loaded is not None
+        assert loaded.cache_hit
+        assert loaded.ir == built.ir
+        assert loaded.module_names == built.module_names
+        assert loaded.repair_stats == json.loads(json.dumps(built.repair_stats))
+        assert loaded.sce_correct == built.sce_correct
+
+    def test_corrupt_meta_is_a_miss(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        built = build_artifacts(_request("otdt"), store=store)
+        meta = store._entry_dir(built.key) / "meta.json"
+        meta.write_text("{not json")
+        assert store.load(built.key) is None
+        # ...and a rebuild repopulates the entry.
+        rebuilt = build_artifacts(_request("otdt"), store=store)
+        assert not rebuilt.cache_hit
+        assert store.load(built.key) is not None
+
+    def test_known_keys(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        assert store.known_keys() == []
+        built = build_artifacts(_request("otdt"), store=store)
+        assert store.known_keys() == [built.key]
+
+
+class TestBuild:
+    def test_warm_build_is_a_byte_identical_hit(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        cold = build_artifacts(_request("otdt"), store=store)
+        warm = build_artifacts(_request("otdt"), store=store)
+        assert not cold.cache_hit
+        assert warm.cache_hit
+        assert warm.ir == cold.ir
+
+    def test_unsupported_sce_round_trips(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        cold = build_artifacts(_request("ctbench_modexp"), store=store)
+        warm = build_artifacts(_request("ctbench_modexp"), store=store)
+        assert warm.cache_hit
+        assert "sce" not in warm.ir
+        assert warm.sce_stats is None
+        assert "budget" in warm.sce_error
+
+    def test_stage_timings_recorded(self):
+        built = build_artifacts(_request("otdt"), store=None)
+        for stage in ("parse", "unroll", "codegen", "repair", "sce", "opt", "print"):
+            assert stage in built.timings, stage
+            assert built.timings[stage] >= 0.0
+
+    def test_secret_params_survive_the_round_trip(self, tmp_path):
+        from repro.artifacts import parse_variant
+        from repro.frontend import compile_source
+
+        store = ArtifactStore(tmp_path)
+        bench = get_benchmark("otdt")
+        built = build_artifacts(_request("otdt"), store=store)
+        warm = build_artifacts(_request("otdt"), store=store)
+        fresh = compile_source(bench.source(), name=bench.name)
+        for module in (fresh, parse_variant(warm, "original")):
+            function = module.function(bench.entry)
+            assert function.sensitive_params == fresh.function(
+                bench.entry
+            ).sensitive_params
