@@ -104,6 +104,30 @@ def verify_suite(
     return _verify_suite(names, jobs=jobs, runs=runs)
 
 
+def generate_results_book(
+    names: Optional[Sequence[str]] = None,
+    jobs: Optional[int] = None,
+    runs: int = 4,
+    verify: bool = True,
+) -> str:
+    """Render the deterministic results book (what ``lif report`` writes).
+
+    Builds (or loads from the artifact cache) the requested benchmarks,
+    optionally verifies Covenant 1 across them, and returns the
+    ``docs/RESULTS.md`` markdown.  See ``docs/OBSERVABILITY.md``.
+    """
+    from repro.bench.runner import build_suite
+    from repro.obs.report import load_bench_records, render_results
+
+    artifacts = build_suite(names, jobs=jobs)
+    reports = None
+    if verify:
+        from repro.verify.suite import verify_suite as _verify
+
+        reports = _verify(names, jobs=jobs, runs=runs)
+    return render_results(artifacts, reports, load_bench_records())
+
+
 def check_isochronous(
     module: Module,
     name: str,

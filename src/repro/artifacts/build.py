@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 from repro.artifacts.keys import cache_key
+from repro.obs import OBS
 
 #: Variant names in canonical order.  ``sce``/``sce_o1`` are absent from a
 #: build when the baseline rejects the program (its inline budget).
@@ -67,6 +68,10 @@ class BuiltArtifacts:
     #: opt, check, print).
     timings: dict = field(default_factory=dict)
     instruction_counts: dict = field(default_factory=dict)
+    #: Aggregated optimiser telemetry across this build's ``optimize`` calls
+    #: (:meth:`repro.opt.pipeline.OptReport.as_dict`): per-pass seconds,
+    #: fire counts, instructions eliminated, fixpoint iterations.
+    opt_pass_stats: dict = field(default_factory=dict)
     #: True when this record came from the on-disk store, not a build.
     cache_hit: bool = False
 
@@ -124,6 +129,7 @@ def build_artifacts(request: BuildRequest, store=None) -> BuiltArtifacts:
         if cached is not None:
             return cached
     built = _build(request, key)
+    OBS.counter("artifacts.builds")
     if store is not None:
         store.save(built)
     return built
@@ -157,13 +163,14 @@ def _build_impl(request: BuildRequest, key: str) -> BuiltArtifacts:
     from repro.frontend.unroll import unroll_program
     from repro.ir.printer import module_to_str
     from repro.ir.validate import validate_module
-    from repro.opt.pipeline import optimize
+    from repro.opt.pipeline import OptReport, optimize
 
     timings: dict = {}
 
     def timed(stage, thunk):
         started = time.perf_counter()
-        result = thunk()
+        with OBS.span(f"build.{stage}", benchmark=request.name):
+            result = thunk()
         timings[stage] = timings.get(stage, 0.0) + time.perf_counter() - started
         return result
 
@@ -202,8 +209,13 @@ def _build_impl(request: BuildRequest, key: str) -> BuiltArtifacts:
         sce = None
         sce_error = str(error)
 
-    original_o1 = timed("opt", lambda: optimize(original, validate=False))
-    repaired_o1 = timed("opt", lambda: optimize(repaired, validate=False))
+    opt_report = OptReport()
+    original_o1 = timed(
+        "opt", lambda: optimize(original, report=opt_report, validate=False)
+    )
+    repaired_o1 = timed(
+        "opt", lambda: optimize(repaired, report=opt_report, validate=False)
+    )
     modules = {
         "original": original,
         "original_o1": original_o1,
@@ -212,7 +224,9 @@ def _build_impl(request: BuildRequest, key: str) -> BuiltArtifacts:
     }
     if sce is not None:
         modules["sce"] = sce
-        modules["sce_o1"] = timed("opt", lambda: optimize(sce, validate=False))
+        modules["sce_o1"] = timed(
+            "opt", lambda: optimize(sce, report=opt_report, validate=False)
+        )
         sce_correct = timed(
             "check",
             lambda: outputs_match(original, sce, request.entry, request.check_inputs),
@@ -236,5 +250,6 @@ def _build_impl(request: BuildRequest, key: str) -> BuiltArtifacts:
         instruction_counts={
             variant: m.instruction_count() for variant, m in modules.items()
         },
+        opt_pass_stats=opt_report.as_dict(),
         cache_hit=False,
     )

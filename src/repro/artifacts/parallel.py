@@ -10,6 +10,7 @@ from typing import Iterable, Optional
 
 from repro.artifacts.build import BuildRequest, BuiltArtifacts, build_artifacts
 from repro.artifacts.store import ArtifactStore
+from repro.obs import OBS
 
 
 def resolve_jobs(jobs: Optional[int] = None) -> int:
@@ -23,14 +24,21 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
     return max(1, jobs)
 
 
-def _worker(request: BuildRequest, cache_root: Optional[str]) -> BuiltArtifacts:
+def _worker(request: BuildRequest, cache_root: Optional[str]):
+    # Forked workers inherit the parent collector's state (and keep their
+    # own across pool task reuse); reset so the snapshot shipped back is
+    # exactly this task's delta and the parent-side merge never double
+    # counts.
+    OBS.reset()
     store = ArtifactStore(cache_root) if cache_root is not None else None
     built = build_artifacts(request, store=store)
     if store is not None and built.ir and store.has(built.key):
         # The IR is already on disk; don't ship megabytes of text back
         # through the result pipe — the parent rehydrates from the store.
         built = replace(built, ir={})
-    return built
+    # The worker's metrics ride back with the result so the parent can fold
+    # them into its own collector (None whenever tracing is off).
+    return built, OBS.snapshot()
 
 
 def build_many(
@@ -60,9 +68,10 @@ def build_many(
     with ProcessPoolExecutor(max_workers=min(jobs, len(requests))) as pool:
         futures = [(i, pool.submit(_worker, requests[i], cache_root)) for i in order]
         for i, future in futures:
-            built = future.result()
+            built, snapshot = future.result()
+            OBS.merge(snapshot)
             if not built.ir and store is not None:
-                rehydrated = store.load(built.key)
+                rehydrated = store.load(built.key, observe=False)
                 if rehydrated is not None:
                     rehydrated.cache_hit = built.cache_hit
                     built = rehydrated

@@ -21,6 +21,7 @@ from pathlib import Path
 from typing import Optional
 
 from repro.artifacts.build import BuiltArtifacts
+from repro.obs import OBS
 
 _META = "meta.json"
 
@@ -49,17 +50,32 @@ class ArtifactStore:
         """Cheap existence check (meta present, IR not read)."""
         return (self._entry_dir(key) / _META).is_file()
 
-    def load(self, key: str) -> Optional[BuiltArtifacts]:
-        """Return the cached build for ``key``, or None on any miss."""
+    def load(self, key: str, observe: bool = True) -> Optional[BuiltArtifacts]:
+        """Return the cached build for ``key``, or None on any miss.
+
+        ``observe=False`` suppresses the hit/miss metrics — used for
+        internal re-reads (parent-side rehydration after a worker already
+        recorded the logical cache outcome).
+        """
         entry = self._entry_dir(key)
         try:
-            meta = json.loads((entry / _META).read_text())
+            meta_text = (entry / _META).read_text()
+            meta = json.loads(meta_text)
             ir = {
                 variant: (entry / f"{variant}.ir").read_text()
                 for variant in meta["variants"]
             }
         except (OSError, ValueError, KeyError):
+            if OBS.enabled and observe:
+                OBS.counter("artifacts.store.misses")
             return None
+        if OBS.enabled and observe:
+            OBS.counter("artifacts.store.hits")
+            OBS.counter(
+                "artifacts.store.bytes_read",
+                len(meta_text) + sum(len(text) for text in ir.values()),
+            )
+            OBS.event("artifacts.store.hit", key=key, name=meta["name"])
         return BuiltArtifacts(
             name=meta["name"],
             key=key,
@@ -72,6 +88,7 @@ class ArtifactStore:
             sce_correct=meta["sce_correct"],
             timings=meta["timings"],
             instruction_counts=meta["instruction_counts"],
+            opt_pass_stats=meta.get("opt_pass_stats", {}),
             cache_hit=True,
         )
 
@@ -91,17 +108,25 @@ class ArtifactStore:
                 "sce_correct": built.sce_correct,
                 "timings": built.timings,
                 "instruction_counts": built.instruction_counts,
+                "opt_pass_stats": built.opt_pass_stats,
             }
             for variant, text in built.ir.items():
                 (staging / f"{variant}.ir").write_text(text)
-            (staging / _META).write_text(json.dumps(meta, indent=1, sort_keys=True))
+            meta_text = json.dumps(meta, indent=1, sort_keys=True)
+            (staging / _META).write_text(meta_text)
+            if OBS.enabled:
+                OBS.counter("artifacts.store.writes")
+                OBS.counter(
+                    "artifacts.store.bytes_written",
+                    len(meta_text) + sum(len(t) for t in built.ir.values()),
+                )
             try:
                 os.replace(staging, entry)
             except OSError:
                 # The entry already exists.  If it is readable another
                 # writer won a benign race (identical content); otherwise
                 # it is a corrupt leftover — clear it and try once more.
-                if self.load(built.key) is None:
+                if self.load(built.key, observe=False) is None:
                     shutil.rmtree(entry, ignore_errors=True)
                     os.replace(staging, entry)
                 else:

@@ -98,11 +98,22 @@ class BenchArtifacts:
 
     @property
     def repair_stats(self) -> RepairStats:
+        from repro.core.rules import RepairCounters
+
         data = dict(self.built.repair_stats)
         data["per_function"] = {
             name: tuple(pair) for name, pair in data.get("per_function", {}).items()
         }
+        counters = data.get("counters")
+        if isinstance(counters, dict):
+            data["counters"] = RepairCounters(**counters)
         return RepairStats(**data)
+
+    @property
+    def opt_pass_stats(self) -> dict:
+        """Aggregated optimiser telemetry recorded during the build
+        (:meth:`repro.opt.pipeline.OptReport.as_dict`)."""
+        return self.built.opt_pass_stats
 
     @property
     def sce_stats(self) -> Optional[SCEliminatorStats]:

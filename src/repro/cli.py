@@ -8,6 +8,9 @@ Named after the authors' public tool.  Subcommands:
 * ``lif check file.mc fn``       — detect leaks (sensitivity analysis) and
                                     classify data consistency
 * ``lif verify file.mc fn``      — repair and verify Covenant 1 dynamically
+* ``lif suite [names...]``       — build (and verify) benchmark artifacts
+* ``lif report``                 — metrics summary + the docs/RESULTS.md
+                                    results book (``--check`` for CI)
 """
 
 from __future__ import annotations
@@ -168,6 +171,15 @@ def _cmd_suite(args: argparse.Namespace) -> int:
         f"({hits} cached, jobs={args.jobs or 'auto'})"
     )
 
+    from repro.obs import OBS
+
+    if OBS.enabled:
+        from repro.obs.report import metrics_summary
+
+        summary = metrics_summary(artifacts)
+        if summary:
+            print(summary)
+
     if args.verify and not all(r.holds for r in reports.values()):
         return 1
     if args.expect_cached and hits < len(artifacts):
@@ -176,6 +188,29 @@ def _cmd_suite(args: argparse.Namespace) -> int:
         )
         return 1
     return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.obs import TRACE_ENV_VAR, configure
+    from repro.obs.report import run_report
+
+    # The report is itself an observability consumer: turn the collector on
+    # for this process (and, via the environment, for any pool workers it
+    # forks) so cache and dispatch metrics show up in the summary.
+    os.environ.setdefault(TRACE_ENV_VAR, "1")
+    configure()
+
+    return run_report(
+        names=args.benchmarks or None,
+        jobs=args.jobs,
+        runs=args.runs,
+        verify=not args.no_verify,
+        output=args.output,
+        check=args.check,
+        bench_dir=args.bench_dir,
+    )
 
 
 def main(argv: "list[str] | None" = None) -> int:
@@ -245,6 +280,28 @@ def main(argv: "list[str] | None" = None) -> int:
     p_suite.add_argument("--expect-cached", action="store_true",
                          help="fail unless every artifact was a cache hit")
     p_suite.set_defaults(func=_cmd_suite)
+
+    p_report = sub.add_parser(
+        "report",
+        help="aggregate suite metrics; write the docs/RESULTS.md results book",
+    )
+    p_report.add_argument("benchmarks", nargs="*",
+                          help="benchmark names (default: all)")
+    p_report.add_argument("-j", "--jobs", type=int, default=None,
+                          help="worker processes (default: $REPRO_JOBS or "
+                               "cpu count)")
+    p_report.add_argument("--runs", type=int, default=4,
+                          help="verification inputs per benchmark")
+    p_report.add_argument("--no-verify", action="store_true",
+                          help="skip the covenant section")
+    p_report.add_argument("--output", default="docs/RESULTS.md",
+                          help="results book path (default: docs/RESULTS.md)")
+    p_report.add_argument("--bench-dir", default=".",
+                          help="directory holding the BENCH_*.json records")
+    p_report.add_argument("--check", action="store_true",
+                          help="fail if the committed results book is stale "
+                               "instead of rewriting it")
+    p_report.set_defaults(func=_cmd_report)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -1,4 +1,22 @@
-"""The paper's contribution: memory-safe isochronification ("lif")."""
+"""The paper's contribution: memory-safe isochronification ("lif").
+
+The subpackage implements Section III of the paper end to end:
+
+* :mod:`repro.core.contracts` — memory contracts and augmented function
+  signatures (Definition 2, §III-C, Fig. 10's interface extension);
+* :mod:`repro.core.repair` — the repair driver: path-condition
+  materialisation (Fig. 6), one topological rewrite pass per function,
+  interprocedural condition threading (Fig. 10, §III-D);
+* :mod:`repro.core.rules` — the per-instruction rewriting rules of
+  Fig. 7 ([phi*], [load], [store], [br]) plus the transformation
+  counters the observability layer reports;
+* :mod:`repro.core.ctsel_lowering` — the Example-5 expansion of
+  ``ctsel`` into bitwise arithmetic for selector-less targets.
+
+The output satisfies Covenant 1 (§II-C): operation invariance and memory
+safety unconditionally, data invariance when the input is data consistent
+and every contract was found (§III-C2).
+"""
 
 from repro.core.contracts import (
     FunctionContract,
@@ -18,6 +36,7 @@ from repro.core.repair import (
 )
 from repro.core.rules import (
     GuardedAccess,
+    RepairCounters,
     RuleContext,
     materialize_length,
     rewrite_load,
@@ -26,8 +45,8 @@ from repro.core.rules import (
 )
 
 __all__ = [
-    "FunctionContract", "GuardedAccess", "RepairOptions", "RepairStats",
-    "RuleContext", "build_contract", "build_signature_map",
+    "FunctionContract", "GuardedAccess", "RepairCounters", "RepairOptions",
+    "RepairStats", "RuleContext", "build_contract", "build_signature_map",
     "called_function_names", "lower_ctsels_in_function",
     "lower_ctsels_in_module", "materialize_length",
     "repair_function_in_module", "repair_module", "rewrite_load",

@@ -30,6 +30,7 @@ from typing import Optional
 from repro.analysis.array_sizes import infer_array_sizes, size_at_call_site
 from repro.core.contracts import FunctionContract, build_signature_map
 from repro.core.rules import (
+    RepairCounters,
     RuleContext,
     materialize_length,
     rewrite_load,
@@ -57,6 +58,7 @@ from repro.ir.instructions import (
 from repro.ir.module import Module
 from repro.ir.validate import validate_module
 from repro.ir.values import Const, Value, Var
+from repro.obs import OBS
 from repro.transforms.preprocess import preprocess_module
 
 
@@ -101,12 +103,19 @@ class RepairOptions:
 
 @dataclass
 class RepairStats:
-    """Measurements of one repair run (feeds the RQ1/RQ3 benchmarks)."""
+    """Measurements of one repair run (feeds the RQ1/RQ3 benchmarks).
+
+    ``counters`` holds the per-rule transformation counts of
+    :class:`repro.core.rules.RepairCounters` (ctsels inserted, stores
+    rewritten, shadow slots, contract outcomes); they are collected on
+    every run and surfaced by ``lif report``.
+    """
 
     seconds: float = 0.0
     original_instructions: int = 0
     repaired_instructions: int = 0
     per_function: dict[str, tuple[int, int]] = field(default_factory=dict)
+    counters: RepairCounters = field(default_factory=RepairCounters)
 
     @property
     def size_ratio(self) -> float:
@@ -135,9 +144,10 @@ def repair_module(
     for array in work.globals.values():
         repaired.add_global(array)
 
+    counters = stats.counters if stats is not None else RepairCounters()
     for function in work.functions.values():
         new_function = _FunctionRepairer(
-            work, function, signatures, options
+            work, function, signatures, options, counters
         ).run()
         repaired.add_function(new_function)
 
@@ -160,6 +170,17 @@ def repair_module(
                 function.instruction_count(),
                 repaired.functions[name].instruction_count(),
             )
+    if OBS.enabled:
+        OBS.counter("core.repair.modules")
+        OBS.counter("core.repair.seconds", time.perf_counter() - started)
+        for name in RepairCounters.__dataclass_fields__:
+            OBS.counter(f"core.repair.{name}", getattr(counters, name))
+        OBS.event(
+            "repair",
+            module=module.name,
+            original_instructions=module.instruction_count(),
+            repaired_instructions=repaired.instruction_count(),
+        )
     return repaired
 
 
@@ -192,12 +213,14 @@ class _FunctionRepairer:
         function: Function,
         signatures: dict[str, FunctionContract],
         options: RepairOptions,
+        counters: Optional[RepairCounters] = None,
     ) -> None:
         self.module = module
         self.function = function
         self.signatures = signatures
         self.contract = signatures[function.name]
         self.options = options
+        self.counters = counters if counters is not None else RepairCounters()
 
         self.new_function = Function(function.name, list(self.contract.new_params))
         self.builder = IRBuilder(self.new_function, name_prefix="z")
@@ -209,6 +232,14 @@ class _FunctionRepairer:
         self._normalized: dict[str, Value] = {}
         self.shadow: Var = Var("sh")  # assigned for real in run()
         self.lengths = self._compute_lengths()
+        for param in function.params:
+            if param.is_pointer:
+                if self.lengths.get(param.name) is not None:
+                    self.counters.contracts_inferred += 1
+                else:
+                    self.counters.contracts_defaulted += 1
+        if self.contract.cond_param is not None:
+            self.counters.cond_params_threaded += 1
 
     # -- setup ---------------------------------------------------------------
 
@@ -253,6 +284,7 @@ class _FunctionRepairer:
             self.out_cond[entry_label] = Const(1)
         shadow_name = self.builder.fresh("sh")
         self.shadow = self.builder.alloc(Const(1), dest=shadow_name)
+        self.counters.shadow_slots += 1
 
         for position, label in enumerate(order):
             block = self.function.blocks[label]
@@ -271,6 +303,7 @@ class _FunctionRepairer:
                 length_of=lambda array: self.lengths.get(array.name),
                 shadow=self.shadow,
                 signed_guard=self.options.signed_guard,
+                counters=self.counters,
             )
 
             for instr in block.instructions:

@@ -40,13 +40,38 @@ from repro.ir.values import Const, Value, Var
 
 
 @dataclass
+class RepairCounters:
+    """What the Fig. 7 rules actually did, as plain counts.
+
+    Populated during every repair (the increments are cheap), persisted in
+    the artifact cache through :class:`repro.core.repair.RepairStats`, and
+    surfaced by ``lif report`` — drifts in these numbers mean the
+    transformation changed behaviour, not just speed.
+    """
+
+    ctsels_inserted: int = 0      # constant-time selects emitted, all rules
+    phis_lowered: int = 0         # phi-functions rewritten (rules [phi*])
+    loads_guarded: int = 0        # loads wrapped by the [load] rule
+    stores_rewritten: int = 0     # stores load/select/store'd ([store])
+    shadow_slots: int = 0         # one-word shadow regions allocated
+    contracts_inferred: int = 0   # pointer params with a derived bound
+    contracts_defaulted: int = 0  # pointer params falling back to bound 0
+    cond_params_threaded: int = 0 # functions given the __cond parameter
+
+    def merge(self, other: "RepairCounters") -> None:
+        for name in self.__dataclass_fields__:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+
+
+@dataclass
 class RuleContext:
     """Everything the rules of Fig. 7 are parameterised by.
 
     ``out_cond`` is ``Out[l]`` for the block being rewritten; ``edge_conds``
     maps predecessor labels to the materialised incoming conditions
     ``In[l]``; ``length_of`` is the contract map ``L``; ``shadow`` the
-    function's shadow variable.
+    function's shadow variable.  ``counters``, when given, receives the
+    per-rule transformation counts.
     """
 
     fresh: Callable[[str], str]
@@ -55,11 +80,15 @@ class RuleContext:
     length_of: Callable[[Var], Optional[Expr]]
     shadow: Var
     signed_guard: bool = True
+    counters: Optional[RepairCounters] = None
 
 
 def rewrite_phi(phi: Phi, ctx: RuleContext) -> list[Instruction]:
     """Rules [phi₁], [phi₂], [phiₙ]: lower a phi to ctsel chains."""
     arms = list(phi.incomings)
+    if ctx.counters is not None:
+        ctx.counters.phis_lowered += 1
+        ctx.counters.ctsels_inserted += max(0, len(arms) - 1)
     if len(arms) == 1:
         return [Mov(phi.dest, arms[0][0])]
 
@@ -109,6 +138,9 @@ def materialize_length(
 
 def rewrite_load(load: Load, ctx: RuleContext) -> GuardedAccess:
     """Rule [load] of Fig. 7."""
+    if ctx.counters is not None:
+        ctx.counters.loads_guarded += 1
+        ctx.counters.ctsels_inserted += 2
     instructions: list[Instruction] = []
     bound = materialize_length(ctx.length_of(load.array), ctx.fresh, instructions)
 
@@ -148,6 +180,9 @@ def rewrite_load(load: Load, ctx: RuleContext) -> GuardedAccess:
 
 def rewrite_store(store: Store, ctx: RuleContext) -> list[Instruction]:
     """Rule [store] of Fig. 7: load the current value, select, store back."""
+    if ctx.counters is not None:
+        ctx.counters.stores_rewritten += 1
+        ctx.counters.ctsels_inserted += 1
     current = ctx.fresh("z")
     access = rewrite_load(Load(current, store.array, store.index), ctx)
     instructions = access.instructions

@@ -32,6 +32,7 @@ from repro.exec.interpreter import (
     Interpreter,
 )
 from repro.ir.module import Module
+from repro.obs import OBS
 
 #: Recognised backend names.
 BACKENDS = ("interp", "compiled")
@@ -84,7 +85,10 @@ def make_executor(
     :class:`CompiledExecutor`; both expose ``run(name, args)`` returning an
     :class:`~repro.exec.interpreter.ExecutionResult`.
     """
-    cls = Interpreter if resolve_backend(backend) == "interp" else CompiledExecutor
+    resolved = resolve_backend(backend)
+    if OBS.enabled:
+        OBS.counter(f"exec.dispatch.{resolved}")
+    cls = Interpreter if resolved == "interp" else CompiledExecutor
     return cls(
         module,
         strict_memory=strict_memory,

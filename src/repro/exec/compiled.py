@@ -75,6 +75,7 @@ from repro.ir.instructions import (
 from repro.ir.module import Module
 from repro.ir.ops import WORD_BITS, WORD_BYTES, eval_binop, eval_unop, wrap
 from repro.ir.values import Const, Var
+from repro.obs import OBS
 
 #: Sentinel stored in register slots that have not been written yet.
 _UNDEF = object()
@@ -1396,14 +1397,17 @@ def get_compiled(
                 compiled = variants.get(key)
                 if compiled is not None:
                     _CACHE_STATS["hits"] += 1
+                    OBS.counter("exec.compile_cache.hits")
                     return compiled
             else:
                 # The original module died and its id was recycled.
                 del _COMPILE_CACHE[mid]
                 entry = None
-    compiled = compile_ir_module(
-        module, record_trace=key[0], cache_enabled=key[1], cost_model=cost_model
-    )
+    with OBS.span("exec.compile", module=module.name):
+        compiled = compile_ir_module(
+            module, record_trace=key[0], cache_enabled=key[1], cost_model=cost_model
+        )
+    OBS.counter("exec.compile_cache.misses")
     with _CACHE_LOCK:
         _CACHE_STATS["misses"] += 1
         entry = _COMPILE_CACHE.get(mid)

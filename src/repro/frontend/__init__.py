@@ -6,6 +6,7 @@ from repro.frontend.parser import parse_source
 from repro.frontend.unroll import UnrollError, const_eval, unroll_program
 from repro.ir.module import Module
 from repro.ir.validate import validate_module
+from repro.obs import OBS
 
 
 def compile_source(source: str, name: str = "module", unroll: bool = True) -> Module:
@@ -14,12 +15,19 @@ def compile_source(source: str, name: str = "module", unroll: bool = True) -> Mo
     ``unroll=True`` (default) fully unrolls every loop, the shape the repair
     pass requires; ``unroll=False`` is only useful for inspecting the
     pre-unroll AST-to-IR lowering in tests.
+
+    With tracing enabled (``REPRO_TRACE``), each stage — parse, unroll,
+    SSA construction (codegen), validation — is timed as a span.
     """
-    program = parse_source(source)
+    with OBS.span("frontend.parse", module=name):
+        program = parse_source(source)
     if unroll:
-        program = unroll_program(program)
-    module = generate_module(program, name)
-    validate_module(module)
+        with OBS.span("frontend.unroll", module=name):
+            program = unroll_program(program)
+    with OBS.span("frontend.codegen", module=name):
+        module = generate_module(program, name)
+    with OBS.span("frontend.validate", module=name):
+        validate_module(module)
     return module
 
 

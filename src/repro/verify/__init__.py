@@ -1,4 +1,19 @@
-"""Isochronicity and memory-safety verification (the validation layer)."""
+"""Isochronicity and memory-safety verification (the validation layer).
+
+The dynamic counterpart of the paper's Section IV validation paragraph:
+
+* :mod:`repro.verify.covenant` — Covenant 1 (§II-C) as one call, clause
+  by clause (Theorems 1-4);
+* :mod:`repro.verify.isochronicity` — operation/data-trace and
+  cache-signature comparison (the paper's cachegrind methodology, §IV);
+* :mod:`repro.verify.dudect` — the dudect-style statistical leak test the
+  paper benchmarks against (Welch's t-test over fixed-vs-random inputs);
+* :mod:`repro.verify.suite` — whole-suite covenant verification on the
+  parallel build fan-out.
+
+Covenant outcomes are mirrored to ``verify.covenant.*`` metrics when
+tracing is enabled (``docs/OBSERVABILITY.md``).
+"""
 
 from repro.verify.dudect import (
     DudectReport,

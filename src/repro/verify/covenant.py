@@ -24,6 +24,7 @@ from repro.analysis.data_consistency import classify_data_consistency
 from repro.core.contracts import build_signature_map
 from repro.core.repair import RepairOptions, repair_module
 from repro.ir.module import Module
+from repro.obs import OBS
 from repro.verify.isochronicity import check_invariance, compare_semantics
 
 
@@ -103,7 +104,7 @@ def check_covenant(
     )
     consistency = classify_data_consistency(module, name)
 
-    return CovenantReport(
+    report = CovenantReport(
         function=name,
         semantics_preserved=semantics,
         operation_invariant=invariance.operation_invariant,
@@ -112,3 +113,26 @@ def check_covenant(
         predicted_data_invariant=consistency.repaired_data_invariant,
         inherently_data_inconsistent=consistency.inherently_inconsistent,
     )
+    if OBS.enabled:
+        OBS.counter("verify.covenant.checked")
+        OBS.counter(
+            "verify.covenant.ok" if report.holds else "verify.covenant.violated"
+        )
+        for clause in (
+            "semantics_preserved",
+            "operation_invariant",
+            "data_invariant",
+            "memory_safe",
+        ):
+            if getattr(report, clause):
+                OBS.counter(f"verify.covenant.{clause}")
+        OBS.event(
+            "covenant",
+            function=name,
+            holds=report.holds,
+            semantics_preserved=report.semantics_preserved,
+            operation_invariant=report.operation_invariant,
+            data_invariant=report.data_invariant,
+            memory_safe=report.memory_safe,
+        )
+    return report

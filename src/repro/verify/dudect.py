@@ -1,4 +1,4 @@
-"""A dudect-style statistical timing-leak tester.
+"""A dudect-style statistical timing-leak tester (paper §IV's CTBench side).
 
 The paper benchmarks against routines distributed with dudect (Reparaz,
 Balasch, Verbauwhede: "Dude, is my code constant time?", DATE 2017), the

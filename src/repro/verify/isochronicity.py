@@ -1,4 +1,10 @@
-"""Dynamic isochronicity checking.
+"""Dynamic isochronicity checking (paper §II-A/§II-B definitions, §IV method).
+
+Operation invariance (Definition: same instruction trace for all inputs,
+the property Fig. 7's [br] rule plus the ctsel rewrites establish) and data
+invariance (same address trace, the §III-C contract machinery's goal) are
+checked against concrete executions, plus the memory-safety clause of
+Covenant 1 (§II-C, Theorem 4).
 
 The paper validates its Covenant 1 by running the repaired programs under
 cachegrind/valgrind and comparing cache behaviour across inputs.  Here the

@@ -1,9 +1,17 @@
 """Whole-suite covenant verification on top of the parallel build fan-out.
 
+This is the paper's validation paragraph (Section IV) run as a batch: every
+benchmark is checked against Covenant 1 (§II-C) — semantics preservation
+(Theorem 1), operation invariance (Theorem 2, Fig. 7's [br] rule), data
+invariance where predicted (Theorem 3, §III-C), and memory safety
+(Theorem 4 / Property 3).
+
 Each worker loads (or builds) the benchmark's artifacts through the
 content-addressed store, so a verify run after a bench run re-parses cached
 IR instead of repairing from scratch, and the per-benchmark covenant checks
-run concurrently.  Imports of the bench layer stay inside functions: the
+run concurrently.  Worker metric snapshots are merged into the parent
+collector (``repro.obs``), so ``verify.covenant.*`` counters survive the
+fan-out.  Imports of the bench layer stay inside functions: the
 ``repro.verify`` package is imported *by* ``repro.bench``, so importing it
 back at module level would be circular.
 """
@@ -12,6 +20,16 @@ from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
 from typing import Iterable, Optional
+
+from repro.obs import OBS
+
+
+def _verify_worker(name: str, runs: int, cache_root: Optional[str]):
+    # Same delta discipline as the build workers: drop state inherited via
+    # fork (or left over from the previous task) so the parent-side merge
+    # only sees this check's metrics.
+    OBS.reset()
+    return _verify_one(name, runs, cache_root), OBS.snapshot()
 
 
 def _verify_one(name: str, runs: int, cache_root: Optional[str]):
@@ -58,9 +76,11 @@ def verify_suite(
     results: dict = {}
     with ProcessPoolExecutor(max_workers=min(jobs, len(selected))) as pool:
         futures = [
-            (name, pool.submit(_verify_one, name, runs, cache_root))
+            (name, pool.submit(_verify_worker, name, runs, cache_root))
             for name in selected
         ]
         for name, future in futures:
-            results[name] = future.result()
+            report, snapshot = future.result()
+            OBS.merge(snapshot)
+            results[name] = report
     return results

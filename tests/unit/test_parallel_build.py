@@ -76,7 +76,8 @@ class TestCrossProcessDeterminism:
             # A fresh single-worker pool per build: each build runs in its
             # own OS process with its own hash seed and iteration state.
             with ProcessPoolExecutor(max_workers=1) as pool:
-                results.append(pool.submit(_worker, request, None).result())
+                built, _snapshot = pool.submit(_worker, request, None).result()
+                results.append(built)
         first, second = results
         assert first.ir == second.ir
         assert first.module_names == second.module_names
