@@ -23,13 +23,15 @@ from repro.analysis.sensitivity import (
     LeakyBranch,
     LeakyIndex,
     SensitivityReport,
+    analyze_function_sensitivity,
     analyze_sensitivity,
 )
 
 __all__ = [
     "AccessClassification", "BranchAtom", "ConsistencyReport", "DominatorTree",
     "Formula", "FormulaBudgetExceeded", "LeakyBranch", "LeakyIndex", "PathConditions",
-    "SensitivityReport", "analyze_sensitivity", "classify_data_consistency",
+    "SensitivityReport", "analyze_function_sensitivity", "analyze_sensitivity",
+    "classify_data_consistency",
     "compute_control_dependence", "compute_dominators",
     "compute_path_conditions", "compute_path_conditions",
     "compute_postdominators", "infer_array_sizes", "size_at_call_site",

@@ -15,13 +15,21 @@ from repro.ir.function import Function
 from repro.ir.instructions import Br
 
 
-def compute_control_dependence(function: Function) -> dict[str, set[str]]:
+def compute_control_dependence(
+    function: Function, allow_multiple_exits: bool = False
+) -> dict[str, set[str]]:
     """Map each block label to the labels of the branch blocks it depends on.
 
     Requires a single-exit function (run the single-return canonicalisation
-    first); raises ``ValueError`` otherwise.
+    first); raises ``ValueError`` otherwise.  Pass
+    ``allow_multiple_exits=True`` to analyse raw multi-exit CFGs through a
+    virtual exit node instead — an early ``ret`` under a branch then makes
+    the blocks it skips control-dependent on that branch, which is exactly
+    the implicit flow a secret-steered early return creates.
     """
-    postdom = compute_postdominators(function)
+    postdom = compute_postdominators(
+        function, virtual_exit=allow_multiple_exits
+    )
     if postdom is None:
         raise ValueError(
             f"@{function.name}: control dependence requires a single exit block"
@@ -38,7 +46,9 @@ def compute_control_dependence(function: Function) -> dict[str, set[str]]:
             runner = successor
             stop = postdom.idom.get(block.label)
             while runner is not None and runner != stop:
-                if runner != block.label:
+                # The virtual exit is not a real block; skip it but keep
+                # walking (its parent is itself, so the loop ends below).
+                if runner != block.label and runner in depends_on:
                     depends_on[runner].add(block.label)
                 parent = postdom.idom.get(runner)
                 if parent == runner:

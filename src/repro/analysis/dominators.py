@@ -92,33 +92,52 @@ def compute_dominators(function: Function) -> DominatorTree:
     return _iterate(order, restricted, function.entry.label)
 
 
-def compute_postdominators(function: Function) -> Optional[DominatorTree]:
+#: Synthetic postdominator root joining every exit of a multi-exit CFG.
+#: Angle brackets keep it disjoint from parseable block labels.
+VIRTUAL_EXIT = "<virtual-exit>"
+
+
+def compute_postdominators(
+    function: Function, virtual_exit: bool = False
+) -> Optional[DominatorTree]:
     """Postdominator tree, or ``None`` when the function has no single exit.
 
     The preprocessing pipeline canonicalises functions to a single return
-    point (paper Section III-A), after which this always succeeds.
+    point (paper Section III-A), after which this always succeeds.  With
+    ``virtual_exit=True`` a multi-exit CFG is handled by rooting the tree
+    at a synthetic :data:`VIRTUAL_EXIT` node that every exit block jumps
+    to — the standard construction, used by the analyses that must also
+    cover *unpreprocessed* input (sensitivity, the static certifier).
     """
     exits = exit_blocks(function)
-    if len(exits) != 1:
+    if len(exits) == 1:
+        root = exits[0].label
+        synthetic = False
+    elif exits and virtual_exit:
+        root = VIRTUAL_EXIT
+        synthetic = True
+    else:
         return None
-    root = exits[0].label
 
     # Reverse the CFG and reuse the same engine.
     preds = predecessor_map(function)
-    reverse_succ = preds  # successors in the reversed graph
+    reverse_succ = {label: list(p) for label, p in preds.items()}
+    if synthetic:
+        reverse_succ[VIRTUAL_EXIT] = [e.label for e in exits]
     order = _reverse_postorder_from(root, reverse_succ)
     reachable = set(order)
+    # reverse_preds of X = successors of X in the original graph, restricted.
     reverse_preds: dict[str, list[str]] = {label: [] for label in order}
     for label in order:
-        for succ in reverse_succ[label]:
-            if succ in reachable:
-                reverse_preds[succ].append(label)
-    # reverse_preds of X = successors of X in the original graph, restricted.
-    reverse_preds = {label: [] for label in order}
-    for label in order:
+        if label == root and synthetic:
+            continue
         for orig_succ in _original_successors(function, label):
             if orig_succ in reachable:
                 reverse_preds[label].append(orig_succ)
+    if synthetic:
+        for exit_block in exits:
+            if exit_block.label in reachable:
+                reverse_preds[exit_block.label].append(VIRTUAL_EXIT)
     return _iterate(order, reverse_preds, root)
 
 

@@ -99,11 +99,26 @@ def analyze_sensitivity(
     cryptographic code).  Calls are handled conservatively: a call result is
     tainted when any argument is, and pointer arguments of calls are assumed
     to be overwritten with tainted data when any argument is tainted.
+    (:mod:`repro.statics.interproc` replaces this conservatism with real
+    per-callee summaries when the whole module is available.)
     """
-    function = module.function(function_name)
+    return analyze_function_sensitivity(
+        module.function(function_name), sensitive_params
+    )
+
+
+def analyze_function_sensitivity(
+    function: Function,
+    sensitive_params: Optional[Sequence[str]] = None,
+) -> SensitivityReport:
+    """Taint analysis of a bare :class:`Function` (no module required).
+
+    The optimiser's leakage sanitizer runs this between passes, where only
+    the function being rewritten is at hand.
+    """
     if sensitive_params is None:
         sensitive_params = [p.name for p in function.params]
-    report = SensitivityReport(function_name, tuple(sensitive_params))
+    report = SensitivityReport(function.name, tuple(sensitive_params))
 
     tainted: set[str] = set(sensitive_params)
     # Arrays whose *contents* are tainted.  Arrays handed in as sensitive
@@ -115,8 +130,14 @@ def analyze_sensitivity(
     }
 
     try:
-        direct_deps = compute_control_dependence(function)
+        # Multi-exit functions (a secret-steered early return) are analysed
+        # through a virtual exit; without it every implicit flow in such a
+        # function was silently dropped (store-after-secret-branch missed).
+        direct_deps = compute_control_dependence(
+            function, allow_multiple_exits=True
+        )
     except ValueError:
+        # No exit block at all (degenerate input): no implicit flows.
         direct_deps = {label: set() for label in function.blocks}
 
     # Implicit flows are transitive: a block nested under two branches leaks
@@ -158,8 +179,6 @@ def analyze_sensitivity(
                         tainted_arrays.add(instr.array.name)
                         changed = True
                     continue
-                if instr.dest is None:
-                    continue
                 is_tainted = implicit or any(
                     v in tainted for v in instr.used_vars()
                 )
@@ -168,12 +187,16 @@ def analyze_sensitivity(
                         is_tainted = True
                 if isinstance(instr, Call):
                     # Conservative: assume the callee taints its pointer
-                    # arguments whenever any argument is tainted.
+                    # arguments whenever any argument is tainted.  Applies
+                    # to void calls too — a `call @f(buf)` with no result
+                    # still writes through `buf`.
                     if is_tainted:
                         for arg in instr.args:
                             if isinstance(arg, Var) and arg.name not in tainted_arrays:
                                 tainted_arrays.add(arg.name)
                                 changed = True
+                if instr.dest is None:
+                    continue
                 if is_tainted and instr.dest not in tainted:
                     tainted.add(instr.dest)
                     changed = True

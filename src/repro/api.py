@@ -128,6 +128,38 @@ def generate_results_book(
     return render_results(artifacts, reports, load_bench_records())
 
 
+def certify_constant_time(
+    module: Module,
+    entry: Optional[str] = None,
+):
+    """Statically certify ``module`` (or just ``entry`` and its callees).
+
+    Runs the interprocedural taint analysis and returns a
+    :class:`repro.statics.certifier.CertificationReport` with per-function
+    ``CERTIFIED_CONSTANT_TIME`` / ``RESIDUAL_LEAK`` verdicts and anchored
+    diagnostics.  Unlike :func:`check_isochronous` this covers *every*
+    input, at the cost of conservatism.  See ``docs/STATIC_ANALYSIS.md``.
+    """
+    from repro.statics.certifier import certify_entry, certify_module
+
+    if entry is not None:
+        return certify_entry(module, entry)
+    return certify_module(module)
+
+
+def lint_module(module: Module) -> list:
+    """Every static finding for ``module``: IR well-formedness plus the
+    certifier's leak diagnostics, sorted most severe first (what ``lif
+    lint`` prints)."""
+    from repro.ir.validate import diagnose_module
+    from repro.statics.certifier import certify_module
+    from repro.statics.diagnostics import sort_diagnostics
+
+    return sort_diagnostics(
+        list(diagnose_module(module)) + certify_module(module).diagnostics()
+    )
+
+
 def check_isochronous(
     module: Module,
     name: str,

@@ -72,6 +72,9 @@ class BuiltArtifacts:
     #: (:meth:`repro.opt.pipeline.OptReport.as_dict`): per-pass seconds,
     #: fire counts, instructions eliminated, fixpoint iterations.
     opt_pass_stats: dict = field(default_factory=dict)
+    #: variant -> :meth:`repro.statics.certifier.CertificationReport.as_dict`
+    #: for the benchmark entry point (original and repaired variants).
+    certification: dict = field(default_factory=dict)
     #: True when this record came from the on-disk store, not a build.
     cache_hit: bool = False
 
@@ -232,6 +235,16 @@ def _build_impl(request: BuildRequest, key: str) -> BuiltArtifacts:
             lambda: outputs_match(original, sce, request.entry, request.check_inputs),
         )
 
+    from repro.statics.certifier import certify_entry
+
+    certification = timed(
+        "certify",
+        lambda: {
+            variant: certify_entry(modules[variant], request.entry).as_dict()
+            for variant in ("original", "repaired")
+        },
+    )
+
     ir = timed(
         "print", lambda: {variant: module_to_str(m) for variant, m in modules.items()}
     )
@@ -251,5 +264,6 @@ def _build_impl(request: BuildRequest, key: str) -> BuiltArtifacts:
             variant: m.instruction_count() for variant, m in modules.items()
         },
         opt_pass_stats=opt_report.as_dict(),
+        certification=certification,
         cache_hit=False,
     )

@@ -89,6 +89,7 @@ class ArtifactStore:
             timings=meta["timings"],
             instruction_counts=meta["instruction_counts"],
             opt_pass_stats=meta.get("opt_pass_stats", {}),
+            certification=meta.get("certification", {}),
             cache_hit=True,
         )
 
@@ -109,6 +110,7 @@ class ArtifactStore:
                 "timings": built.timings,
                 "instruction_counts": built.instruction_counts,
                 "opt_pass_stats": built.opt_pass_stats,
+                "certification": built.certification,
             }
             for variant, text in built.ir.items():
                 (staging / f"{variant}.ir").write_text(text)

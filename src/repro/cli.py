@@ -8,6 +8,10 @@ Named after the authors' public tool.  Subcommands:
 * ``lif check file.mc fn``       — detect leaks (sensitivity analysis) and
                                     classify data consistency
 * ``lif verify file.mc fn``      — repair and verify Covenant 1 dynamically
+* ``lif lint file.mc [fn]``      — static lint: IR well-formedness plus the
+                                    constant-time certifier's verdicts
+                                    (``--json`` for tooling, ``--suite`` to
+                                    sweep the benchmark suite)
 * ``lif suite [names...]``       — build (and verify) benchmark artifacts
 * ``lif report``                 — metrics summary + the docs/RESULTS.md
                                     results book (``--check`` for CI)
@@ -122,6 +126,141 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     print(f"memory safe         : {report.memory_safe}")
     print(f"covenant holds      : {report.holds}")
     return 0 if report.holds else 1
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.ir.validate import diagnose_module
+    from repro.statics.certifier import certify_entry, certify_module
+    from repro.statics.diagnostics import render_json, render_text
+
+    if args.suite:
+        return _lint_suite(args)
+    if not args.targets:
+        sys.stderr.write("lif lint: expected a file (or --suite)\n")
+        return 2
+    path = args.targets[0]
+    function = args.targets[1] if len(args.targets) > 1 else None
+    module = _load(path)
+    if args.repair:
+        module = repair_module(module, RepairOptions(validate_output=False))
+    diagnostics = list(diagnose_module(module))
+    if function is not None:
+        certification = certify_entry(module, function)
+    else:
+        certification = certify_module(module)
+    diagnostics.extend(certification.diagnostics())
+    verdicts = {
+        name: certificate.verdict
+        for name, certificate in certification.functions.items()
+    }
+    if args.json:
+        print(render_json(diagnostics, module=module.name, verdicts=verdicts))
+    else:
+        print(render_text(diagnostics))
+        for name, certificate in sorted(certification.functions.items()):
+            suffix = (
+                " (inherently data-inconsistent)"
+                if certificate.inherently_data_inconsistent
+                else ""
+            )
+            print(f"@{name}: {certificate.verdict}{suffix}")
+    return 1 if any(d.severity == "error" for d in diagnostics) else 0
+
+
+def _lint_suite(args: argparse.Namespace) -> int:
+    """Lint every benchmark's original + repaired variants.
+
+    Fails (exit 1) when a repaired variant has an IR validation error, a
+    genuine residual leak, or a residual leak in a benchmark whose metadata
+    does not whitelist it as inherently data-inconsistent.
+    """
+    import json
+
+    from repro.artifacts.build import parse_variant
+    from repro.bench.runner import get_artifacts
+    from repro.bench.suite import benchmark_names, get_benchmark
+    from repro.ir.validate import diagnose_module
+    from repro.statics.certifier import CertificationReport, certify_entry
+    from repro.statics.diagnostics import sort_diagnostics
+
+    names = args.targets or benchmark_names()
+    unknown = set(names) - set(benchmark_names())
+    if unknown:
+        sys.stderr.write(f"unknown benchmarks: {', '.join(sorted(unknown))}\n")
+        return 2
+
+    payload: dict = {}
+    failures: list[str] = []
+    for name in names:
+        bench = get_benchmark(name)
+        built = get_artifacts(name).built
+        per_bench: dict = {}
+        for variant in ("original", "repaired"):
+            module = parse_variant(built, variant)
+            cached = built.certification.get(variant)
+            if cached is not None:
+                report = CertificationReport.from_dict(cached)
+            else:  # pre-certifier cache entry: compute in process
+                report = certify_entry(module, built.entry)
+            diagnostics = sort_diagnostics(
+                list(diagnose_module(module)) + report.diagnostics()
+            )
+            per_bench[variant] = {
+                "verdicts": {
+                    fn: certificate.verdict
+                    for fn, certificate in report.functions.items()
+                },
+                "inherently_data_inconsistent": {
+                    fn: certificate.inherently_data_inconsistent
+                    for fn, certificate in report.functions.items()
+                    if not certificate.certified
+                },
+                "diagnostics": [d.as_dict() for d in diagnostics],
+            }
+            if variant != "repaired":
+                continue
+            ir_errors = [
+                d.rule
+                for d in diagnostics
+                if d.severity == "error" and d.rule.startswith("IR-")
+            ]
+            if ir_errors:
+                failures.append(f"{name}: IR errors {sorted(set(ir_errors))}")
+            if report.genuine_failures:
+                failures.append(
+                    f"{name}: genuine residual leak in "
+                    f"{report.genuine_failures}"
+                )
+            elif report.residual_functions and not bench.inherently_inconsistent:
+                failures.append(
+                    f"{name}: residual leak in {report.residual_functions} "
+                    "but benchmark is not whitelisted as inherently "
+                    "data-inconsistent"
+                )
+        payload[name] = per_bench
+
+    if args.json:
+        print(json.dumps(payload, indent=1, sort_keys=True))
+    else:
+        for name in names:
+            for variant in ("original", "repaired"):
+                entry = payload[name][variant]
+                residual = sorted(
+                    fn
+                    for fn, verdict in entry["verdicts"].items()
+                    if verdict != "CERTIFIED_CONSTANT_TIME"
+                )
+                status = (
+                    f"residual: {', '.join(residual)}" if residual
+                    else "certified"
+                )
+                print(
+                    f"{name:18s} {variant:9s} {status} "
+                    f"({len(entry['diagnostics'])} diagnostics)"
+                )
+    for failure in failures:
+        sys.stderr.write(f"lint failure: {failure}\n")
+    return 1 if failures else 0
 
 
 def _cmd_suite(args: argparse.Namespace) -> int:
@@ -259,6 +398,23 @@ def main(argv: "list[str] | None" = None) -> int:
                           help="execution engine (default: compiled, or "
                                "$REPRO_BACKEND)")
     p_verify.set_defaults(func=_cmd_verify)
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="static lint: IR validation + constant-time certification",
+    )
+    p_lint.add_argument(
+        "targets", nargs="*",
+        help="FILE [FUNCTION], or benchmark names with --suite",
+    )
+    p_lint.add_argument("--suite", action="store_true",
+                        help="lint benchmark artifacts (original + repaired) "
+                             "instead of a file")
+    p_lint.add_argument("--repair", action="store_true",
+                        help="repair the module first and lint the result")
+    p_lint.add_argument("--json", action="store_true",
+                        help="deterministic JSON output")
+    p_lint.set_defaults(func=_cmd_lint)
 
     p_suite = sub.add_parser(
         "suite", help="build (and optionally verify) benchmark artifacts"

@@ -30,7 +30,13 @@ from repro.ir.instructions import (
 from repro.ir.module import GlobalArray, Module
 from repro.ir.parser import IRSyntaxError, parse_function, parse_module
 from repro.ir.printer import function_to_str, module_to_str
-from repro.ir.validate import ValidationError, validate_function, validate_module
+from repro.ir.validate import (
+    ValidationError,
+    diagnose_function,
+    diagnose_module,
+    validate_function,
+    validate_module,
+)
 from repro.ir.values import Const, Value, Var, as_value
 
 __all__ = [
@@ -38,6 +44,7 @@ __all__ = [
     "Function", "GlobalArray", "IRBuilder", "IRSyntaxError", "Instruction",
     "Jmp", "Load", "Module", "Mov", "Param", "Phi", "Ret", "Store",
     "Terminator", "UnaryExpr", "ValidationError", "Value", "Var", "as_value",
+    "diagnose_function", "diagnose_module",
     "fresh_name", "function_to_str", "module_to_str", "parse_function",
     "parse_module", "validate_function", "validate_module",
 ]

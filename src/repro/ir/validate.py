@@ -4,6 +4,15 @@ The paper's transformation is only defined on *well-formed* SSA programs:
 every variable has a single definition, and that definition dominates all of
 its uses (Section III-B1).  The validator enforces this, plus the structural
 invariants the rest of the code base relies on.
+
+Every check reports through the structured diagnostics framework
+(:mod:`repro.statics.diagnostics`): ``validate_function`` /
+``validate_module`` raise :class:`ValidationError` on the first error (hot
+path — no list building), while ``diagnose_function`` / ``diagnose_module``
+collect every finding for ``lif lint``.  :class:`ValidationError` stays a
+``ValueError`` subclass and carries the triggering
+:class:`~repro.statics.diagnostics.Diagnostic` on its ``diagnostic``
+attribute.
 """
 
 from __future__ import annotations
@@ -15,10 +24,25 @@ from repro.ir.function import Function
 from repro.ir.instructions import Call, Phi
 from repro.ir.module import Module
 from repro.ir.values import Var
+from repro.statics.diagnostics import (
+    Anchor,
+    Diagnostic,
+    DiagnosticSink,
+    sort_diagnostics,
+)
 
 
 class ValidationError(ValueError):
-    """Raised when a function or module violates an IR invariant."""
+    """Raised when a function or module violates an IR invariant.
+
+    A thin wrapper over the structured diagnostic: ``str(error)`` keeps the
+    historical message format, ``error.diagnostic`` (when present) carries
+    the rule id and anchor.
+    """
+
+    def __init__(self, message: str, diagnostic: Optional[Diagnostic] = None):
+        super().__init__(message)
+        self.diagnostic = diagnostic
 
 
 def validate_function(
@@ -29,16 +53,8 @@ def validate_function(
     Raises :class:`ValidationError` with a precise message on the first
     violation found.
     """
-    if not function.blocks:
-        raise ValidationError(f"@{function.name}: function has no blocks")
-
-    _check_terminators(function)
-    preds = predecessor_map(function)  # also checks branch targets exist
-    _check_phi_placement(function, preds)
-    definitions = _check_single_assignment(function, module)
-    _check_dominance(function, definitions, module)
-    if module is not None:
-        _check_calls(function, module)
+    sink = DiagnosticSink(strict_exception=ValidationError)
+    _run_checks(function, module, sink)
 
 
 def validate_module(module: Module) -> None:
@@ -46,53 +62,181 @@ def validate_module(module: Module) -> None:
         validate_function(function, module)
 
 
-def _check_terminators(function: Function) -> None:
+def diagnose_function(
+    function: Function, module: Optional[Module] = None
+) -> list[Diagnostic]:
+    """Collect every well-formedness finding instead of raising."""
+    sink = DiagnosticSink()
+    _run_checks(function, module, sink)
+    return sort_diagnostics(sink.diagnostics)
+
+
+def diagnose_module(module: Module) -> list[Diagnostic]:
+    sink = DiagnosticSink()
+    for function in module.functions.values():
+        _run_checks(function, module, sink)
+    return sort_diagnostics(sink.diagnostics)
+
+
+def _run_checks(
+    function: Function, module: Optional[Module], sink: DiagnosticSink
+) -> None:
+    if not function.blocks:
+        sink.emit(
+            Diagnostic(
+                rule="IR-NO-BLOCKS",
+                severity="error",
+                message=f"@{function.name}: function has no blocks",
+                anchor=Anchor(function.name),
+            )
+        )
+        return
+
+    # The stages below assume the structural invariants the earlier stages
+    # establish (a dominator tree needs terminators, phi checks need the
+    # predecessor map), so in collect mode stop at the first broken layer.
+    before = len(sink.diagnostics)
+    _check_terminators(function, sink)
+    if len(sink.diagnostics) > before:
+        return
+    try:
+        preds = predecessor_map(function)  # raises on unknown branch targets
+    except KeyError as error:
+        sink.emit(
+            Diagnostic(
+                rule="IR-SSA-UNDEF",
+                severity="error",
+                message=f"@{function.name}: {error.args[0]}",
+                anchor=Anchor(function.name),
+            )
+        )
+        return
+    _check_phi_placement(function, preds, sink)
+    definitions = _check_single_assignment(function, module, sink)
+    _check_dominance(function, definitions, sink)
+    if module is not None:
+        _check_calls(function, module, sink)
+
+
+def _check_terminators(function: Function, sink: DiagnosticSink) -> None:
     for block in function.blocks.values():
         if block.terminator is None:
-            raise ValidationError(
-                f"@{function.name}: block {block.label} has no terminator"
+            sink.emit(
+                Diagnostic(
+                    rule="IR-TERM-MISSING",
+                    severity="error",
+                    message=(
+                        f"@{function.name}: block {block.label} has no "
+                        "terminator"
+                    ),
+                    anchor=Anchor(function.name, block.label),
+                    fixit="end the block with jmp, br, or ret",
+                )
             )
 
 
-def _check_phi_placement(function: Function, preds: dict[str, list[str]]) -> None:
+def _check_phi_placement(
+    function: Function, preds: dict[str, list[str]], sink: DiagnosticSink
+) -> None:
     for block in function.blocks.values():
+        expected = preds[block.label]
         seen_non_phi = False
-        for instr in block.instructions:
-            if isinstance(instr, Phi):
-                if seen_non_phi:
-                    raise ValidationError(
-                        f"@{function.name}:{block.label}: phi {instr.dest} does "
-                        "not lead its block"
-                    )
-                incoming_labels = sorted(label for _, label in instr.incomings)
-                expected = sorted(preds[block.label])
-                if incoming_labels != expected:
-                    raise ValidationError(
-                        f"@{function.name}:{block.label}: phi {instr.dest} "
-                        f"incomings {incoming_labels} do not match "
-                        f"predecessors {expected}"
-                    )
-            else:
+        for index, instr in enumerate(block.instructions):
+            if not isinstance(instr, Phi):
                 seen_non_phi = True
+                continue
+            anchor = Anchor(function.name, block.label, index, str(instr))
+            if seen_non_phi:
+                sink.emit(
+                    Diagnostic(
+                        rule="IR-PHI-ORDER",
+                        severity="error",
+                        message=(
+                            f"@{function.name}:{block.label}: phi "
+                            f"{instr.dest} does not lead its block"
+                        ),
+                        anchor=anchor,
+                        fixit="move the phi above every non-phi instruction",
+                    )
+                )
+            incoming = [label for _, label in instr.incomings]
+            prefix = (
+                f"@{function.name}:{block.label}: phi {instr.dest} incomings "
+                f"{sorted(incoming)} do not match predecessors "
+                f"{sorted(expected)}"
+            )
+            for label in sorted(set(incoming)):
+                if incoming.count(label) > 1:
+                    sink.emit(
+                        Diagnostic(
+                            rule="IR-PHI-PRED-DUP",
+                            severity="error",
+                            message=(
+                                f"{prefix}: predecessor {label} listed "
+                                f"{incoming.count(label)} times"
+                            ),
+                            anchor=anchor,
+                            fixit=f"keep a single incoming for {label}",
+                        )
+                    )
+            for label in sorted(set(expected) - set(incoming)):
+                sink.emit(
+                    Diagnostic(
+                        rule="IR-PHI-PRED-MISSING",
+                        severity="error",
+                        message=f"{prefix}: no incoming for {label}",
+                        anchor=anchor,
+                        fixit=f"add an incoming value for predecessor {label}",
+                    )
+                )
+            for label in sorted(set(incoming) - set(expected)):
+                sink.emit(
+                    Diagnostic(
+                        rule="IR-PHI-PRED-EXTRA",
+                        severity="error",
+                        message=(
+                            f"{prefix}: {label} is not a predecessor of "
+                            f"{block.label}"
+                        ),
+                        anchor=anchor,
+                        fixit=f"drop the incoming from {label}",
+                    )
+                )
 
 
 def _check_single_assignment(
-    function: Function, module: Optional[Module]
+    function: Function, module: Optional[Module], sink: DiagnosticSink
 ) -> dict[str, tuple[str, int]]:
     """Return ``{var: (block, index)}``; params map to the entry at index -1."""
     definitions: dict[str, tuple[str, int]] = {}
     entry = function.entry.label
     for param in function.params:
         if param.name in definitions:
-            raise ValidationError(
-                f"@{function.name}: duplicate parameter {param.name}"
+            sink.emit(
+                Diagnostic(
+                    rule="IR-PARAM-DUP",
+                    severity="error",
+                    message=(
+                        f"@{function.name}: duplicate parameter {param.name}"
+                    ),
+                    anchor=Anchor(function.name),
+                )
             )
         definitions[param.name] = (entry, -1)
     if module is not None:
         for global_name in module.globals:
             if global_name in definitions:
-                raise ValidationError(
-                    f"@{function.name}: parameter {global_name} shadows a global"
+                sink.emit(
+                    Diagnostic(
+                        rule="IR-GLOBAL-SHADOW",
+                        severity="error",
+                        message=(
+                            f"@{function.name}: parameter {global_name} "
+                            "shadows a global"
+                        ),
+                        anchor=Anchor(function.name),
+                        fixit=f"rename the parameter {global_name}",
+                    )
                 )
             definitions[global_name] = (entry, -1)
 
@@ -101,8 +245,19 @@ def _check_single_assignment(
             if instr.dest is None:
                 continue
             if instr.dest in definitions:
-                raise ValidationError(
-                    f"@{function.name}: variable {instr.dest} defined twice"
+                sink.emit(
+                    Diagnostic(
+                        rule="IR-SSA-REDEF",
+                        severity="error",
+                        message=(
+                            f"@{function.name}: variable {instr.dest} "
+                            "defined twice"
+                        ),
+                        anchor=Anchor(
+                            function.name, block.label, index, str(instr)
+                        ),
+                        fixit="rename one definition (SSA construction)",
+                    )
                 )
             definitions[instr.dest] = (block.label, index)
     return definitions
@@ -111,68 +266,118 @@ def _check_single_assignment(
 def _check_dominance(
     function: Function,
     definitions: dict[str, tuple[str, int]],
-    module: Optional[Module],
+    sink: DiagnosticSink,
 ) -> None:
     from repro.analysis.dominators import compute_dominators
 
     reachable = reachable_labels(function)
     domtree = compute_dominators(function)
 
-    def check_use(var: str, use_block: str, use_index: int, what: str) -> None:
+    def check_use(
+        var: str, use_block: str, use_index: int, what: str, anchor: Anchor
+    ) -> None:
         if var not in definitions:
-            raise ValidationError(
-                f"@{function.name}:{use_block}: {what} uses undefined "
-                f"variable {var}"
+            sink.emit(
+                Diagnostic(
+                    rule="IR-SSA-UNDEF",
+                    severity="error",
+                    message=(
+                        f"@{function.name}:{use_block}: {what} uses "
+                        f"undefined variable {var}"
+                    ),
+                    anchor=anchor,
+                )
             )
+            return
         def_block, def_index = definitions[var]
         if use_block not in reachable:
             return  # uses in dead code are not constrained
         if def_block == use_block:
             if def_index >= use_index:
-                raise ValidationError(
-                    f"@{function.name}:{use_block}: {var} used before its "
-                    f"definition"
+                sink.emit(
+                    Diagnostic(
+                        rule="IR-SSA-DOM",
+                        severity="error",
+                        message=(
+                            f"@{function.name}:{use_block}: {var} used "
+                            "before its definition"
+                        ),
+                        anchor=anchor,
+                    )
                 )
         elif not domtree.dominates(def_block, use_block):
-            raise ValidationError(
-                f"@{function.name}:{use_block}: definition of {var} in "
-                f"{def_block} does not dominate this use"
+            sink.emit(
+                Diagnostic(
+                    rule="IR-SSA-DOM",
+                    severity="error",
+                    message=(
+                        f"@{function.name}:{use_block}: definition of {var} "
+                        f"in {def_block} does not dominate this use"
+                    ),
+                    anchor=anchor,
+                )
             )
 
     for block in function.blocks.values():
         for index, instr in enumerate(block.instructions):
+            anchor = Anchor(function.name, block.label, index, str(instr))
             if isinstance(instr, Phi):
                 # A phi use must be available at the end of the matching
                 # predecessor, not at the phi itself.
                 for value, pred_label in instr.incomings:
                     if not isinstance(value, Var):
                         continue
-                    pred_block = function.blocks[pred_label]
+                    pred_block = function.blocks.get(pred_label)
+                    if pred_block is None:
+                        continue  # IR-PHI-PRED-EXTRA already reported
                     check_use(
                         value.name,
                         pred_label,
                         len(pred_block.instructions),
                         f"phi {instr.dest}",
+                        anchor,
                     )
             else:
                 for var in instr.used_vars():
-                    check_use(var, block.label, index, str(instr))
+                    check_use(var, block.label, index, str(instr), anchor)
         assert block.terminator is not None
+        anchor = Anchor(function.name, block.label, -1, str(block.terminator))
         for var in block.terminator.used_vars():
-            check_use(var, block.label, len(block.instructions), "terminator")
+            check_use(
+                var, block.label, len(block.instructions), "terminator", anchor
+            )
 
 
-def _check_calls(function: Function, module: Module) -> None:
+def _check_calls(
+    function: Function, module: Module, sink: DiagnosticSink
+) -> None:
     for label, instr in function.iter_instructions():
-        if isinstance(instr, Call):
-            callee = module.functions.get(instr.callee)
-            if callee is None:
-                raise ValidationError(
-                    f"@{function.name}:{label}: call to undefined "
-                    f"function @{instr.callee}"
+        if not isinstance(instr, Call):
+            continue
+        anchor = Anchor(function.name, label, None, str(instr))
+        callee = module.functions.get(instr.callee)
+        if callee is None:
+            sink.emit(
+                Diagnostic(
+                    rule="IR-CALL-UNDEF",
+                    severity="error",
+                    message=(
+                        f"@{function.name}:{label}: call to undefined "
+                        f"function @{instr.callee}"
+                    ),
+                    anchor=anchor,
                 )
-            if len(instr.args) != len(callee.params):
-                raise ValidationError(
-                    f"@{function.name}:{label}: call to @{instr.callee} passes "
-                    f"{len(instr.args)} arguments, expected {len(callee.params)}"
+            )
+        elif len(instr.args) != len(callee.params):
+            sink.emit(
+                Diagnostic(
+                    rule="IR-CALL-ARITY",
+                    severity="error",
+                    message=(
+                        f"@{function.name}:{label}: call to @{instr.callee} "
+                        f"passes {len(instr.args)} arguments, expected "
+                        f"{len(callee.params)}"
+                    ),
+                    anchor=anchor,
                 )
+            )

@@ -5,11 +5,19 @@ from repro.opt.copyprop import propagate_copies
 from repro.opt.cse import eliminate_common_subexpressions
 from repro.opt.dce import eliminate_dead_code
 from repro.opt.pipeline import OptReport, optimize, optimize_function
+from repro.opt.sanitize import (
+    SANITIZE_ENV_VAR,
+    LeakFingerprint,
+    LeakSanitizerError,
+    sanitize_enabled,
+)
 from repro.opt.simplify import simplify_algebraic
 from repro.opt.simplifycfg import simplify_cfg
 
 __all__ = [
-    "OptReport", "constant_fold", "eliminate_common_subexpressions",
+    "LeakFingerprint", "LeakSanitizerError", "OptReport", "SANITIZE_ENV_VAR",
+    "constant_fold", "eliminate_common_subexpressions",
     "eliminate_dead_code", "fold_expr", "optimize", "optimize_function",
-    "propagate_copies", "simplify_algebraic", "simplify_cfg",
+    "propagate_copies", "sanitize_enabled", "simplify_algebraic",
+    "simplify_cfg",
 ]

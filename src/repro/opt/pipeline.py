@@ -22,6 +22,7 @@ from repro.ir.function import Function
 from repro.ir.module import Module
 from repro.ir.validate import validate_module
 from repro.obs import OBS
+from repro.opt.sanitize import LeakFingerprint, check_pass, sanitize_enabled
 from repro.opt.constfold import constant_fold
 from repro.opt.copyprop import propagate_copies
 from repro.opt.cse import cse_scope, eliminate_common_subexpressions
@@ -75,9 +76,26 @@ class OptReport:
 
 
 def optimize_function(
-    function: Function, report: "OptReport | None" = None
+    function: Function,
+    report: "OptReport | None" = None,
+    sanitize: "bool | None" = None,
+    passes: "tuple[tuple[str, object], ...] | None" = None,
+    module: "Module | None" = None,
 ) -> list[str]:
-    """Run the pipeline on one function to fixpoint; returns passes that fired."""
+    """Run the pipeline on one function to fixpoint; returns passes that fired.
+
+    ``sanitize`` enables the per-pass leakage sanitizer
+    (:mod:`repro.opt.sanitize`); ``None`` defers to the
+    ``REPRO_OPT_SANITIZE`` env var.  ``passes`` overrides the pipeline —
+    the sanitizer's tests inject a deliberately leak-introducing pass.
+    ``module`` is handed to the sanitizer's validator so globals and
+    callees resolve.
+    """
+    if passes is None:
+        passes = PASSES
+    if sanitize is None:
+        sanitize = sanitize_enabled()
+    fingerprint = LeakFingerprint.of(function) if sanitize else None
     fired: list[str] = []
     collecting = report is not None or OBS.enabled
     iterations = 0
@@ -87,7 +105,7 @@ def optimize_function(
     for _ in range(_MAX_ITERATIONS):
         changed = False
         iterations += 1
-        for name, pass_fn in PASSES:
+        for name, pass_fn in passes:
             if collecting:
                 size_before = function.instruction_count()
                 started = time.perf_counter()
@@ -116,6 +134,10 @@ def optimize_function(
                     OBS.counter(f"opt.pass.{name}.eliminated", eliminated)
                     if did_change:
                         OBS.counter(f"opt.pass.{name}.fired")
+            if sanitize and did_change:
+                # A pass that reported no change cannot have introduced a
+                # leak, so only rewrites pay for the re-analysis.
+                fingerprint = check_pass(function, name, fingerprint, module)
             if did_change:
                 fired.append(name)
                 changed = True
@@ -139,20 +161,26 @@ def optimize(
     level: int = 1,
     report: "OptReport | None" = None,
     validate: "bool | None" = None,
+    sanitize: "bool | None" = None,
 ) -> Module:
     """Optimise a copy of the module; ``level=0`` is the identity.
 
     ``validate`` gates the full-module validation of the result: ``None``
     defers to the ``REPRO_OPT_VALIDATE`` env var (on unless set to ``0``).
     The bench harness passes ``False`` so hot-loop rebuilds skip it; tests
-    keep the default.
+    keep the default.  ``sanitize`` gates the per-pass leakage sanitizer
+    (default: the ``REPRO_OPT_SANITIZE`` env var, off unless set).
     """
     result = module.clone()
     if level <= 0:
         return result
+    if sanitize is None:
+        sanitize = sanitize_enabled()
     with OBS.span("opt.optimize", module=module.name):
         for function in result.functions.values():
-            fired = optimize_function(function, report)
+            fired = optimize_function(
+                function, report, sanitize=sanitize, module=result
+            )
             if report is not None:
                 report.fired[function.name] = fired
                 report.iterations[function.name] = len(fired)

@@ -1,0 +1,65 @@
+"""Static certification of constant-time properties.
+
+The dynamic verifier (``repro.verify``) certifies Covenant 1 only for the
+concrete inputs it executes; this package closes the loop statically, the
+way CANAL [Sung et al., ASE 2018] and the verifier paired with Wu &
+Schaumont's program repair do:
+
+* :mod:`repro.statics.diagnostics` — the structured diagnostic records
+  (rule id, severity, anchor, fix-it note) shared by the IR validator, the
+  certifier, and the optimiser's leakage sanitizer, with deterministic
+  text and JSON renderers;
+* :mod:`repro.statics.interproc` — interprocedural taint analysis with
+  per-function summaries and a fixpoint over the call graph (taint through
+  call arguments and returns, global arrays, allocs and the repair pass's
+  shadow slots);
+* :mod:`repro.statics.certifier` — per-function constant-time verdicts
+  (``CERTIFIED_CONSTANT_TIME`` / ``RESIDUAL_LEAK``), distinguishing the
+  paper's "inherently data-inconsistent" accesses from genuine failures,
+  surfaced via ``lif lint`` and cross-checked against the dynamic covenant
+  verdicts in CI.
+
+See ``docs/STATIC_ANALYSIS.md`` for the rule catalogue and semantics.
+"""
+
+from repro.statics.certifier import (
+    VERDICT_CERTIFIED,
+    VERDICT_RESIDUAL,
+    CertificationReport,
+    FunctionCertificate,
+    certify_entry,
+    certify_module,
+)
+from repro.statics.diagnostics import (
+    RULES,
+    Anchor,
+    Diagnostic,
+    diagnostics_from_json,
+    render_json,
+    render_text,
+)
+from repro.statics.interproc import (
+    ModuleTaint,
+    TaintContext,
+    TaintSummary,
+    analyze_module_taint,
+)
+
+__all__ = [
+    "Anchor",
+    "CertificationReport",
+    "Diagnostic",
+    "FunctionCertificate",
+    "ModuleTaint",
+    "RULES",
+    "TaintContext",
+    "TaintSummary",
+    "VERDICT_CERTIFIED",
+    "VERDICT_RESIDUAL",
+    "analyze_module_taint",
+    "certify_entry",
+    "certify_module",
+    "diagnostics_from_json",
+    "render_json",
+    "render_text",
+]

@@ -1,0 +1,285 @@
+"""Static constant-time certification of LIF modules.
+
+``certify_module`` runs the interprocedural taint analysis and turns its
+findings into per-function verdicts:
+
+* ``CERTIFIED_CONSTANT_TIME`` — no secret-steered branch (Property 1) and
+  no secret-indexed memory access (Property 2) is reachable: the function
+  is isochronous for *every* input, not just the ones the dynamic
+  verifier happened to execute.
+* ``RESIDUAL_LEAK`` — at least one leak remains.  The certificate keeps
+  the paper's distinction: a function whose only residual leaks are
+  secret-*indexed* accesses fed by input data (S-box style lookups) is
+  flagged ``inherently_data_inconsistent`` — the repair transform cannot
+  remove those without changing the algorithm (paper Section V-A) — while
+  any secret-steered branch is a genuine failure the repair should have
+  eliminated.
+
+Verdicts are deterministic, serialisable (``as_dict``/``from_dict``) so
+the artifact store can cache them, and carry instruction-anchored
+:class:`repro.statics.diagnostics.Diagnostic` records for ``lif lint``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.ir.module import Module
+from repro.obs import OBS
+from repro.statics.diagnostics import (
+    Diagnostic,
+    sort_diagnostics,
+)
+from repro.statics.interproc import FunctionTaint, analyze_module_taint
+
+VERDICT_CERTIFIED = "CERTIFIED_CONSTANT_TIME"
+VERDICT_RESIDUAL = "RESIDUAL_LEAK"
+
+_BRANCH_FIXIT = (
+    "run the repair transform: linearise the branch into ctsel-selected "
+    "path conditions (lif repair)"
+)
+_INDEX_FIXIT = (
+    "inherently data-inconsistent if the index derives from an input; "
+    "restructure the table access (bitslice or scan the whole table)"
+)
+_SELECTOR_NOTE_FIXIT = (
+    "both candidate addresses are public; no action needed under a valid "
+    "contract (the guard is true on every real execution)"
+)
+
+
+@dataclass(frozen=True)
+class FunctionCertificate:
+    """The certifier's verdict for one function."""
+
+    function: str
+    verdict: str
+    inherently_data_inconsistent: bool
+    operation_leaks: int
+    data_leaks: int
+    selector_notes: int
+    diagnostics: tuple = ()
+
+    @property
+    def certified(self) -> bool:
+        return self.verdict == VERDICT_CERTIFIED
+
+    def as_dict(self) -> dict:
+        return {
+            "function": self.function,
+            "verdict": self.verdict,
+            "inherently_data_inconsistent": self.inherently_data_inconsistent,
+            "operation_leaks": self.operation_leaks,
+            "data_leaks": self.data_leaks,
+            "selector_notes": self.selector_notes,
+            "diagnostics": [d.as_dict() for d in self.diagnostics],
+        }
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "FunctionCertificate":
+        return cls(
+            function=record["function"],
+            verdict=record["verdict"],
+            inherently_data_inconsistent=record["inherently_data_inconsistent"],
+            operation_leaks=record["operation_leaks"],
+            data_leaks=record["data_leaks"],
+            selector_notes=record["selector_notes"],
+            diagnostics=tuple(
+                Diagnostic.from_dict(d) for d in record["diagnostics"]
+            ),
+        )
+
+
+@dataclass
+class CertificationReport:
+    """Whole-module certification result."""
+
+    module: str
+    functions: dict = field(default_factory=dict)  # name -> FunctionCertificate
+    fixpoint_iterations: int = 0
+    summaries_computed: int = 0
+
+    @property
+    def all_certified(self) -> bool:
+        return all(c.certified for c in self.functions.values())
+
+    @property
+    def operation_leak_free(self) -> bool:
+        """No function can leak through its instruction trace (Property 1).
+
+        This is the static counterpart of the dynamic covenant's
+        operation-invariance clause, so the two are directly comparable.
+        """
+        return all(c.operation_leaks == 0 for c in self.functions.values())
+
+    @property
+    def residual_functions(self) -> list:
+        return sorted(
+            name for name, c in self.functions.items() if not c.certified
+        )
+
+    @property
+    def genuine_failures(self) -> list:
+        """Residual-leak functions that are *not* inherent cases."""
+        return sorted(
+            name
+            for name, c in self.functions.items()
+            if not c.certified and not c.inherently_data_inconsistent
+        )
+
+    def diagnostics(self) -> list:
+        merged: list = []
+        for name in sorted(self.functions):
+            merged.extend(self.functions[name].diagnostics)
+        return sort_diagnostics(merged)
+
+    def as_dict(self) -> dict:
+        return {
+            "module": self.module,
+            "functions": {
+                name: certificate.as_dict()
+                for name, certificate in sorted(self.functions.items())
+            },
+            "fixpoint_iterations": self.fixpoint_iterations,
+            "summaries_computed": self.summaries_computed,
+        }
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "CertificationReport":
+        return cls(
+            module=record["module"],
+            functions={
+                name: FunctionCertificate.from_dict(sub)
+                for name, sub in record["functions"].items()
+            },
+            fixpoint_iterations=record["fixpoint_iterations"],
+            summaries_computed=record["summaries_computed"],
+        )
+
+
+def _certify_function(taint: FunctionTaint) -> FunctionCertificate:
+    diagnostics: list = []
+    operation_leaks = 0
+    data_leaks = 0
+    selector_notes = 0
+
+    for leak in taint.branch_leaks:
+        operation_leaks += 1
+        diagnostics.append(
+            Diagnostic(
+                rule="CT-BRANCH-SECRET",
+                severity="error",
+                message=(
+                    f"branch predicate {leak.predicate} is secret-dependent; "
+                    "which instructions execute varies with the secret"
+                ),
+                anchor=leak.anchor,
+                fixit=_BRANCH_FIXIT,
+            )
+        )
+    for leak in taint.index_leaks:
+        if leak.data_tainted:
+            data_leaks += 1
+            diagnostics.append(
+                Diagnostic(
+                    rule="CT-INDEX-SECRET",
+                    severity="error",
+                    message=(
+                        f"{leak.kind} of {leak.array}[{leak.index}] uses a "
+                        "secret-dependent address"
+                    ),
+                    anchor=leak.anchor,
+                    fixit=_INDEX_FIXIT,
+                )
+            )
+        else:
+            selector_notes += 1
+            diagnostics.append(
+                Diagnostic(
+                    rule="CT-SELECTOR-INDEX",
+                    severity="warning",
+                    message=(
+                        f"{leak.kind} of {leak.array}[{leak.index}] uses an "
+                        "index chosen by a secret ctsel between public values"
+                    ),
+                    anchor=leak.anchor,
+                    fixit=_SELECTOR_NOTE_FIXIT,
+                )
+            )
+
+    residual = operation_leaks > 0 or data_leaks > 0
+    return FunctionCertificate(
+        function=taint.function,
+        verdict=VERDICT_RESIDUAL if residual else VERDICT_CERTIFIED,
+        inherently_data_inconsistent=residual and operation_leaks == 0,
+        operation_leaks=operation_leaks,
+        data_leaks=data_leaks,
+        selector_notes=selector_notes,
+        diagnostics=tuple(sort_diagnostics(diagnostics)),
+    )
+
+
+def certify_module(
+    module: Module,
+    roots: Optional[dict] = None,
+    include_unreached: bool = True,
+) -> CertificationReport:
+    """Certify every function of ``module``.
+
+    ``roots`` maps function names to sensitive-parameter lists and defaults
+    to each function's declared ``secret`` parameters (all parameters when
+    none are declared) — see
+    :func:`repro.statics.interproc.default_roots`.  With
+    ``include_unreached=False`` only the roots and their callees are
+    certified (benchmark entry points; see ``certify_entry``).
+    """
+    taint = analyze_module_taint(module, roots, include_unreached)
+    return _report_from_taint(module, taint)
+
+
+def certify_entry(module: Module, entry: str) -> CertificationReport:
+    """Certify a benchmark: ``entry`` and its transitive callees only.
+
+    The sensitive roots are the entry's declared ``secret`` parameters, or
+    all of them when none are declared (the paper's default for
+    cryptographic routines).
+    """
+    function = module.functions[entry]
+    roots = {
+        entry: list(function.sensitive_params) or function.param_names()
+    }
+    return certify_module(module, roots, include_unreached=False)
+
+
+def _report_from_taint(module: Module, taint) -> CertificationReport:
+    report = CertificationReport(
+        module=module.name,
+        fixpoint_iterations=taint.iterations,
+        summaries_computed=taint.summaries_computed,
+    )
+    for name in sorted(taint.functions):
+        report.functions[name] = _certify_function(taint.functions[name])
+    if OBS.enabled:
+        OBS.counter("statics.certifier.modules")
+        OBS.counter("statics.certifier.functions", len(report.functions))
+        OBS.counter(
+            "statics.certifier.certified",
+            sum(1 for c in report.functions.values() if c.certified),
+        )
+        OBS.counter(
+            "statics.certifier.residual",
+            sum(1 for c in report.functions.values() if not c.certified),
+        )
+        OBS.counter(
+            "statics.certifier.leaks",
+            sum(
+                c.operation_leaks + c.data_leaks
+                for c in report.functions.values()
+            ),
+        )
+        OBS.counter(
+            "statics.certifier.fixpoint_iterations", taint.iterations
+        )
+    return report

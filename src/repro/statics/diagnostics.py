@@ -1,0 +1,228 @@
+"""Structured diagnostics shared by the validator, certifier and sanitizer.
+
+A :class:`Diagnostic` is one finding: a rule id from the catalogue below, a
+severity, a precise anchor (function / block / instruction), a
+human-readable message and an optional fix-it note.  Producers collect
+lists of diagnostics; the renderers turn them into stable text or JSON —
+both orderings and the JSON key order are deterministic, so ``lif lint
+--json`` output can be diffed, committed, and round-tripped in tests.
+
+The module deliberately imports nothing from the IR layer: it is the
+bottom of the statics dependency stack and is imported *by*
+``repro.ir.validate``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+#: Severities, most severe first (the sort order of reports).
+SEVERITIES = ("error", "warning", "note")
+
+#: The rule catalogue: id -> one-line description.  Kept flat and stringly
+#: so ``docs/STATIC_ANALYSIS.md`` can quote it and tests can cross-check
+#: that every emitted diagnostic uses a documented id.
+RULES: dict[str, str] = {
+    # -- IR well-formedness (repro.ir.validate) ---------------------------
+    "IR-NO-BLOCKS": "function has no basic blocks",
+    "IR-TERM-MISSING": "basic block has no terminator",
+    "IR-PHI-ORDER": "phi-function does not lead its block",
+    "IR-PHI-PRED-MISSING": "phi lacks an incoming for a CFG predecessor",
+    "IR-PHI-PRED-EXTRA": "phi lists an incoming from a non-predecessor",
+    "IR-PHI-PRED-DUP": "phi lists the same predecessor twice",
+    "IR-PARAM-DUP": "duplicate parameter name",
+    "IR-GLOBAL-SHADOW": "parameter shadows a module global",
+    "IR-SSA-REDEF": "SSA variable defined more than once",
+    "IR-SSA-UNDEF": "use of an undefined variable",
+    "IR-SSA-DOM": "definition does not dominate a use",
+    "IR-CALL-UNDEF": "call to a function not present in the module",
+    "IR-CALL-ARITY": "call argument count does not match the callee",
+    # -- constant-time certification (repro.statics.certifier) ------------
+    "CT-BRANCH-SECRET": "conditional branch steered by secret data "
+                        "(operation-variance leak, Property 1)",
+    "CT-INDEX-SECRET": "memory access indexed by secret data "
+                       "(data-variance leak, Property 2; inherently "
+                       "data-inconsistent when fed by an input)",
+    "CT-SELECTOR-INDEX": "memory index selected by a secret ctsel between "
+                         "public values (bounded address set; imprecision "
+                         "note, not a certified leak)",
+    # -- optimiser leakage sanitizer (repro.opt.sanitize) ------------------
+    "OPT-LEAK-BRANCH": "an optimisation pass introduced a secret-dependent "
+                       "branch the pre-pass IR lacked",
+    "OPT-LEAK-INDEX": "an optimisation pass introduced a secret-indexed "
+                      "access the pre-pass IR lacked",
+    "OPT-SSA-BROKEN": "an optimisation pass left the IR malformed",
+}
+
+
+@dataclass(frozen=True)
+class Anchor:
+    """Where a diagnostic points: function, block, instruction.
+
+    ``index`` is the instruction's position within its block; ``-1`` means
+    the block terminator, ``None`` a block- or function-level finding.
+    ``instruction`` carries the rendered instruction text so reports stay
+    readable without the module at hand.
+    """
+
+    function: str
+    block: Optional[str] = None
+    index: Optional[int] = None
+    instruction: Optional[str] = None
+
+    def __str__(self) -> str:
+        parts = [f"@{self.function}"]
+        if self.block is not None:
+            parts.append(self.block)
+        if self.index is not None:
+            parts.append("terminator" if self.index < 0 else f"#{self.index}")
+        return ":".join(parts)
+
+    def as_dict(self) -> dict:
+        record: dict = {"function": self.function}
+        if self.block is not None:
+            record["block"] = self.block
+        if self.index is not None:
+            record["index"] = self.index
+        if self.instruction is not None:
+            record["instruction"] = self.instruction
+        return record
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "Anchor":
+        return cls(
+            function=record["function"],
+            block=record.get("block"),
+            index=record.get("index"),
+            instruction=record.get("instruction"),
+        )
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of a static check."""
+
+    rule: str
+    severity: str
+    message: str
+    anchor: Anchor
+    fixit: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.rule not in RULES:
+            raise ValueError(f"unknown diagnostic rule {self.rule!r}")
+        if self.severity not in SEVERITIES:
+            raise ValueError(f"unknown severity {self.severity!r}")
+
+    def sort_key(self) -> tuple:
+        anchor = self.anchor
+        return (
+            SEVERITIES.index(self.severity),
+            self.rule,
+            anchor.function,
+            anchor.block or "",
+            anchor.index if anchor.index is not None else -2,
+            self.message,
+        )
+
+    def render(self) -> str:
+        line = f"{self.severity}[{self.rule}] {self.anchor}: {self.message}"
+        if self.anchor.instruction is not None:
+            line += f"\n    | {self.anchor.instruction}"
+        if self.fixit is not None:
+            line += f"\n    fix-it: {self.fixit}"
+        return line
+
+    def as_dict(self) -> dict:
+        record = {
+            "rule": self.rule,
+            "severity": self.severity,
+            "message": self.message,
+            "anchor": self.anchor.as_dict(),
+        }
+        if self.fixit is not None:
+            record["fixit"] = self.fixit
+        return record
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "Diagnostic":
+        return cls(
+            rule=record["rule"],
+            severity=record["severity"],
+            message=record["message"],
+            anchor=Anchor.from_dict(record["anchor"]),
+            fixit=record.get("fixit"),
+        )
+
+
+@dataclass
+class DiagnosticSink:
+    """Collects diagnostics, or raises on the first one in strict mode.
+
+    The validator runs in strict mode on hot paths (one exception, no list
+    building) and in collect mode under ``lif lint``; both go through the
+    same ``emit`` calls so the checks are written once.
+
+    ``strict_exception`` is the exception *type* to raise; it must accept
+    ``(message, diagnostic=...)`` — :class:`repro.ir.validate.ValidationError`
+    does.
+    """
+
+    strict_exception: Optional[type] = None
+    diagnostics: list = field(default_factory=list)
+
+    def emit(self, diagnostic: Diagnostic) -> None:
+        if self.strict_exception is not None and diagnostic.severity == "error":
+            raise self.strict_exception(
+                f"{diagnostic.anchor}: {diagnostic.message}",
+                diagnostic=diagnostic,
+            )
+        self.diagnostics.append(diagnostic)
+
+    @property
+    def has_errors(self) -> bool:
+        return any(d.severity == "error" for d in self.diagnostics)
+
+
+def sort_diagnostics(diagnostics: Iterable[Diagnostic]) -> list[Diagnostic]:
+    return sorted(diagnostics, key=Diagnostic.sort_key)
+
+
+def render_text(diagnostics: Sequence[Diagnostic]) -> str:
+    """Stable human-readable rendering, most severe first."""
+    ordered = sort_diagnostics(diagnostics)
+    if not ordered:
+        return "no diagnostics"
+    counts: dict[str, int] = {}
+    for diag in ordered:
+        counts[diag.severity] = counts.get(diag.severity, 0) + 1
+    summary = ", ".join(
+        f"{counts[s]} {s}{'s' if counts[s] != 1 else ''}"
+        for s in SEVERITIES
+        if s in counts
+    )
+    lines = [diag.render() for diag in ordered]
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(diagnostics: Sequence[Diagnostic], **extra) -> str:
+    """Deterministic JSON rendering (sorted findings, sorted keys).
+
+    ``extra`` key/value pairs are merged into the top-level object — the
+    lint driver uses this to attach per-function verdicts next to the
+    findings.
+    """
+    payload = {
+        "diagnostics": [d.as_dict() for d in sort_diagnostics(diagnostics)],
+        **extra,
+    }
+    return json.dumps(payload, indent=1, sort_keys=True)
+
+
+def diagnostics_from_json(text: str) -> list[Diagnostic]:
+    """Parse :func:`render_json` output back into diagnostics."""
+    payload = json.loads(text)
+    return [Diagnostic.from_dict(record) for record in payload["diagnostics"]]

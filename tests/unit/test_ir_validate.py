@@ -175,3 +175,118 @@ class TestCalls:
           ret x
         }
         """)
+
+
+class TestStructuredDiagnostics:
+    """The collect-mode API (`diagnose_*`) and the diagnostics the strict
+    mode attaches to `ValidationError`."""
+
+    def test_validation_error_carries_diagnostic(self):
+        from repro.ir import diagnose_module  # noqa: F401  (exported)
+
+        module = parse_module("func @f() { entry: ret ghost }")
+        with pytest.raises(ValidationError) as exc:
+            validate_module(module)
+        diagnostic = exc.value.diagnostic
+        assert diagnostic is not None
+        assert diagnostic.rule == "IR-SSA-UNDEF"
+        assert diagnostic.anchor.function == "f"
+
+    def test_diagnose_collects_multiple_findings(self):
+        from repro.ir import diagnose_module
+
+        module = parse_module("""
+        func @f() {
+        entry:
+          x = mov 1
+          x = mov 2
+          y = mov ghost
+          ret y
+        }
+        """)
+        rules = [d.rule for d in diagnose_module(module)]
+        assert "IR-SSA-REDEF" in rules
+        assert "IR-SSA-UNDEF" in rules
+
+    def test_phi_missing_incoming(self):
+        from repro.ir import diagnose_function
+
+        module = parse_module("""
+        func @f(c: int) {
+        entry:
+          br c, a, b
+        a:
+          jmp done
+        b:
+          jmp done
+        done:
+          r = phi [1, a]
+          ret r
+        }
+        """)
+        rules = [d.rule for d in diagnose_function(module.function("f"))]
+        assert rules == ["IR-PHI-PRED-MISSING"]
+
+    def test_phi_extra_incoming(self):
+        from repro.ir import diagnose_function
+
+        module = parse_module("""
+        func @f(c: int) {
+        entry:
+          jmp done
+        done:
+          r = phi [1, entry], [2, nowhere]
+          ret r
+        }
+        """)
+        diagnostics = diagnose_function(module.function("f"))
+        assert [d.rule for d in diagnostics] == ["IR-PHI-PRED-EXTRA"]
+        assert "nowhere" in diagnostics[0].message
+
+    def test_phi_duplicate_incoming(self):
+        from repro.ir import diagnose_function
+
+        module = parse_module("""
+        func @f(c: int) {
+        entry:
+          jmp done
+        done:
+          r = phi [1, entry], [2, entry]
+          ret r
+        }
+        """)
+        rules = [d.rule for d in diagnose_function(module.function("f"))]
+        assert "IR-PHI-PRED-DUP" in rules
+
+    def test_phi_mismatch_still_raises_with_historic_message(self):
+        with pytest.raises(ValidationError, match="do not match"):
+            check("""
+            func @f(c: int) {
+            entry:
+              br c, a, b
+            a:
+              jmp done
+            b:
+              jmp done
+            done:
+              r = phi [1, a]
+              ret r
+            }
+            """)
+
+    def test_diagnostics_anchor_the_instruction(self):
+        from repro.ir import diagnose_function
+
+        module = parse_module("""
+        func @f() {
+        entry:
+          jmp done
+        done:
+          r = phi [1, entry], [2, entry]
+          ret r
+        }
+        """)
+        diagnostic = diagnose_function(module.function("f"))[0]
+        assert diagnostic.anchor.block == "done"
+        assert diagnostic.anchor.index == 0
+        assert "phi" in diagnostic.anchor.instruction

@@ -1,0 +1,151 @@
+"""The per-pass leakage sanitizer (``REPRO_OPT_SANITIZE``)."""
+
+import pytest
+
+from repro.ir import parse_module
+from repro.opt import (
+    SANITIZE_ENV_VAR,
+    LeakFingerprint,
+    LeakSanitizerError,
+    sanitize_enabled,
+)
+from repro.opt.pipeline import optimize, optimize_function
+
+# A branch-free selection (what the repair emits)...
+CLEAN = """
+func @f(k: int) {
+entry:
+  p = mov k < 0
+  r = ctsel p, 1, 2
+  ret r
+}
+"""
+
+# ...and the secret-steered branch a broken pass would rewrite it into.
+LEAKY = """
+func @f(k: int) {
+entry:
+  p = mov k < 0
+  br p, a, b
+a:
+  jmp b
+b:
+  r = phi [1, a], [2, entry]
+  ret r
+}
+"""
+
+SBOX = """
+const global @sbox[256]
+func @f(k: int) {
+entry:
+  i = mov k & 255
+  x = load sbox[i]
+  ret x
+}
+"""
+
+
+def replace_body(function, text):
+    donor = parse_module(text).functions[function.name]
+    function.blocks = donor.blocks
+    function.params = donor.params
+
+
+class TestFingerprint:
+    def test_counts_branches_and_indices(self):
+        clean = parse_module(CLEAN).functions["f"]
+        leaky = parse_module(LEAKY).functions["f"]
+        sbox = parse_module(SBOX).functions["f"]
+        assert LeakFingerprint.of(clean) == LeakFingerprint(0, 0)
+        assert LeakFingerprint.of(leaky) == LeakFingerprint(1, 0)
+        assert LeakFingerprint.of(sbox) == LeakFingerprint(0, 1)
+
+
+class TestCatchesLeakyPass:
+    def test_branch_introducing_pass_is_named(self):
+        module = parse_module(CLEAN)
+        function = module.functions["f"]
+
+        def deoptimize(fn):
+            replace_body(fn, LEAKY)
+            return True
+
+        with pytest.raises(LeakSanitizerError) as exc:
+            optimize_function(
+                function,
+                passes=(("deoptimize", deoptimize),),
+                sanitize=True,
+                module=module,
+            )
+        assert exc.value.pass_name == "deoptimize"
+        assert exc.value.diagnostic.rule == "OPT-LEAK-BRANCH"
+        assert "deoptimize" in str(exc.value)
+        assert "deoptimize" in exc.value.diagnostic.fixit
+
+    def test_index_introducing_pass_is_named(self):
+        module = parse_module("const global @sbox[256]\n" + CLEAN)
+        function = module.functions["f"]
+
+        def tableize(fn):
+            replace_body(fn, SBOX)
+            return True
+
+        with pytest.raises(LeakSanitizerError) as exc:
+            optimize_function(
+                function,
+                passes=(("tableize", tableize),),
+                sanitize=True,
+                module=module,
+            )
+        assert exc.value.pass_name == "tableize"
+        assert exc.value.diagnostic.rule == "OPT-LEAK-INDEX"
+
+    def test_ssa_breaking_pass_is_named(self):
+        module = parse_module(CLEAN)
+        function = module.functions["f"]
+
+        def truncate(fn):
+            fn.entry.terminator = None
+            return True
+
+        with pytest.raises(LeakSanitizerError) as exc:
+            optimize_function(
+                function,
+                passes=(("truncate", truncate),),
+                sanitize=True,
+                module=module,
+            )
+        assert exc.value.pass_name == "truncate"
+        assert exc.value.diagnostic.rule == "OPT-SSA-BROKEN"
+
+    def test_no_change_pass_skips_the_check(self):
+        # A pass reporting no change is never re-analysed, even if the
+        # function already contains a leak.
+        module = parse_module(LEAKY)
+        function = module.functions["f"]
+        fired = optimize_function(
+            function,
+            passes=(("noop", lambda fn: False),),
+            sanitize=True,
+            module=module,
+        )
+        assert fired == []
+
+
+class TestCleanPipeline:
+    def test_real_pipeline_passes_under_sanitizer(self):
+        from repro.core.repair import repair_module
+
+        module = parse_module(LEAKY)
+        repaired = repair_module(module)
+        optimized = optimize(repaired, sanitize=True)
+        assert set(optimized.functions) == set(repaired.functions)
+
+    def test_env_var_gates_default(self, monkeypatch):
+        monkeypatch.delenv(SANITIZE_ENV_VAR, raising=False)
+        assert not sanitize_enabled()
+        monkeypatch.setenv(SANITIZE_ENV_VAR, "0")
+        assert not sanitize_enabled()
+        monkeypatch.setenv(SANITIZE_ENV_VAR, "1")
+        assert sanitize_enabled()

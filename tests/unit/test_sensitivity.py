@@ -200,3 +200,61 @@ class TestFig1Classification:
     def test_otdt_is_isochronous(self, fig1_module):
         report = analyze_sensitivity(fig1_module, "otdt")
         assert report.isochronous
+
+
+class TestImplicitFlowRegressions:
+    """Implicit flows that used to slip through (multi-exit CFGs, void calls)."""
+
+    def test_store_under_secret_branch_in_multi_exit_function(self):
+        # Two `ret` blocks: control dependence needs the virtual-exit
+        # postdominator tree, or the store's implicit taint is dropped.
+        report = analyze("""
+        func @f(k: int, out: ptr) {
+        entry:
+          p = mov k == 0
+          br p, early, late
+        early:
+          store 1, out[0]
+          ret 0
+        late:
+          store 2, out[0]
+          ret 1
+        }
+        """)
+        assert "out" in report.tainted_arrays
+        assert report.operation_variant
+
+    def test_early_return_value_is_implicitly_tainted(self):
+        report = analyze("""
+        func @f(k: int) {
+        entry:
+          p = mov k == 0
+          br p, early, late
+        early:
+          x = mov 7
+          ret x
+        late:
+          ret 0
+        }
+        """)
+        assert "x" in report.tainted_vars
+
+    def test_void_call_taints_pointer_argument(self):
+        # The call has no destination: the handler must still run so the
+        # callee's writes taint the caller's buffer.
+        report = analyze("""
+        func @g(p: ptr, v: int) {
+        entry:
+          store v, p[0]
+          ret 0
+        }
+        func @f(k: int) {
+        entry:
+          buf = alloc 1
+          call @g(buf, k)
+          x = load buf[0]
+          ret x
+        }
+        """)
+        assert "buf" in report.tainted_arrays
+        assert "x" in report.tainted_vars

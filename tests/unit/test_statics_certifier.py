@@ -1,0 +1,144 @@
+"""Per-function constant-time verdicts and their serialisation."""
+
+from repro.ir import parse_module
+from repro.statics import (
+    VERDICT_CERTIFIED,
+    VERDICT_RESIDUAL,
+    CertificationReport,
+    certify_entry,
+    certify_module,
+)
+
+LEAKY_BRANCH = """
+func @f(k: int) {
+entry:
+  p = mov k < 0
+  br p, a, b
+a:
+  jmp b
+b:
+  ret 0
+}
+"""
+
+SBOX_LOOKUP = """
+const global @sbox[256]
+func @f(k: int) {
+entry:
+  i = mov k & 255
+  x = load sbox[i]
+  ret x
+}
+"""
+
+CLEAN = """
+func @f(a: ptr, b: ptr) {
+entry:
+  x = load a[0]
+  y = load b[0]
+  r = mov x ^ y
+  ret r
+}
+"""
+
+GUARDED = """
+func @f(a: ptr, i: int, k: int) {
+entry:
+  inb = mov k == 0
+  idx = ctsel inb, i, 0
+  x = load a[idx]
+  ret x
+}
+"""
+
+
+class TestVerdicts:
+    def test_leaky_branch_is_genuine_residual(self):
+        report = certify_module(parse_module(LEAKY_BRANCH))
+        cert = report.functions["f"]
+        assert cert.verdict == VERDICT_RESIDUAL
+        assert not cert.inherently_data_inconsistent
+        assert cert.operation_leaks == 1
+        assert report.genuine_failures == ["f"]
+        assert not report.operation_leak_free
+        rules = [d.rule for d in cert.diagnostics]
+        assert "CT-BRANCH-SECRET" in rules
+
+    def test_sbox_lookup_is_inherent_residual(self):
+        report = certify_module(parse_module(SBOX_LOOKUP))
+        cert = report.functions["f"]
+        assert cert.verdict == VERDICT_RESIDUAL
+        assert cert.inherently_data_inconsistent
+        assert cert.operation_leaks == 0 and cert.data_leaks == 1
+        assert report.genuine_failures == []
+        assert report.operation_leak_free
+        assert report.residual_functions == ["f"]
+        rules = [d.rule for d in cert.diagnostics]
+        assert rules == ["CT-INDEX-SECRET"]
+
+    def test_clean_function_certified(self):
+        report = certify_module(parse_module(CLEAN))
+        cert = report.functions["f"]
+        assert cert.verdict == VERDICT_CERTIFIED
+        assert cert.certified and report.all_certified
+        assert cert.diagnostics == ()
+
+    def test_guarded_access_certifies_with_selector_note(self):
+        report = certify_module(
+            parse_module(GUARDED), roots={"f": ["k"]}
+        )
+        cert = report.functions["f"]
+        assert cert.certified
+        assert cert.selector_notes == 1
+        assert [d.rule for d in cert.diagnostics] == ["CT-SELECTOR-INDEX"]
+        assert all(d.severity == "warning" for d in cert.diagnostics)
+
+
+class TestEntryRestriction:
+    def test_certify_entry_ignores_sibling_variants(self):
+        module = parse_module(LEAKY_BRANCH + """
+        func @clean(a: int) {
+        entry:
+          ret a
+        }
+        """)
+        report = certify_entry(module, "clean")
+        assert set(report.functions) == {"clean"}
+        assert report.all_certified
+
+    def test_certify_entry_covers_callees(self):
+        module = parse_module("""
+        func @helper(k: int) {
+        entry:
+          p = mov k < 0
+          br p, a, b
+        a:
+          jmp b
+        b:
+          ret 0
+        }
+        func @entrypoint(k: int) {
+        entry:
+          r = call @helper(k)
+          ret r
+        }
+        """)
+        report = certify_entry(module, "entrypoint")
+        assert set(report.functions) == {"entrypoint", "helper"}
+        assert report.genuine_failures == ["helper"]
+
+
+class TestSerialisation:
+    def test_round_trip(self):
+        for text in (LEAKY_BRANCH, SBOX_LOOKUP, CLEAN, GUARDED):
+            report = certify_module(parse_module(text))
+            clone = CertificationReport.from_dict(report.as_dict())
+            assert clone.as_dict() == report.as_dict()
+            assert clone.residual_functions == report.residual_functions
+            assert clone.diagnostics() == report.diagnostics()
+
+    def test_as_dict_is_json_ready(self):
+        import json
+
+        report = certify_module(parse_module(SBOX_LOOKUP))
+        assert json.loads(json.dumps(report.as_dict())) == report.as_dict()

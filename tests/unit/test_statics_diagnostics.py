@@ -1,0 +1,153 @@
+"""The structured diagnostics framework (rule catalogue, renderers)."""
+
+import json
+
+import pytest
+
+from repro.statics.diagnostics import (
+    RULES,
+    SEVERITIES,
+    Anchor,
+    Diagnostic,
+    DiagnosticSink,
+    diagnostics_from_json,
+    render_json,
+    render_text,
+    sort_diagnostics,
+)
+
+
+def diag(rule="CT-BRANCH-SECRET", severity="error", message="m",
+         function="f", block="entry", index=0, instruction=None, fixit=None):
+    return Diagnostic(
+        rule=rule,
+        severity=severity,
+        message=message,
+        anchor=Anchor(function, block, index, instruction),
+        fixit=fixit,
+    )
+
+
+class TestCatalogue:
+    def test_unknown_rule_rejected(self):
+        with pytest.raises(ValueError, match="unknown diagnostic rule"):
+            diag(rule="CT-NOT-A-RULE")
+
+    def test_unknown_severity_rejected(self):
+        with pytest.raises(ValueError, match="unknown severity"):
+            diag(severity="fatal")
+
+    def test_every_rule_has_a_description(self):
+        for rule, description in RULES.items():
+            assert rule == rule.upper()
+            assert description
+
+    def test_docs_catalogue_matches_code(self):
+        # docs/STATIC_ANALYSIS.md quotes the catalogue; a drift means the
+        # doc table or RULES was edited without the other.
+        from pathlib import Path
+
+        doc = Path(__file__).resolve().parents[2] / "docs" / "STATIC_ANALYSIS.md"
+        text = doc.read_text()
+        for rule in RULES:
+            assert f"`{rule}`" in text, f"{rule} missing from STATIC_ANALYSIS.md"
+
+
+class TestAnchor:
+    def test_str_forms(self):
+        assert str(Anchor("f")) == "@f"
+        assert str(Anchor("f", "entry")) == "@f:entry"
+        assert str(Anchor("f", "entry", 3)) == "@f:entry:#3"
+        assert str(Anchor("f", "entry", -1)) == "@f:entry:terminator"
+
+    def test_round_trip(self):
+        anchor = Anchor("f", "entry", 2, "x = mov k + 1")
+        assert Anchor.from_dict(anchor.as_dict()) == anchor
+
+    def test_sparse_round_trip(self):
+        anchor = Anchor("f")
+        record = anchor.as_dict()
+        assert record == {"function": "f"}
+        assert Anchor.from_dict(record) == anchor
+
+
+class TestRendering:
+    def test_render_text_orders_by_severity(self):
+        text = render_text([
+            diag(rule="CT-SELECTOR-INDEX", severity="warning", message="w"),
+            diag(rule="CT-BRANCH-SECRET", severity="error", message="e"),
+        ])
+        assert text.index("error[") < text.index("warning[")
+        assert text.endswith("1 error, 1 warning")
+
+    def test_render_text_empty(self):
+        assert render_text([]) == "no diagnostics"
+
+    def test_render_includes_instruction_and_fixit(self):
+        text = diag(instruction="br p, a, b", fixit="repair it").render()
+        assert "| br p, a, b" in text
+        assert "fix-it: repair it" in text
+
+    def test_sort_is_stable_and_total(self):
+        diagnostics = [
+            diag(message="b", index=1),
+            diag(message="a", index=1),
+            diag(severity="note", message="n"),
+            diag(function="a"),
+        ]
+        ordered = sort_diagnostics(diagnostics)
+        assert ordered == sort_diagnostics(list(reversed(diagnostics)))
+        assert [d.severity for d in ordered] == [
+            "error", "error", "error", "note",
+        ]
+
+
+class TestJson:
+    def test_round_trip(self):
+        diagnostics = [
+            diag(fixit="do the thing", instruction="x = mov k"),
+            diag(rule="IR-SSA-UNDEF", severity="error", message="undef",
+                 block=None, index=None),
+            diag(rule="CT-SELECTOR-INDEX", severity="warning"),
+        ]
+        text = render_json(diagnostics)
+        assert diagnostics_from_json(text) == sort_diagnostics(diagnostics)
+
+    def test_deterministic_and_sorted_keys(self):
+        diagnostics = [diag(message="zz"), diag(message="aa")]
+        once = render_json(diagnostics, module="m")
+        again = render_json(list(reversed(diagnostics)), module="m")
+        assert once == again
+        payload = json.loads(once)
+        assert payload["module"] == "m"
+        assert [d["message"] for d in payload["diagnostics"]] == ["aa", "zz"]
+
+    def test_extra_keys_survive(self):
+        payload = json.loads(render_json([], verdicts={"f": "ok"}))
+        assert payload["verdicts"] == {"f": "ok"}
+
+
+class TestSink:
+    def test_collect_mode_accumulates(self):
+        sink = DiagnosticSink()
+        sink.emit(diag(severity="warning", rule="CT-SELECTOR-INDEX"))
+        assert not sink.has_errors
+        sink.emit(diag())
+        assert sink.has_errors
+        assert len(sink.diagnostics) == 2
+
+    def test_strict_mode_raises_on_error(self):
+        class Boom(Exception):
+            def __init__(self, message, diagnostic=None):
+                super().__init__(message)
+                self.diagnostic = diagnostic
+
+        sink = DiagnosticSink(strict_exception=Boom)
+        sink.emit(diag(severity="warning", rule="CT-SELECTOR-INDEX"))
+        with pytest.raises(Boom) as exc:
+            sink.emit(diag(message="bad branch"))
+        assert exc.value.diagnostic.rule == "CT-BRANCH-SECRET"
+        assert "bad branch" in str(exc.value)
+
+    def test_severity_order(self):
+        assert SEVERITIES == ("error", "warning", "note")
