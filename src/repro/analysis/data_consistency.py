@@ -40,6 +40,8 @@ class AccessClassification:
     input_indexed: bool  # index depends on an input (inherent inconsistency)
     guarded: bool        # executes only on some paths
     bound_known: bool    # the accessed array has a symbolic size
+    #: the function containing the access ("" in pre-interprocedural records)
+    function: str = ""
 
 
 @dataclass
@@ -90,6 +92,48 @@ def classify_data_consistency(
     """
     function = module.function(function_name)
     sensitivity = analyze_sensitivity(module, function_name, sensitive_params)
+
+    report = ConsistencyReport(function_name)
+    report.accesses.extend(_classify_function(
+        module, function, sensitivity.tainted_vars, contracts,
+        forced_guarded=False,
+    ))
+
+    # Covenant 1 speaks about the whole dynamic extent of the entry, so the
+    # accesses of transitive callees count too; their taint comes from the
+    # interprocedural engine under the contexts the call sites produce.
+    callees = _reachable_callees(module, function_name)
+    if callees:
+        from repro.statics.interproc import analyze_module_taint
+
+        roots = {
+            function_name: (
+                list(sensitive_params) if sensitive_params is not None
+                else function.param_names()
+            )
+        }
+        module_taint = analyze_module_taint(
+            module, roots=roots, include_unreached=False
+        )
+        guarded_calls = _guarded_callee_map(module, function_name)
+        for name in sorted(callees):
+            taint = module_taint.functions.get(name)
+            tainted = taint.tainted_full if taint is not None else set()
+            report.accesses.extend(_classify_function(
+                module, module.function(name), tainted, None,
+                forced_guarded=guarded_calls.get(name, True),
+            ))
+    return report
+
+
+def _classify_function(
+    module: Module,
+    function: Function,
+    tainted_vars: set,
+    contracts: Optional[dict[str, str]],
+    forced_guarded: bool,
+) -> list[AccessClassification]:
+    """Classify the accesses of one function given its tainted variables."""
     # Pointer params count as having known bounds here: the repair will
     # *create* their contracts.  Only truly untrackable pointers (unknown
     # joins, pointers to pointers) lack bounds.
@@ -109,10 +153,15 @@ def classify_data_consistency(
         # guarded", which only weakens the source_data_consistent verdict.
         conditions = None
 
-    report = ConsistencyReport(function_name)
+    accesses: list[AccessClassification] = []
     for block in function.blocks.values():
         if conditions is not None:
-            guarded = not conditions.outgoing[block.label].is_true()
+            condition = conditions.outgoing[block.label]
+            if condition.is_false():
+                # Unreachable block: its accesses touch no addresses on any
+                # execution, so they cannot affect data consistency.
+                continue
+            guarded = not condition.is_true()
         else:
             guarded = True
         for instr in block.instructions:
@@ -120,16 +169,79 @@ def classify_data_consistency(
                 continue
             index_tainted = (
                 isinstance(instr.index, Var)
-                and instr.index.name in sensitivity.tainted_vars
+                and instr.index.name in tainted_vars
             )
             bound_known = sizes.get(instr.array.name) is not None
-            report.accesses.append(
+            accesses.append(
                 AccessClassification(
                     block=block.label,
                     description=str(instr),
                     input_indexed=index_tainted,
-                    guarded=guarded,
+                    guarded=guarded or forced_guarded,
                     bound_known=bound_known,
+                    function=function.name,
                 )
             )
-    return report
+    return accesses
+
+
+def _reachable_callees(module: Module, entry: str) -> set:
+    """Function names transitively called from ``entry`` (entry excluded)."""
+    from repro.ir.instructions import Call
+
+    seen: set = set()
+    worklist = [entry]
+    while worklist:
+        name = worklist.pop()
+        function = module.functions.get(name)
+        if function is None:
+            continue
+        for block in function.blocks.values():
+            for instr in block.instructions:
+                if isinstance(instr, Call) and instr.callee not in seen:
+                    if instr.callee != entry:
+                        seen.add(instr.callee)
+                    worklist.append(instr.callee)
+    return seen
+
+
+def _guarded_callee_map(module: Module, entry: str) -> dict:
+    """For each reachable callee: is *every* call chain from the entry
+    guarded?  ``False`` means some chain of unconditional call sites reaches
+    it, so its unguarded accesses execute on every run of the entry."""
+    from repro.analysis.path_conditions import FormulaBudgetExceeded
+    from repro.ir.instructions import Call
+
+    guarded: dict[str, bool] = {}
+    # (function, reached-only-through-guards) pairs; revisit when a less
+    # guarded path appears.  Call graphs are acyclic in practice (the
+    # frontend forbids recursion); the `guarded[name] <= flag` check also
+    # terminates cyclic graphs since flags only improve monotonically.
+    worklist: list = [(entry, False)]
+    while worklist:
+        name, inherited = worklist.pop()
+        function = module.functions.get(name)
+        if function is None:
+            continue
+        try:
+            conditions = compute_path_conditions(function)
+        except (ValueError, FormulaBudgetExceeded):
+            conditions = None
+        for block in function.blocks.values():
+            if conditions is not None:
+                condition = conditions.outgoing[block.label]
+                if condition.is_false():
+                    continue
+                block_guarded = not condition.is_true()
+            else:
+                block_guarded = True
+            for instr in block.instructions:
+                if not isinstance(instr, Call):
+                    continue
+                flag = inherited or block_guarded
+                if instr.callee in guarded and guarded[instr.callee] <= flag:
+                    continue
+                guarded[instr.callee] = flag
+                worklist.append((instr.callee, flag))
+    guarded.pop(entry, None)
+    return guarded

@@ -184,4 +184,12 @@ def compute_path_conditions(function: Function) -> PathConditions:
             out = out.disjoin(formula)
         outgoing[label] = out
 
+    # Unreachable blocks never execute: their path condition is false.
+    # (topological_order only visits reachable blocks, so without this the
+    # maps would silently lack entries for dead code.)
+    for label in function.blocks:
+        if label not in outgoing:
+            incoming[label] = {}
+            outgoing[label] = Formula.false()
+
     return PathConditions(incoming, outgoing)

@@ -121,13 +121,33 @@ def analyze_function_sensitivity(
     report = SensitivityReport(function.name, tuple(sensitive_params))
 
     tainted: set[str] = set(sensitive_params)
-    # Arrays whose *contents* are tainted.  Arrays handed in as sensitive
-    # pointer parameters carry tainted contents by definition.
+    # Memory *regions* whose contents are tainted.  A region is named by the
+    # pointer parameter, the ``alloc`` destination, or (fallback) the global
+    # it denotes.  Regions handed in as sensitive pointer parameters carry
+    # tainted contents by definition.
     tainted_arrays: set[str] = {
         p.name
         for p in function.params
         if p.is_pointer and p.name in tainted
     }
+    # Which regions each variable may name.  Pointer copies and selections
+    # (``ptr' = ctsel c, arr, shadow`` — the repair's guarded accesses, which
+    # CSE may merge) union the alias sets of their arms, so contents taint
+    # survives renaming; without this, a store through one alias and a load
+    # through another of the same region were treated as unrelated.
+    aliases: dict[str, frozenset] = {
+        p.name: frozenset({p.name}) for p in function.params if p.is_pointer
+    }
+
+    def regions(name: str) -> frozenset:
+        return aliases.get(name, frozenset({name}))
+
+    def merge_alias(dest: str, pointed: frozenset) -> bool:
+        known = aliases.get(dest, frozenset())
+        if pointed <= known:
+            return False
+        aliases[dest] = known | pointed
+        return True
 
     try:
         # Multi-exit functions (a secret-steered early return) are analysed
@@ -171,19 +191,37 @@ def analyze_function_sensitivity(
         for block in function.blocks.values():
             implicit = any(p in tainted for p in block_predicates(block.label))
             for instr in block.instructions:
+                # Pointer alias propagation.
+                if isinstance(instr, Alloc):
+                    changed |= merge_alias(instr.dest, frozenset({instr.dest}))
+                elif isinstance(instr, Mov) and isinstance(instr.expr, Var):
+                    changed |= merge_alias(instr.dest, regions(instr.expr.name))
+                elif isinstance(instr, CtSel):
+                    for arm in (instr.if_true, instr.if_false):
+                        if isinstance(arm, Var):
+                            changed |= merge_alias(
+                                instr.dest, regions(arm.name)
+                            )
+                elif isinstance(instr, Phi):
+                    for value, _ in instr.incomings:
+                        if isinstance(value, Var):
+                            changed |= merge_alias(
+                                instr.dest, regions(value.name)
+                            )
+
                 if isinstance(instr, Store):
                     value_tainted = any(v in tainted for v in instr.used_vars())
-                    if (value_tainted or implicit) and (
-                        instr.array.name not in tainted_arrays
-                    ):
-                        tainted_arrays.add(instr.array.name)
-                        changed = True
+                    if value_tainted or implicit:
+                        pointed = regions(instr.array.name)
+                        if not pointed <= tainted_arrays:
+                            tainted_arrays.update(pointed)
+                            changed = True
                     continue
                 is_tainted = implicit or any(
                     v in tainted for v in instr.used_vars()
                 )
                 if isinstance(instr, Load):
-                    if instr.array.name in tainted_arrays:
+                    if tainted_arrays & regions(instr.array.name):
                         is_tainted = True
                 if isinstance(instr, Call):
                     # Conservative: assume the callee taints its pointer
@@ -192,8 +230,11 @@ def analyze_function_sensitivity(
                     # still writes through `buf`.
                     if is_tainted:
                         for arg in instr.args:
-                            if isinstance(arg, Var) and arg.name not in tainted_arrays:
-                                tainted_arrays.add(arg.name)
+                            if not isinstance(arg, Var):
+                                continue
+                            pointed = regions(arg.name)
+                            if not pointed <= tainted_arrays:
+                                tainted_arrays.update(pointed)
                                 changed = True
                 if instr.dest is None:
                     continue

@@ -160,6 +160,35 @@ def lint_module(module: Module) -> list:
     )
 
 
+def fuzz(
+    seed: int = 0,
+    iterations: int = 200,
+    jobs: Optional[int] = None,
+    minimize: bool = True,
+    store: bool = False,
+    corpus_dir=None,
+):
+    """Run a differential fuzz campaign (what ``lif fuzz`` runs).
+
+    Generates seeded MiniC and IR samples, cross-checks every oracle pair
+    (repair semantics, backend agreement, isochronicity, static vs dynamic
+    verdicts, optimizer sanitization), minimizes any disagreement, and —
+    with ``store=True`` — writes reduced reproducers into the corpus.
+
+    Returns a :class:`repro.fuzz.engine.FuzzReport`.
+    """
+    from repro.fuzz.engine import run_fuzz
+
+    return run_fuzz(
+        seed=seed,
+        iterations=iterations,
+        jobs=jobs,
+        minimize=minimize,
+        store=store,
+        corpus_dir=corpus_dir,
+    )
+
+
 def check_isochronous(
     module: Module,
     name: str,

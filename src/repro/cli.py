@@ -352,6 +352,25 @@ def _cmd_report(args: argparse.Namespace) -> int:
     )
 
 
+def _cmd_fuzz(args) -> int:
+    from repro.fuzz.engine import run_fuzz
+    from repro.fuzz.generators import FuzzConfig
+
+    config = FuzzConfig(ir_fraction=args.ir_fraction)
+    report = run_fuzz(
+        seed=args.seed,
+        iterations=args.iterations,
+        jobs=args.jobs,
+        minimize=not args.no_minimize,
+        config=config,
+        corpus_dir=args.corpus_dir,
+        store=args.store,
+    )
+    for line in report.summary_lines():
+        print(line)
+    return 0 if report.ok else 1
+
+
 def main(argv: "list[str] | None" = None) -> int:
     parser = argparse.ArgumentParser(
         prog="lif",
@@ -458,6 +477,32 @@ def main(argv: "list[str] | None" = None) -> int:
                           help="fail if the committed results book is stale "
                                "instead of rewriting it")
     p_report.set_defaults(func=_cmd_report)
+
+    p_fuzz = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing: generated programs vs every oracle pair",
+    )
+    p_fuzz.add_argument("--seed", type=int, default=0,
+                        help="campaign seed (default 0); a (seed, iterations)"
+                             " pair is byte-for-byte reproducible")
+    p_fuzz.add_argument("-n", "--iterations", type=int, default=200,
+                        help="samples to generate (default 200)")
+    p_fuzz.add_argument("-j", "--jobs", type=int, default=None,
+                        help="worker processes (default: $REPRO_JOBS or "
+                             "cpu count); results are merged in seed order, "
+                             "so the output does not depend on this")
+    p_fuzz.add_argument("--no-minimize", action="store_true",
+                        help="store raw failing programs instead of shrinking "
+                             "them first")
+    p_fuzz.add_argument("--store", action="store_true",
+                        help="write failing reproducers into the corpus "
+                             "directory")
+    p_fuzz.add_argument("--corpus-dir", default=None,
+                        help="reproducer directory (default: tests/corpus)")
+    p_fuzz.add_argument("--ir-fraction", type=int, default=4,
+                        help="every Nth sample is an IR-level module "
+                             "(0 = MiniC only; default 4)")
+    p_fuzz.set_defaults(func=_cmd_fuzz)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -222,7 +222,11 @@ class _FunctionRepairer:
         self.options = options
         self.counters = counters if counters is not None else RepairCounters()
 
-        self.new_function = Function(function.name, list(self.contract.new_params))
+        self.new_function = Function(
+            function.name,
+            list(self.contract.new_params),
+            sensitive_params=function.sensitive_params,
+        )
         self.builder = IRBuilder(self.new_function, name_prefix="z")
         for taken in function.defined_names():
             self.builder.note_name(taken)

@@ -165,9 +165,13 @@ def rewrite_load(load: Load, ctx: RuleContext) -> GuardedAccess:
         Mov(should_access, BinExpr("|", ctx.out_cond, in_bounds))
     )
     safe_index = ctx.fresh("z")
-    instructions.append(CtSel(safe_index, Var(should_access), load.index, Const(0)))
+    instructions.append(
+        CtSel(safe_index, Var(should_access), load.index, Const(0), guard=True)
+    )
     safe_array = ctx.fresh("z")
-    instructions.append(CtSel(safe_array, Var(should_access), load.array, ctx.shadow))
+    instructions.append(
+        CtSel(safe_array, Var(should_access), load.array, ctx.shadow, guard=True)
+    )
     instructions.append(Load(load.dest, Var(safe_array), Var(safe_index)))
     return GuardedAccess(
         instructions=instructions,
@@ -188,7 +192,7 @@ def rewrite_store(store: Store, ctx: RuleContext) -> list[Instruction]:
     instructions = access.instructions
     selected = ctx.fresh("z")
     instructions.append(
-        CtSel(selected, ctx.out_cond, store.value, access.loaded)
+        CtSel(selected, ctx.out_cond, store.value, access.loaded, guard=True)
     )
     instructions.append(
         Store(Var(selected), access.safe_array, access.safe_index)

@@ -1,0 +1,49 @@
+"""Differential fuzzing & metamorphic testing (``lif fuzz``).
+
+The repo carries four independent oracles — the reference interpreter vs
+the compiled backend, the dynamic Covenant 1 checker, the static
+constant-time certifier, and the per-pass optimizer sanitizer.  This
+package turns them into a bug-finding machine: a seeded generator of
+well-typed MiniC programs (plus straight IR-level generators) feeds every
+sample through the full pipeline and cross-checks each oracle pair; any
+disagreement is shrunk by a delta-debugging minimizer and stored as a
+reduced reproducer in the deterministic on-disk corpus (``tests/corpus/``),
+which is replayed as ordinary pytest cases.
+
+* :mod:`repro.fuzz.spec` — the structured MiniC program representation
+  the generator emits and the minimizer shrinks;
+* :mod:`repro.fuzz.generators` — seeded (``random.Random``) MiniC and IR
+  generators with size/feature knobs (:class:`FuzzConfig`);
+* :mod:`repro.fuzz.strategies` — the Hypothesis strategies shared with
+  the property tests (promoted from ``tests/property/generators.py``);
+* :mod:`repro.fuzz.oracles` — the differential engine: the five oracle
+  cross-checks over one sample;
+* :mod:`repro.fuzz.minimize` — the deterministic delta-debugging shrinker;
+* :mod:`repro.fuzz.corpus` — the reproducer store and replay loader;
+* :mod:`repro.fuzz.engine` — the campaign driver behind ``lif fuzz``
+  (``--seed/--iterations/--jobs/--minimize``), with process fan-out and
+  per-oracle counters.
+
+See ``docs/FUZZING.md`` for the oracle matrix and the corpus policy.
+"""
+
+from repro.fuzz.generators import (
+    FuzzConfig,
+    generate_inputs,
+    generate_program,
+    ir_module_inputs,
+    random_ir_module,
+    secret_family,
+)
+from repro.fuzz.spec import ProgramSpec, render_program
+
+__all__ = [
+    "FuzzConfig",
+    "ProgramSpec",
+    "generate_inputs",
+    "generate_program",
+    "ir_module_inputs",
+    "random_ir_module",
+    "render_program",
+    "secret_family",
+]

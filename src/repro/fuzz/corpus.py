@@ -1,0 +1,125 @@
+"""The on-disk reproducer corpus (``tests/corpus/``).
+
+Every failing sample a fuzz campaign finds is stored as a pair of files
+named by a deterministic case id (seed + content hash, so two runs of the
+same campaign write byte-identical corpora and distinct bugs never
+collide):
+
+* ``<case>.mc`` / ``<case>.ir`` — the (minimized) program text;
+* ``<case>.json`` — metadata: kind, seed, entry point, the exact argument
+  vectors, the oracle report at capture time, and a free-form triage note.
+
+Corpus policy (see ``docs/FUZZING.md``): a case is committed either as a
+**regression seed** for a bug that has since been fixed, or as a **hard
+program** that stresses the pipeline; in both states every committed case
+must pass all oracles at head.  The replay test
+(``tests/integration/test_corpus_replay.py``) enforces that on every CI
+run, which is what makes the corpus a standing gate rather than an
+archive.  A case that *currently fails* belongs in a bug report, not in
+the corpus.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional
+
+#: Repo-relative default; the CLI resolves it against the cwd.
+DEFAULT_CORPUS_DIR = Path("tests") / "corpus"
+
+_SOURCE_SUFFIX = {"minic": ".mc", "ir": ".ir"}
+
+
+@dataclass
+class CorpusCase:
+    """One committed reproducer."""
+
+    case_id: str
+    kind: str  # "minic" | "ir"
+    seed: int
+    entry: str
+    source: str
+    inputs: list
+    #: vectors differing only in secret params (None: all of ``inputs``)
+    secret_inputs: Optional[list] = None
+    failed: list = field(default_factory=list)  # oracle names at capture time
+    note: str = ""
+    report: Optional[dict] = None
+
+    def as_dict(self) -> dict:
+        return {
+            "case_id": self.case_id,
+            "kind": self.kind,
+            "seed": self.seed,
+            "entry": self.entry,
+            "inputs": self.inputs,
+            "secret_inputs": self.secret_inputs,
+            "failed": list(self.failed),
+            "note": self.note,
+            "report": self.report,
+        }
+
+    @classmethod
+    def from_dict(cls, record: dict, source: str) -> "CorpusCase":
+        return cls(
+            case_id=record["case_id"],
+            kind=record["kind"],
+            seed=record["seed"],
+            entry=record["entry"],
+            source=source,
+            inputs=record["inputs"],
+            secret_inputs=record.get("secret_inputs"),
+            failed=list(record.get("failed", [])),
+            note=record.get("note", ""),
+            report=record.get("report"),
+        )
+
+
+def make_case_id(seed: int, source: str) -> str:
+    digest = hashlib.sha256(source.encode()).hexdigest()[:10]
+    return f"s{seed:010d}-{digest}"
+
+
+def store_case(case: CorpusCase, directory) -> list:
+    """Write the case pair; returns the written paths (source, json)."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    source_path = directory / (case.case_id + _SOURCE_SUFFIX[case.kind])
+    meta_path = directory / (case.case_id + ".json")
+    source_path.write_text(case.source)
+    meta_path.write_text(
+        json.dumps(case.as_dict(), indent=2, sort_keys=True) + "\n"
+    )
+    return [source_path, meta_path]
+
+
+def load_corpus(directory) -> list:
+    """Every committed case, sorted by case id (deterministic replay order)."""
+    directory = Path(directory)
+    cases: list = []
+    if not directory.is_dir():
+        return cases
+    for meta_path in sorted(directory.glob("*.json")):
+        record = json.loads(meta_path.read_text())
+        suffix = _SOURCE_SUFFIX[record["kind"]]
+        source_path = meta_path.with_suffix(suffix)
+        cases.append(CorpusCase.from_dict(record, source_path.read_text()))
+    return cases
+
+
+def replay_case(case: CorpusCase, repair_fn=None):
+    """Re-run the full oracle battery on a committed case."""
+    from repro.fuzz.oracles import compile_sample, run_oracles
+    from repro.ir import parse_module
+
+    if case.kind == "minic":
+        module = compile_sample(case.source, name=case.case_id)
+    else:
+        module = parse_module(case.source, name=case.case_id)
+    return run_oracles(
+        module, case.entry, case.inputs,
+        secret_inputs=case.secret_inputs, repair_fn=repair_fn,
+    )

@@ -1,0 +1,336 @@
+"""The fuzz campaign driver behind ``lif fuzz``.
+
+One campaign is fully determined by ``(seed, iterations, config)``: sample
+seeds are derived arithmetically, inputs are derived from sample seeds,
+the minimizer is deterministic, and results are merged in sample order
+regardless of which worker process finished first — so two runs of
+``lif fuzz --seed 0 --iterations 200`` produce byte-identical summaries
+and corpora, whatever ``--jobs`` says.  That reproducibility is what makes
+the CI smoke job a meaningful gate instead of a dice roll.
+
+Fan-out reuses the recipe of :mod:`repro.artifacts.parallel`: forked
+workers reset the obs collector, do their slice of the seed space, and
+ship a metrics snapshot back with their results for the parent to merge.
+"""
+
+from __future__ import annotations
+
+import gc
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.fuzz.corpus import CorpusCase, make_case_id, store_case
+from repro.fuzz.generators import (
+    FuzzConfig,
+    generate_inputs,
+    generate_program,
+    ir_module_inputs,
+    random_ir_module,
+    secret_family,
+)
+from repro.fuzz.minimize import minimize_spec
+from repro.fuzz.oracles import ORACLES, SampleInvalid, compile_sample, run_oracles
+from repro.fuzz.spec import render_program
+from repro.obs import OBS
+
+#: Decorrelates successive base seeds without losing reproducibility.
+_SEED_STRIDE = 1_000_003
+
+
+@dataclass
+class FuzzFailure:
+    """One disagreement, minimized and ready for the corpus."""
+
+    seed: int
+    kind: str  # "minic" | "ir"
+    case_id: str
+    entry: str
+    source: str
+    inputs: list
+    failed: tuple
+    report: dict
+    secret_inputs: Optional[list] = None
+    minimize_checks: int = 0
+
+    def as_corpus_case(self, note: str = "") -> CorpusCase:
+        return CorpusCase(
+            case_id=self.case_id,
+            kind=self.kind,
+            seed=self.seed,
+            entry=self.entry,
+            source=self.source,
+            inputs=self.inputs,
+            secret_inputs=self.secret_inputs,
+            failed=list(self.failed),
+            note=note or "found by lif fuzz; minimized reproducer",
+            report=self.report,
+        )
+
+
+@dataclass
+class FuzzReport:
+    """Deterministic summary of one campaign."""
+
+    seed: int
+    iterations: int
+    minic_samples: int = 0
+    ir_samples: int = 0
+    invalid_samples: int = 0
+    counters: dict = field(default_factory=dict)  # oracle -> {checked, failed}
+    failures: list = field(default_factory=list)  # [FuzzFailure]
+    corpus_paths: list = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def summary_lines(self) -> list:
+        lines = [
+            f"fuzz seed={self.seed} iterations={self.iterations} "
+            f"(minic={self.minic_samples}, ir={self.ir_samples}, "
+            f"invalid={self.invalid_samples})"
+        ]
+        for name in ORACLES:
+            entry = self.counters.get(name, {"checked": 0, "failed": 0})
+            lines.append(
+                f"oracle {name:14s} checked={entry['checked']} "
+                f"failed={entry['failed']}"
+            )
+        lines.append(f"failures: {len(self.failures)}")
+        for failure in self.failures:
+            lines.append(
+                f"  {failure.case_id} kind={failure.kind} "
+                f"seed={failure.seed} oracles={','.join(failure.failed)}"
+            )
+        for path in self.corpus_paths:
+            lines.append(f"  wrote {path}")
+        return lines
+
+
+# -- one sample --------------------------------------------------------------
+
+
+def sample_kind(index: int, config: FuzzConfig) -> str:
+    if config.ir_fraction and (index + 1) % config.ir_fraction == 0:
+        return "ir"
+    return "minic"
+
+
+def run_one(
+    case_seed: int,
+    kind: str,
+    config: FuzzConfig,
+    minimize: bool = True,
+    max_minimize_checks: int = 1500,
+    repair_fn: Optional[Callable] = None,
+) -> dict:
+    """Generate and cross-check one sample; minimize on disagreement."""
+    if kind == "ir":
+        module = random_ir_module(case_seed)
+        inputs = ir_module_inputs(case_seed)
+        source = _ir_text(module)
+        entry = "f"
+        report = run_oracles(module, entry, inputs, repair_fn=repair_fn)
+        result = _result(case_seed, kind, entry, report)
+        if not report.ok:
+            result.update(source=source, inputs=inputs,
+                          case_id=make_case_id(case_seed, source))
+        return result
+
+    spec = generate_program(case_seed, config)
+    source = render_program(spec)
+    try:
+        module = compile_sample(source, name=f"fuzz_{case_seed}")
+    except SampleInvalid as error:
+        # A generator validity bug: surface it as its own category rather
+        # than crashing the campaign (and fail loudly in the summary).
+        return {
+            "seed": case_seed, "kind": kind, "entry": spec.entry,
+            "invalid": str(error), "checked": [], "failed": [],
+        }
+    inputs = generate_inputs(spec, case_seed)
+    report = run_oracles(
+        module, spec.entry, inputs,
+        secret_inputs=secret_family(inputs), repair_fn=repair_fn,
+    )
+    result = _result(case_seed, kind, spec.entry, report)
+    if report.ok:
+        return result
+
+    checks = 0
+    if minimize:
+        target = report.failed[0]
+        predicate = _failure_predicate(target, case_seed, repair_fn)
+        spec, checks = minimize_spec(
+            spec, predicate, max_checks=max_minimize_checks
+        )
+        source = render_program(spec)
+        module = compile_sample(source, name=f"fuzz_{case_seed}_min")
+        inputs = generate_inputs(spec, case_seed)
+        report = run_oracles(
+            module, spec.entry, inputs,
+            secret_inputs=secret_family(inputs), repair_fn=repair_fn,
+        )
+        result = _result(case_seed, kind, spec.entry, report)
+        if report.ok:  # cannot happen for a sound predicate; keep the raw case
+            result["failed"] = [target]
+    result.update(
+        source=source,
+        inputs=inputs,
+        secret_inputs=secret_family(inputs),
+        case_id=make_case_id(case_seed, source),
+        minimize_checks=checks,
+        report_dict=report.as_dict(),
+    )
+    return result
+
+
+def _result(seed: int, kind: str, entry: str, report) -> dict:
+    return {
+        "seed": seed,
+        "kind": kind,
+        "entry": entry,
+        "checked": [r.name for r in report.results],
+        "failed": list(report.failed),
+        "report_dict": report.as_dict(),
+    }
+
+
+def _ir_text(module) -> str:
+    from repro.ir import module_to_str
+
+    return module_to_str(module)
+
+
+def _failure_predicate(target: str, case_seed: int, repair_fn):
+    """Build the shrink predicate: does the candidate still fail ``target``?"""
+
+    def predicate(candidate) -> bool:
+        try:
+            source = render_program(candidate)
+            module = compile_sample(source, name="candidate")
+            inputs = generate_inputs(candidate, case_seed)
+            report = run_oracles(
+                module, candidate.entry, inputs,
+                secret_inputs=secret_family(inputs), repair_fn=repair_fn,
+            )
+        except SampleInvalid:
+            return False
+        except Exception:
+            return False
+        return target in report.failed
+
+    return predicate
+
+
+# -- the campaign ------------------------------------------------------------
+
+
+def _worker(batch: list, config_record: dict, minimize: bool,
+            max_checks: int) -> tuple:
+    OBS.reset()
+    config = FuzzConfig.from_dict(config_record)
+    results = [
+        run_one(case_seed, kind, config, minimize=minimize,
+                max_minimize_checks=max_checks)
+        for case_seed, kind in batch
+    ]
+    return results, OBS.snapshot()
+
+
+def run_fuzz(
+    seed: int = 0,
+    iterations: int = 200,
+    jobs: Optional[int] = None,
+    minimize: bool = True,
+    config: Optional[FuzzConfig] = None,
+    corpus_dir=None,
+    store: bool = False,
+    repair_fn: Optional[Callable] = None,
+    max_minimize_checks: int = 1500,
+) -> FuzzReport:
+    """Run a campaign; deterministic in everything but wall-clock.
+
+    ``store=True`` writes each (minimized) failure into ``corpus_dir``
+    (default ``tests/corpus/``).  ``repair_fn`` injects an alternative
+    repair pipeline — test-only, forces serial execution because closures
+    do not cross process boundaries.
+    """
+    from repro.artifacts.parallel import resolve_jobs
+
+    config = config or FuzzConfig()
+    tasks = [
+        (seed * _SEED_STRIDE + index, sample_kind(index, config))
+        for index in range(iterations)
+    ]
+    jobs = 1 if repair_fn is not None else resolve_jobs(jobs)
+
+    results: list = []
+    if jobs <= 1 or iterations <= 1:
+        for case_seed, kind in tasks:
+            results.append(run_one(
+                case_seed, kind, config, minimize=minimize,
+                max_minimize_checks=max_minimize_checks,
+                repair_fn=repair_fn,
+            ))
+    else:
+        gc.collect()  # fork-lean, as in artifacts.parallel
+        jobs = min(jobs, iterations)
+        batches: list = [tasks[i::jobs] for i in range(jobs)]
+        ordered: dict = {}
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            futures = [
+                pool.submit(_worker, batch, config.as_dict(), minimize,
+                            max_minimize_checks)
+                for batch in batches if batch
+            ]
+            for future in futures:
+                worker_results, snapshot = future.result()
+                OBS.merge(snapshot)
+                for entry in worker_results:
+                    ordered[entry["seed"]] = entry
+        results = [ordered[case_seed] for case_seed, _ in tasks]
+
+    report = FuzzReport(seed=seed, iterations=iterations)
+    for name in ORACLES:
+        report.counters[name] = {"checked": 0, "failed": 0}
+    for entry in results:
+        if entry["kind"] == "ir":
+            report.ir_samples += 1
+        else:
+            report.minic_samples += 1
+        if "invalid" in entry:
+            report.invalid_samples += 1
+            continue
+        for name in entry["checked"]:
+            report.counters[name]["checked"] += 1
+        for name in entry["failed"]:
+            report.counters[name]["failed"] += 1
+        if entry["failed"]:
+            report.failures.append(FuzzFailure(
+                seed=entry["seed"],
+                kind=entry["kind"],
+                case_id=entry["case_id"],
+                entry=entry["entry"],
+                source=entry["source"],
+                inputs=entry["inputs"],
+                secret_inputs=entry.get("secret_inputs"),
+                failed=tuple(entry["failed"]),
+                report=entry.get("report_dict"),
+                minimize_checks=entry.get("minimize_checks", 0),
+            ))
+
+    if OBS.enabled:
+        OBS.counter("fuzz.samples", iterations)
+        OBS.counter("fuzz.failures", len(report.failures))
+
+    if store and report.failures:
+        from repro.fuzz.corpus import DEFAULT_CORPUS_DIR
+
+        directory = corpus_dir or DEFAULT_CORPUS_DIR
+        for failure in report.failures:
+            report.corpus_paths.extend(
+                str(p) for p in store_case(failure.as_corpus_case(), directory)
+            )
+    return report

@@ -1,0 +1,502 @@
+"""Seeded program generators for the differential fuzzer.
+
+Two generator families feed :mod:`repro.fuzz.engine`:
+
+* :func:`generate_program` — well-typed MiniC :class:`~repro.fuzz.spec.ProgramSpec`
+  trees: secret/public parameters, const and writable globals, fixed local
+  arrays, nested ``if``/``for`` with static bounds, helper calls with
+  pointer arguments, ``?:`` selections, casts, the full operator set.
+  Every rendered program parses, compiles (including full unrolling) and
+  validates cleanly; array indices are masked to power-of-two sizes so the
+  *original* program is memory safe and the strict-memory semantic oracle
+  is well-defined.
+* :func:`random_ir_module` — straight IR-level modules in the shape of the
+  property-test strategies (acyclic single-function DAGs), for fuzzing the
+  pipeline below the frontend.
+
+Both are driven by a plain :class:`random.Random` so a ``(seed, config)``
+pair reproduces a sample byte-for-byte with no third-party dependency.
+The Hypothesis strategies that used to live in
+``tests/property/generators.py`` are now :mod:`repro.fuzz.strategies`; the
+lazy re-export at the bottom keeps them importable from here without
+making Hypothesis a runtime requirement of ``lif fuzz``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.fuzz.spec import (
+    ArrayDeclS,
+    AssignS,
+    BinE,
+    CallE,
+    CastE,
+    ConstE,
+    DeclS,
+    ExprStmtS,
+    ForS,
+    FuncSpec,
+    GlobalSpec,
+    IfS,
+    LoadE,
+    ParamSpec,
+    ProgramSpec,
+    ReturnS,
+    StoreS,
+    TernE,
+    UnE,
+    VarE,
+)
+
+_SCALAR_TYPES = ("uint", "uint", "uint", "u32", "u8")
+_BINOPS = (
+    "+", "-", "*", "&", "|", "^", "<<", ">>",
+    "==", "!=", "<", "<=", ">", ">=", "/", "%", "&&", "||",
+)
+_UNOPS = ("-", "!", "~")
+_INTERESTING = (0, 1, 2, 3, 5, 7, 8, 15, 42, 255, 256, 1023, (1 << 31) - 1)
+
+
+@dataclass(frozen=True)
+class FuzzConfig:
+    """Size and feature knobs of the MiniC generator.
+
+    The defaults keep one sample's full oracle battery in the low tens of
+    milliseconds so CI smoke runs stay cheap; crank the ``max_*`` knobs up
+    for deeper local campaigns.
+    """
+
+    max_helpers: int = 2
+    max_stmts: int = 4          # statements per block, before the return
+    max_block_depth: int = 2    # if/for nesting
+    max_expr_depth: int = 3
+    max_loop_bound: int = 3
+    max_arrays: int = 2         # local arrays per function
+    array_sizes: tuple = (2, 4, 8)
+    max_entry_arrays: int = 2
+    max_entry_scalars: int = 3
+    allow_loops: bool = True
+    allow_calls: bool = True
+    allow_globals: bool = True
+    #: permit arbitrary (possibly secret-tainted) load/store indices; when
+    #: off, indices are loop counters and constants only, biasing towards
+    #: data-consistent programs
+    allow_secret_indices: bool = True
+    #: every Nth sample is an IR-level module instead of MiniC (0 = never)
+    ir_fraction: int = 4
+
+    def as_dict(self) -> dict:
+        record = dataclasses.asdict(self)
+        record["array_sizes"] = list(self.array_sizes)
+        return record
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "FuzzConfig":
+        fields = {f.name for f in dataclasses.fields(cls)}
+        kwargs = {k: v for k, v in record.items() if k in fields}
+        if "array_sizes" in kwargs:
+            kwargs["array_sizes"] = tuple(kwargs["array_sizes"])
+        return cls(**kwargs)
+
+
+@dataclass
+class _Scope:
+    """Names visible at the current generation point."""
+
+    scalars: list          # [(name, type)] — assignable scalars
+    counters: list         # [name] — loop counters (readable, not assignable)
+    arrays: list           # [(name, elem_type, size, writable)]
+
+    def child(self) -> "_Scope":
+        return _Scope(list(self.scalars), list(self.counters), list(self.arrays))
+
+
+class _FuncGen:
+    """Generates one function body; owns the fresh-name counters."""
+
+    def __init__(self, rng: random.Random, config: FuzzConfig, callees: list):
+        self.rng = rng
+        self.config = config
+        self.callees = callees  # [FuncSpec] eligible helpers
+        self._next = {"v": 0, "a": 0, "i": 0}
+
+    def fresh(self, prefix: str) -> str:
+        name = f"{prefix}{self._next[prefix]}"
+        self._next[prefix] += 1
+        return name
+
+    # -- expressions ---------------------------------------------------------
+
+    def expr(self, scope: _Scope, depth: int):
+        rng = self.rng
+        if depth <= 0 or rng.random() < 0.25:
+            return self._leaf(scope)
+        kind = rng.random()
+        if kind < 0.55:
+            return BinE(
+                rng.choice(_BINOPS),
+                self.expr(scope, depth - 1),
+                self.expr(scope, depth - 1),
+            )
+        if kind < 0.65:
+            return UnE(rng.choice(_UNOPS), self.expr(scope, depth - 1))
+        if kind < 0.78:
+            return TernE(
+                self.expr(scope, depth - 1),
+                self.expr(scope, depth - 1),
+                self.expr(scope, depth - 1),
+            )
+        if kind < 0.86:
+            return CastE(rng.choice(("u8", "u32", "uint")),
+                         self.expr(scope, depth - 1))
+        if kind < 0.95 and scope.arrays:
+            return self._load(scope, depth - 1)
+        call = self._call(scope, depth - 1)
+        if call is not None:
+            return call
+        return self._leaf(scope)
+
+    def _leaf(self, scope: _Scope):
+        rng = self.rng
+        readable = scope.scalars + [(c, "uint") for c in scope.counters]
+        roll = rng.random()
+        if readable and roll < 0.55:
+            return VarE(rng.choice(readable)[0])
+        if scope.arrays and roll < 0.75:
+            return self._load(scope, 0)
+        return ConstE(rng.choice(_INTERESTING))
+
+    def _index(self, scope: _Scope, depth: int):
+        if not self.config.allow_secret_indices:
+            if scope.counters and self.rng.random() < 0.6:
+                return VarE(self.rng.choice(scope.counters))
+            return ConstE(self.rng.randrange(0, 8))
+        return self.expr(scope, min(depth, 1))
+
+    def _load(self, scope: _Scope, depth: int):
+        name, _elem, size, _writable = self.rng.choice(scope.arrays)
+        return LoadE(name, self._index(scope, depth), size - 1)
+
+    def _call(self, scope: _Scope, depth: int) -> Optional[CallE]:
+        if not self.callees:
+            return None
+        callee = self.rng.choice(self.callees)
+        args: list = []
+        for param in callee.params:
+            if param.pointer:
+                candidates = [
+                    a for a in scope.arrays
+                    if a[2] >= param.size and a[3]
+                ]
+                if not candidates:
+                    return None
+                args.append(self.rng.choice(candidates)[0])
+            else:
+                args.append(self.expr(scope, min(depth, 1)))
+        return CallE(callee.name, tuple(args))
+
+    # -- statements ----------------------------------------------------------
+
+    def block(self, scope: _Scope, depth: int, in_branch: bool) -> tuple:
+        statements: list = []
+        for _ in range(self.rng.randint(1, self.config.max_stmts)):
+            statements.append(self.stmt(scope, depth, in_branch))
+        return tuple(statements)
+
+    def stmt(self, scope: _Scope, depth: int, in_branch: bool):
+        rng = self.rng
+        cfg = self.config
+        roll = rng.random()
+        if roll < 0.28:
+            name = self.fresh("v")
+            decl = DeclS(rng.choice(_SCALAR_TYPES), name,
+                         self.expr(scope, cfg.max_expr_depth))
+            scope.scalars.append((name, decl.type_name))
+            return decl
+        if roll < 0.40 and scope.scalars:
+            target = rng.choice(scope.scalars)[0]
+            return AssignS(target, self.expr(scope, cfg.max_expr_depth))
+        if roll < 0.52:
+            writable = [a for a in scope.arrays if a[3]]
+            if writable:
+                name, _elem, size, _w = rng.choice(writable)
+                return StoreS(name, self._index(scope, 1), size - 1,
+                              self.expr(scope, cfg.max_expr_depth))
+        if roll < 0.60 and self._next["a"] < cfg.max_arrays:
+            name = self.fresh("a")
+            size = rng.choice(cfg.array_sizes)
+            elem = rng.choice(("uint", "u32", "u8"))
+            inits = tuple(
+                rng.randrange(0, 256)
+                for _ in range(rng.randint(0, size))
+            )
+            scope.arrays.append((name, elem, size, True))
+            return ArrayDeclS(elem, name, size, inits)
+        if roll < 0.74 and depth > 0:
+            then_scope = scope.child()
+            then_body = self.block(then_scope, depth - 1, True)
+            else_body: tuple = ()
+            if rng.random() < 0.6:
+                else_scope = scope.child()
+                else_body = self.block(else_scope, depth - 1, True)
+            return IfS(self.expr(scope, cfg.max_expr_depth),
+                       then_body, else_body)
+        if roll < 0.86 and depth > 0 and cfg.allow_loops:
+            var = self.fresh("i")
+            body_scope = scope.child()
+            body_scope.counters.append(var)
+            return ForS(var, rng.randint(1, cfg.max_loop_bound),
+                        self.block(body_scope, depth - 1, in_branch))
+        if roll < 0.92 and in_branch:
+            return ReturnS(self.expr(scope, cfg.max_expr_depth))
+        call = self._call(scope, 1) if cfg.allow_calls else None
+        if call is not None:
+            return ExprStmtS(call)
+        return ExprStmtS(self.expr(scope, cfg.max_expr_depth))
+
+
+def _generate_function(
+    rng: random.Random,
+    config: FuzzConfig,
+    name: str,
+    callees: list,
+    global_arrays: list,
+    is_entry: bool,
+) -> FuncSpec:
+    gen = _FuncGen(rng, config, callees if config.allow_calls else [])
+    params: list = []
+    n_arrays = rng.randint(1 if is_entry else 0, config.max_entry_arrays)
+    n_scalars = rng.randint(1, config.max_entry_scalars)
+    for i in range(n_arrays):
+        params.append(ParamSpec(
+            name=f"p{i}",
+            type_name=rng.choice(("uint", "u32", "u8")),
+            pointer=True,
+            secret=rng.random() < 0.5,
+            size=rng.choice(config.array_sizes),
+        ))
+    for i in range(n_scalars):
+        params.append(ParamSpec(
+            name=f"n{i}",
+            type_name=rng.choice(("uint", "u32", "u8")),
+            secret=rng.random() < 0.4,
+        ))
+    scope = _Scope(
+        scalars=[(p.name, p.type_name) for p in params if not p.pointer],
+        counters=[],
+        arrays=[(p.name, p.type_name, p.size, True)
+                for p in params if p.pointer] + list(global_arrays),
+    )
+    body = list(gen.block(scope, config.max_block_depth, False))
+    body.append(ReturnS(gen.expr(scope, config.max_expr_depth)))
+    return FuncSpec(
+        name=name,
+        return_type=rng.choice(("uint", "u32")),
+        params=tuple(params),
+        body=tuple(body),
+    )
+
+
+def generate_program(seed: int, config: Optional[FuzzConfig] = None) -> ProgramSpec:
+    """A reproducible, well-typed MiniC program spec for ``seed``."""
+    config = config or FuzzConfig()
+    rng = random.Random(seed)
+
+    globals_: list = []
+    if config.allow_globals and rng.random() < 0.5:
+        for i in range(rng.randint(1, 2)):
+            size = rng.choice(config.array_sizes)
+            elem = rng.choice(("uint", "u32", "u8"))
+            const = rng.random() < 0.7
+            inits = tuple(rng.randrange(0, 256) for _ in range(size))
+            globals_.append(GlobalSpec(f"g{i}", elem, size, inits, const))
+
+    global_arrays = [
+        (g.name, g.elem_type, g.size, not g.const) for g in globals_
+    ]
+
+    functions: list = []
+    n_helpers = rng.randint(0, config.max_helpers)
+    for index in range(n_helpers):
+        functions.append(_generate_function(
+            rng, config, f"helper{index}", list(functions), global_arrays,
+            is_entry=False,
+        ))
+    functions.append(_generate_function(
+        rng, config, "fuzz_entry", list(functions), global_arrays,
+        is_entry=True,
+    ))
+    return ProgramSpec(tuple(globals_), tuple(functions))
+
+
+# -- argument generation -----------------------------------------------------
+
+_TYPE_MASK = {"uint": (1 << 64) - 1, "u32": (1 << 32) - 1, "u8": 255}
+
+
+def generate_inputs(
+    spec: ProgramSpec,
+    seed: int,
+    runs: int = 3,
+    secret_variants: int = 2,
+) -> list:
+    """Argument vectors for the entry function, derived only from ``(spec
+    signature, seed)``.
+
+    Returns ``runs`` independent vectors followed by ``secret_variants``
+    vectors that differ from the *first* vector only in ``secret``
+    parameters — the pairs the isochronicity oracle compares.
+    """
+    rng = random.Random(seed ^ 0x5EED)
+    params = spec.entry_func.params
+    vectors: list = []
+    for _ in range(max(1, runs)):
+        vectors.append([_argument(rng, p) for p in params])
+    base = vectors[0]
+    for _ in range(secret_variants):
+        variant: list = []
+        for value, param in zip(base, params):
+            if param.secret:
+                variant.append(_argument(rng, param))
+            else:
+                variant.append(list(value) if isinstance(value, list) else value)
+        vectors.append(variant)
+    return vectors
+
+
+def secret_family(vectors: list, runs: int = 3) -> list:
+    """The base vector plus the secret-only variants from a
+    :func:`generate_inputs` result (``runs`` must match the value used
+    there).  These are the vectors the certified-vs-dynamic cross-checks
+    compare: they differ only in ``secret`` parameters."""
+    if len(vectors) <= runs:
+        return list(vectors)
+    return [vectors[0]] + list(vectors[runs:])
+
+
+def _argument(rng: random.Random, param: ParamSpec):
+    mask = _TYPE_MASK[param.type_name]
+    bound = min(mask, 1 << 16)
+    if param.pointer:
+        return [rng.randint(0, bound) & mask for _ in range(param.size)]
+    return rng.randint(0, bound) & mask
+
+
+# -- IR-level generation -----------------------------------------------------
+
+IR_ARRAY_CELLS = 4
+
+
+def random_ir_module(
+    seed: int,
+    max_blocks: int = 5,
+    max_instrs: int = 5,
+    array_cells: int = IR_ARRAY_CELLS,
+    in_bounds: bool = True,
+):
+    """A random acyclic single-function IR module (seeded, not Hypothesis).
+
+    Mirrors :func:`repro.fuzz.strategies.ir_modules`: one pointer parameter
+    of ``array_cells`` cells plus two integer parameters, a DAG of blocks in
+    topological order, and uses only of dominating definitions.  With
+    ``in_bounds=True`` (the engine's setting) memory indices stay inside the
+    array so the strict-memory semantic oracle is well-defined; property
+    tests pass ``False`` to exercise the out-of-bounds repair paths.
+    """
+    from repro.ir.builder import IRBuilder
+    from repro.ir.function import Function, Param
+    from repro.ir.module import Module
+    from repro.ir.values import Const, Var
+
+    rng = random.Random(seed)
+    n_blocks = rng.randint(1, max_blocks)
+    module = Module(f"ir_fuzz_{seed}")
+    function = Function(
+        "f", [Param("arr", "ptr"), Param("x", "int"), Param("y", "int")]
+    )
+    module.add_function(function)
+    builder = IRBuilder(function, name_prefix="v")
+
+    labels = [f"b{i}" for i in range(n_blocks)]
+    for label in labels:
+        function.add_block(label)
+
+    binops = ("+", "-", "*", "&", "|", "^", "<<", ">>", "==", "!=", "<", "<=")
+    entry_values: list = [Var("x"), Var("y"), Const(rng.randint(-8, 8))]
+
+    for position, label in enumerate(labels):
+        builder.position_at(function.blocks[label])
+        available = list(entry_values)
+        for _ in range(rng.randint(1, max_instrs)):
+            kind = rng.choice(("binop", "unop", "ctsel", "load", "store"))
+            value = None
+            if kind == "binop":
+                value = builder.binop(
+                    rng.choice(binops),
+                    rng.choice(available),
+                    rng.choice(available + [Const(rng.randint(-8, 8))]),
+                )
+            elif kind == "unop":
+                value = builder.unop(rng.choice(("-", "!", "~")),
+                                     rng.choice(available))
+            elif kind == "ctsel":
+                value = builder.ctsel(rng.choice(available),
+                                      rng.choice(available),
+                                      rng.choice(available))
+            else:
+                if in_bounds:
+                    index = Const(rng.randrange(0, array_cells))
+                else:
+                    index = Const(rng.randint(-2, array_cells + 1))
+                if kind == "load":
+                    value = builder.load("arr", index)
+                else:
+                    builder.store(rng.choice(available), "arr", index)
+            if value is not None:
+                available.append(value)
+                if position == 0:
+                    entry_values.append(value)
+
+        if position == n_blocks - 1:
+            builder.ret(rng.choice(available))
+        else:
+            successors = list(range(position + 1, n_blocks))
+            if rng.random() < 0.5:
+                builder.br(
+                    rng.choice(available),
+                    labels[rng.choice(successors)],
+                    labels[rng.choice(successors)],
+                )
+            else:
+                builder.jmp(labels[rng.choice(successors)])
+    return module
+
+
+def ir_module_inputs(seed: int, runs: int = 4, array_cells: int = IR_ARRAY_CELLS) -> list:
+    """Argument vectors matching :func:`random_ir_module`'s signature."""
+    rng = random.Random(seed ^ 0x1B)
+    return [
+        [
+            [rng.randint(-100, 100) for _ in range(array_cells)],
+            rng.randint(-100, 100),
+            rng.randint(-100, 100),
+        ]
+        for _ in range(max(2, runs))
+    ]
+
+
+# -- Hypothesis strategies (lazy; see module docstring) ----------------------
+
+_STRATEGY_EXPORTS = ("ir_modules", "argument_lists", "ARRAY_CELLS")
+
+
+def __getattr__(name: str):
+    if name in _STRATEGY_EXPORTS:
+        from repro.fuzz import strategies
+
+        return getattr(strategies, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

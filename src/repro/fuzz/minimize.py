@@ -1,0 +1,281 @@
+"""Deterministic delta-debugging over :class:`~repro.fuzz.spec.ProgramSpec`.
+
+Given a failing spec and a predicate ("does this spec still exhibit the
+target failure?"), :func:`minimize_spec` greedily applies the first
+size-reducing transformation that keeps the predicate true, restarting the
+(fixed-order) enumeration from the smaller spec, until no reduction
+applies or the check budget runs out.  No randomness is involved: the same
+spec and predicate always shrink to the same result, which is what lets
+the minimizer tests assert an exact minimal program and lets two fuzz
+campaigns produce byte-identical corpora.
+
+Candidate reductions, in the order tried (most aggressive first):
+
+1. drop a global / drop a helper function / drop an entry parameter;
+2. drop a statement; inline an ``if`` arm; unroll a ``for`` to a single
+   counter-substituted body copy or shrink its bound;
+3. collapse an expression to ``0``, ``1``, or one of its operands.
+
+Validity is delegated to the predicate: a candidate that breaks scoping
+or typing fails to compile, the predicate returns False (the engine maps
+:class:`~repro.fuzz.oracles.SampleInvalid` to False), and the candidate is
+simply rejected — the classic delta-debugging trick that keeps the
+reducer itself free of language knowledge.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Iterator
+
+from repro.fuzz.spec import (
+    ArrayDeclS,
+    AssignS,
+    BinE,
+    CallE,
+    CastE,
+    ConstE,
+    DeclS,
+    ExprStmtS,
+    ForS,
+    FuncSpec,
+    IfS,
+    LoadE,
+    ProgramSpec,
+    ReturnS,
+    StoreS,
+    TernE,
+    UnE,
+    VarE,
+)
+
+DEFAULT_MAX_CHECKS = 3000
+
+
+def minimize_spec(
+    spec: ProgramSpec,
+    predicate: Callable[[ProgramSpec], bool],
+    max_checks: int = DEFAULT_MAX_CHECKS,
+) -> tuple:
+    """Shrink ``spec`` while ``predicate`` stays true.
+
+    Returns ``(minimal_spec, checks_used)``.  ``predicate(spec)`` must be
+    true on entry (the caller established the failure); the result is
+    1-minimal with respect to the reduction set whenever the budget was
+    not exhausted.
+    """
+    checks = 0
+    improved = True
+    while improved and checks < max_checks:
+        improved = False
+        for candidate in _spec_reductions(spec):
+            checks += 1
+            if predicate(candidate):
+                spec = candidate
+                improved = True
+                break
+            if checks >= max_checks:
+                break
+    return spec, checks
+
+
+# -- reduction enumeration ---------------------------------------------------
+
+
+def _spec_reductions(spec: ProgramSpec) -> Iterator[ProgramSpec]:
+    # Drop a global.
+    for index in range(len(spec.globals)):
+        yield dataclasses.replace(
+            spec, globals=spec.globals[:index] + spec.globals[index + 1:]
+        )
+    # Drop a helper (never the entry, which is last).
+    for index in range(len(spec.functions) - 1):
+        yield dataclasses.replace(
+            spec,
+            functions=spec.functions[:index] + spec.functions[index + 1:],
+        )
+    # Drop an entry parameter.
+    entry = spec.entry_func
+    for index in range(len(entry.params)):
+        slimmed = dataclasses.replace(
+            entry, params=entry.params[:index] + entry.params[index + 1:]
+        )
+        yield dataclasses.replace(
+            spec, functions=spec.functions[:-1] + (slimmed,)
+        )
+    # Shrink one function body.
+    for index, func in enumerate(spec.functions):
+        for body in _body_reductions(func.body, top_level=True):
+            shrunk = dataclasses.replace(func, body=body)
+            yield dataclasses.replace(
+                spec,
+                functions=(
+                    spec.functions[:index] + (shrunk,)
+                    + spec.functions[index + 1:]
+                ),
+            )
+
+
+def _body_reductions(body: tuple, top_level: bool) -> Iterator[tuple]:
+    for index, stmt in enumerate(body):
+        keep_tail = top_level and index == len(body) - 1 and isinstance(
+            stmt, ReturnS
+        )
+        if not keep_tail:
+            yield body[:index] + body[index + 1:]
+        if isinstance(stmt, IfS):
+            yield body[:index] + stmt.then_body + body[index + 1:]
+            yield body[:index] + stmt.else_body + body[index + 1:]
+        if isinstance(stmt, ForS):
+            once = _substitute_body(stmt.body, stmt.var, ConstE(0))
+            yield body[:index] + once + body[index + 1:]
+            if stmt.bound > 1:
+                yield (body[:index]
+                       + (dataclasses.replace(stmt, bound=1),)
+                       + body[index + 1:])
+        for replacement in _stmt_reductions(stmt):
+            yield body[:index] + (replacement,) + body[index + 1:]
+
+
+def _stmt_reductions(stmt) -> Iterator:
+    if isinstance(stmt, DeclS):
+        for expr in _expr_reductions(stmt.init):
+            yield dataclasses.replace(stmt, init=expr)
+    elif isinstance(stmt, AssignS):
+        for expr in _expr_reductions(stmt.value):
+            yield dataclasses.replace(stmt, value=expr)
+    elif isinstance(stmt, StoreS):
+        for expr in _expr_reductions(stmt.value):
+            yield dataclasses.replace(stmt, value=expr)
+        for expr in _expr_reductions(stmt.index):
+            yield dataclasses.replace(stmt, index=expr)
+    elif isinstance(stmt, ReturnS):
+        for expr in _expr_reductions(stmt.value):
+            yield dataclasses.replace(stmt, value=expr)
+    elif isinstance(stmt, ExprStmtS):
+        for expr in _expr_reductions(stmt.expr):
+            yield dataclasses.replace(stmt, expr=expr)
+    elif isinstance(stmt, ArrayDeclS):
+        if stmt.inits:
+            yield dataclasses.replace(stmt, inits=())
+    elif isinstance(stmt, IfS):
+        for expr in _expr_reductions(stmt.cond):
+            yield dataclasses.replace(stmt, cond=expr)
+        for then_body in _body_reductions(stmt.then_body, top_level=False):
+            yield dataclasses.replace(stmt, then_body=then_body)
+        for else_body in _body_reductions(stmt.else_body, top_level=False):
+            yield dataclasses.replace(stmt, else_body=else_body)
+    elif isinstance(stmt, ForS):
+        for inner in _body_reductions(stmt.body, top_level=False):
+            yield dataclasses.replace(stmt, body=inner)
+
+
+def _expr_reductions(expr) -> Iterator:
+    """One-step shrinks of ``expr``, smallest replacements first."""
+    if not isinstance(expr, ConstE) or expr.value not in (0, 1):
+        yield ConstE(0)
+        yield ConstE(1)
+    if isinstance(expr, BinE):
+        yield expr.lhs
+        yield expr.rhs
+        for lhs in _expr_reductions(expr.lhs):
+            yield dataclasses.replace(expr, lhs=lhs)
+        for rhs in _expr_reductions(expr.rhs):
+            yield dataclasses.replace(expr, rhs=rhs)
+    elif isinstance(expr, UnE):
+        yield expr.operand
+        for operand in _expr_reductions(expr.operand):
+            yield dataclasses.replace(expr, operand=operand)
+    elif isinstance(expr, TernE):
+        yield expr.if_true
+        yield expr.if_false
+        for cond in _expr_reductions(expr.cond):
+            yield dataclasses.replace(expr, cond=cond)
+        for if_true in _expr_reductions(expr.if_true):
+            yield dataclasses.replace(expr, if_true=if_true)
+        for if_false in _expr_reductions(expr.if_false):
+            yield dataclasses.replace(expr, if_false=if_false)
+    elif isinstance(expr, CastE):
+        yield expr.operand
+        for operand in _expr_reductions(expr.operand):
+            yield dataclasses.replace(expr, operand=operand)
+    elif isinstance(expr, LoadE):
+        for index in _expr_reductions(expr.index):
+            yield dataclasses.replace(expr, index=index)
+    elif isinstance(expr, CallE):
+        for position, arg in enumerate(expr.args):
+            if isinstance(arg, str):
+                continue
+            yield arg
+            for reduced in _expr_reductions(arg):
+                yield dataclasses.replace(
+                    expr,
+                    args=(expr.args[:position] + (reduced,)
+                          + expr.args[position + 1:]),
+                )
+
+
+# -- counter substitution ----------------------------------------------------
+
+
+def _substitute_body(body: tuple, var: str, value) -> tuple:
+    return tuple(_substitute_stmt(stmt, var, value) for stmt in body)
+
+
+def _substitute_stmt(stmt, var: str, value):
+    sub = lambda e: _substitute_expr(e, var, value)  # noqa: E731
+    if isinstance(stmt, DeclS):
+        return dataclasses.replace(stmt, init=sub(stmt.init))
+    if isinstance(stmt, AssignS):
+        return dataclasses.replace(stmt, value=sub(stmt.value))
+    if isinstance(stmt, StoreS):
+        return dataclasses.replace(
+            stmt, index=sub(stmt.index), value=sub(stmt.value)
+        )
+    if isinstance(stmt, ReturnS):
+        return dataclasses.replace(stmt, value=sub(stmt.value))
+    if isinstance(stmt, ExprStmtS):
+        return dataclasses.replace(stmt, expr=sub(stmt.expr))
+    if isinstance(stmt, IfS):
+        return IfS(
+            sub(stmt.cond),
+            _substitute_body(stmt.then_body, var, value),
+            _substitute_body(stmt.else_body, var, value),
+        )
+    if isinstance(stmt, ForS):
+        if stmt.var == var:  # shadowed; cannot happen with fresh names
+            return stmt
+        return dataclasses.replace(
+            stmt, body=_substitute_body(stmt.body, var, value)
+        )
+    return stmt
+
+
+def _substitute_expr(expr, var: str, value):
+    if isinstance(expr, VarE):
+        return value if expr.name == var else expr
+    if isinstance(expr, BinE):
+        return BinE(expr.op, _substitute_expr(expr.lhs, var, value),
+                    _substitute_expr(expr.rhs, var, value))
+    if isinstance(expr, UnE):
+        return UnE(expr.op, _substitute_expr(expr.operand, var, value))
+    if isinstance(expr, TernE):
+        return TernE(
+            _substitute_expr(expr.cond, var, value),
+            _substitute_expr(expr.if_true, var, value),
+            _substitute_expr(expr.if_false, var, value),
+        )
+    if isinstance(expr, CastE):
+        return CastE(expr.type_name,
+                     _substitute_expr(expr.operand, var, value))
+    if isinstance(expr, LoadE):
+        return dataclasses.replace(
+            expr, index=_substitute_expr(expr.index, var, value)
+        )
+    if isinstance(expr, CallE):
+        return CallE(expr.callee, tuple(
+            arg if isinstance(arg, str)
+            else _substitute_expr(arg, var, value)
+            for arg in expr.args
+        ))
+    return expr

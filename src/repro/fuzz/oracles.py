@@ -1,0 +1,407 @@
+"""The differential engine: every oracle pair cross-checked on one sample.
+
+A *sample* is an IR module (compiled from a generated MiniC program, or
+produced directly by the IR-level generator) plus a deterministic set of
+argument vectors.  :func:`run_oracles` pushes it through the full
+pipeline and reports one :class:`OracleResult` per cross-check:
+
+========================  ====================================================
+oracle                    disagreement it detects
+========================  ====================================================
+``repair``                the repair pipeline crashes or emits invalid IR
+``semantics``             original vs repaired outputs differ on matched
+                          public inputs (Theorem 1)
+``backend``               interpreter vs compiled backend disagree on values,
+                          traces, cycles or step counts (either variant)
+``isochronicity``         repaired traces vary across inputs/secret pairs:
+                          operation variance, unpredicted data variance, or a
+                          memory-safety violation (Covenant 1)
+``static_dynamic``        the static certifier and the dynamic covenant
+                          disagree (certified-but-variant, or a genuine
+                          residual leak after repair)
+``opt_sanitize``          the optimizer changes semantics, breaks invariance,
+                          or trips the per-pass leakage sanitizer
+                          (``REPRO_OPT_SANITIZE`` machinery, forced on)
+========================  ====================================================
+
+``repair_fn`` is injectable so tests can plant a deliberately broken
+rewriting rule and assert the harness catches and minimizes it.
+All detail strings are deterministic — no timing, no object addresses —
+so a whole campaign's output is byte-for-byte reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from repro.ir.module import Module
+
+#: Oracle names in report order.
+ORACLES = (
+    "repair",
+    "semantics",
+    "backend",
+    "isochronicity",
+    "static_dynamic",
+    "opt_sanitize",
+)
+
+
+class SampleInvalid(Exception):
+    """The sample does not compile/validate — not a pipeline disagreement.
+
+    Raised for minimizer candidates that broke scoping or typing; the
+    shrinker treats it as "predicate not satisfied", never as a finding.
+    """
+
+
+@dataclass(frozen=True)
+class OracleResult:
+    name: str
+    ok: bool
+    detail: str = ""
+
+    def as_dict(self) -> dict:
+        return {"name": self.name, "ok": self.ok, "detail": self.detail}
+
+
+@dataclass
+class OracleReport:
+    """All cross-check verdicts for one sample."""
+
+    entry: str
+    results: list = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(r.ok for r in self.results)
+
+    @property
+    def failed(self) -> tuple:
+        return tuple(r.name for r in self.results if not r.ok)
+
+    def result(self, name: str) -> Optional[OracleResult]:
+        for entry in self.results:
+            if entry.name == name:
+                return entry
+        return None
+
+    def as_dict(self) -> dict:
+        return {
+            "entry": self.entry,
+            "ok": self.ok,
+            "results": [r.as_dict() for r in self.results],
+        }
+
+    def summary(self) -> str:
+        bad = ", ".join(
+            f"{r.name}[{r.detail}]" for r in self.results if not r.ok
+        )
+        return f"@{self.entry}: " + (bad if bad else "all oracles agree")
+
+
+def compile_sample(source: str, name: str = "sample") -> Module:
+    """Compile MiniC source, mapping front-end failures to SampleInvalid."""
+    from repro.frontend import compile_source
+
+    try:
+        return compile_source(source, name=name)
+    except Exception as error:  # parse/codegen/unroll/validate failure
+        raise SampleInvalid(f"{type(error).__name__}: {error}") from error
+
+
+def run_oracles(
+    module: Module,
+    entry: str,
+    inputs: Sequence[Sequence[object]],
+    secret_inputs: Optional[Sequence[Sequence[object]]] = None,
+    repair_fn: Optional[Callable[[Module], Module]] = None,
+    backends: tuple = ("interp", "compiled"),
+) -> OracleReport:
+    """Cross-check every oracle pair on ``module``/``entry``.
+
+    ``inputs`` are argument vectors for the *original* signature; vectors
+    must share array sizes (the isochronicity comparisons require it).
+    ``secret_inputs`` are the vectors that differ from each other only in
+    ``secret``-qualified parameters — the family the certifier's verdict is
+    compared against (certification promises *secret*-independence; public
+    inputs may legitimately steer addresses).  Defaults to ``inputs``,
+    which is correct when no parameter is marked secret (the analyses then
+    treat every input as sensitive — the paper's stance).
+    """
+    from repro.obs import OBS
+
+    report = OracleReport(entry=entry)
+    results = report.results
+
+    repaired, repair_result = _oracle_repair(module, repair_fn)
+    results.append(repair_result)
+    if repaired is None:
+        # Without a repaired module no other cross-check is defined.
+        if OBS.enabled:
+            OBS.counter("fuzz.oracle.repair.failed")
+        return report
+
+    if secret_inputs is None:
+        secret_inputs = inputs
+    adapted = _adapt(module, entry, inputs)
+    adapted_secret = _adapt(module, entry, secret_inputs)
+
+    results.append(_oracle_semantics(module, repaired, entry, inputs, adapted))
+    results.append(_oracle_backend(
+        module, repaired, entry, inputs, adapted, backends
+    ))
+    invariance, iso_result = _oracle_isochronicity(
+        module, repaired, entry, adapted
+    )
+    results.append(iso_result)
+    results.append(_oracle_static_dynamic(
+        module, repaired, entry, secret_inputs, adapted_secret
+    ))
+    results.append(_oracle_opt_sanitize(module, repaired, entry, adapted))
+
+    if OBS.enabled:
+        for result in results:
+            OBS.counter(f"fuzz.oracle.{result.name}.checked")
+            if not result.ok:
+                OBS.counter(f"fuzz.oracle.{result.name}.failed")
+    return report
+
+
+# -- individual oracles ------------------------------------------------------
+
+
+def _adapt(module: Module, entry: str, inputs) -> list:
+    from repro.verify.covenant import adapt_inputs
+
+    return adapt_inputs(module, entry, inputs)
+
+
+def _oracle_repair(module, repair_fn):
+    from repro.core.repair import repair_module
+    from repro.ir.validate import diagnose_module
+
+    repair = repair_fn or repair_module
+    try:
+        repaired = repair(module)
+    except Exception as error:
+        return None, OracleResult(
+            "repair", False, f"exception {type(error).__name__}: {error}"
+        )
+    errors = [
+        d.rule for d in diagnose_module(repaired) if d.severity == "error"
+    ]
+    if errors:
+        return None, OracleResult(
+            "repair", False, f"invalid IR after repair: {sorted(set(errors))}"
+        )
+    return repaired, OracleResult("repair", True)
+
+
+def _oracle_semantics(module, repaired, entry, inputs, adapted):
+    from repro.verify.isochronicity import compare_semantics
+
+    try:
+        preserved = compare_semantics(
+            module, repaired, entry, inputs, adapted
+        )
+    except Exception as error:
+        return OracleResult(
+            "semantics", False, f"exception {type(error).__name__}: {error}"
+        )
+    if not preserved:
+        return OracleResult(
+            "semantics", False,
+            "original and repaired outputs differ on matched inputs",
+        )
+    return OracleResult("semantics", True)
+
+
+def _run_traced(module, entry, args, backend):
+    from repro.exec.backend import make_executor
+
+    executor = make_executor(
+        module, backend=backend, strict_memory=False, record_trace=True
+    )
+    return executor.run(entry, list(args))
+
+
+def _oracle_backend(module, repaired, entry, inputs, adapted, backends):
+    if len(backends) < 2:
+        return OracleResult("backend", True, "single backend; skipped")
+    ref, alt = backends[0], backends[1]
+    try:
+        for label, mod, vectors in (
+            ("original", module, inputs),
+            ("repaired", repaired, adapted),
+        ):
+            for index, args in enumerate(vectors):
+                a = _run_traced(mod, entry, args, ref)
+                b = _run_traced(mod, entry, args, alt)
+                mismatch = _compare_runs(a, b)
+                if mismatch:
+                    return OracleResult(
+                        "backend", False,
+                        f"{ref} vs {alt} disagree on {label} input #{index}: "
+                        f"{mismatch}",
+                    )
+    except Exception as error:
+        return OracleResult(
+            "backend", False, f"exception {type(error).__name__}: {error}"
+        )
+    return OracleResult("backend", True)
+
+
+def _compare_runs(a, b) -> str:
+    if a.outputs() != b.outputs():
+        return "outputs"
+    if a.cycles != b.cycles:
+        return f"cycles ({a.cycles} != {b.cycles})"
+    if a.steps != b.steps:
+        return f"steps ({a.steps} != {b.steps})"
+    if a.trace.operation_signature() != b.trace.operation_signature():
+        return "operation trace"
+    if a.trace.data_signature() != b.trace.data_signature():
+        return "data trace"
+    if len(a.violations) != len(b.violations):
+        return "violation counts"
+    return ""
+
+
+def _oracle_isochronicity(module, repaired, entry, adapted):
+    from repro.analysis.data_consistency import classify_data_consistency
+    from repro.verify.isochronicity import check_invariance
+
+    try:
+        invariance = check_invariance(repaired, entry, adapted)
+        prediction = classify_data_consistency(module, entry)
+    except Exception as error:
+        return None, OracleResult(
+            "isochronicity", False,
+            f"exception {type(error).__name__}: {error}",
+        )
+    problems = []
+    if not invariance.operation_invariant:
+        problems.append("operation trace varies across inputs")
+    elif len(set(invariance.cycles)) > 1:
+        problems.append("cycle counts vary despite operation invariance")
+    if not invariance.memory_safe:
+        problems.append(
+            f"{len(invariance.violations)} access violation(s) in repaired code"
+        )
+    if prediction.repaired_data_invariant and not invariance.data_invariant:
+        problems.append(
+            "data trace varies although the classifier predicted invariance"
+        )
+    if problems:
+        return invariance, OracleResult(
+            "isochronicity", False, "; ".join(problems)
+        )
+    return invariance, OracleResult("isochronicity", True)
+
+
+def _oracle_static_dynamic(module, repaired, entry, secret_inputs,
+                           adapted_secret):
+    from repro.statics.certifier import certify_entry
+    from repro.verify.isochronicity import check_invariance
+
+    try:
+        certification = certify_entry(repaired, entry)
+    except Exception as error:
+        return OracleResult(
+            "static_dynamic", False,
+            f"exception {type(error).__name__}: {error}",
+        )
+    if certification.genuine_failures:
+        return OracleResult(
+            "static_dynamic", False,
+            "certifier found residual secret-steered branches after repair: "
+            f"{certification.genuine_failures}",
+        )
+    if not certification.operation_leak_free:
+        return OracleResult(
+            "static_dynamic", False,
+            "certifier found residual operation leaks after repair in "
+            f"{certification.residual_functions}",
+        )
+    # Certification promises secret-independence, so the dynamic comparison
+    # runs over vectors differing only in secret parameters.
+    try:
+        secret_invariance = check_invariance(repaired, entry, adapted_secret)
+        if not secret_invariance.operation_invariant:
+            return OracleResult(
+                "static_dynamic", False,
+                "certifier calls the repaired module operation-leak-free but "
+                "its operation trace varies under secret changes",
+            )
+        if certification.all_certified and not secret_invariance.data_invariant:
+            return OracleResult(
+                "static_dynamic", False,
+                "repaired module is CERTIFIED_CONSTANT_TIME but its data "
+                "trace varies under secret changes",
+            )
+        # Sound direction on the original: a fully certified original must
+        # be dynamically invariant under secret changes too.
+        original_cert = certify_entry(module, entry)
+        if original_cert.all_certified:
+            original_invariance = check_invariance(module, entry, secret_inputs)
+            if not original_invariance.isochronous:
+                return OracleResult(
+                    "static_dynamic", False,
+                    "original is CERTIFIED_CONSTANT_TIME but dynamically "
+                    "variant under secret changes",
+                )
+    except Exception as error:
+        return OracleResult(
+            "static_dynamic", False,
+            f"exception {type(error).__name__}: {error}",
+        )
+    return OracleResult("static_dynamic", True)
+
+
+def _oracle_opt_sanitize(module, repaired, entry, adapted):
+    from repro.analysis.data_consistency import classify_data_consistency
+    from repro.opt.pipeline import optimize
+    from repro.opt.sanitize import LeakSanitizerError
+    from repro.verify.isochronicity import check_invariance, compare_semantics
+
+    try:
+        optimized = optimize(repaired, sanitize=True)
+    except LeakSanitizerError as error:
+        return OracleResult(
+            "opt_sanitize", False,
+            f"sanitizer tripped on repaired code: {error}",
+        )
+    except Exception as error:
+        return OracleResult(
+            "opt_sanitize", False,
+            f"exception {type(error).__name__}: {error}",
+        )
+    try:
+        if not compare_semantics(
+            repaired, optimized, entry, adapted, adapted,
+            strict_original=False,
+        ):
+            return OracleResult(
+                "opt_sanitize", False,
+                "optimizing the repaired module changed its semantics",
+            )
+        invariance = check_invariance(optimized, entry, adapted)
+        if not invariance.operation_invariant:
+            return OracleResult(
+                "opt_sanitize", False,
+                "optimized repaired module lost operation invariance",
+            )
+        prediction = classify_data_consistency(module, entry)
+        if prediction.repaired_data_invariant and not invariance.data_invariant:
+            return OracleResult(
+                "opt_sanitize", False,
+                "optimized repaired module lost predicted data invariance",
+            )
+    except Exception as error:
+        return OracleResult(
+            "opt_sanitize", False,
+            f"exception {type(error).__name__}: {error}",
+        )
+    return OracleResult("opt_sanitize", True)

@@ -1,0 +1,292 @@
+"""Structured MiniC program specs — the fuzzer's genotype.
+
+The generator does not emit MiniC text directly: it builds a small tree of
+frozen dataclasses (a :class:`ProgramSpec`) and renders that to source.
+The indirection is what makes delta-debugging tractable — the minimizer
+shrinks the *tree* (drop a statement, inline an ``if`` arm, collapse an
+expression to one of its operands) and re-renders, instead of trying to
+edit text, and every candidate reduction is re-validated by simply
+recompiling the render (see :mod:`repro.fuzz.minimize`).
+
+The spec deliberately covers the whole MiniC surface the repair pipeline
+accepts: secret/public scalar and pointer parameters, const and writable
+globals, fixed-size local arrays, nested ``if``/``for`` with static
+bounds, calls (including pointer arguments), the ``?:`` ctsel idiom,
+casts, and the full operator set.  Indices are always rendered masked to
+the array size (sizes are powers of two), so every rendered program is
+memory safe by construction — out-of-bounds behaviour is the *repair
+transform's* concern, and feeding it unsafe originals would make the
+strict-memory semantic oracle ill-defined.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+# -- expressions -------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ConstE:
+    value: int
+
+
+@dataclass(frozen=True)
+class VarE:
+    name: str
+
+
+@dataclass(frozen=True)
+class LoadE:
+    """``array[index & (size-1)]`` — the mask is added by the renderer."""
+
+    array: str
+    index: "Expr"
+    mask: int  # size-1; 0 means "render the index unmasked (already safe)"
+
+
+@dataclass(frozen=True)
+class UnE:
+    op: str  # - ! ~
+    operand: "Expr"
+
+
+@dataclass(frozen=True)
+class BinE:
+    op: str
+    lhs: "Expr"
+    rhs: "Expr"
+
+
+@dataclass(frozen=True)
+class TernE:
+    cond: "Expr"
+    if_true: "Expr"
+    if_false: "Expr"
+
+
+@dataclass(frozen=True)
+class CastE:
+    type_name: str  # u8 | u32 | uint
+    operand: "Expr"
+
+
+@dataclass(frozen=True)
+class CallE:
+    """A call; pointer arguments are array *names* (MiniC requires that)."""
+
+    callee: str
+    args: tuple  # of Expr (scalars) or str (array names, for pointer params)
+
+
+Expr = Union[ConstE, VarE, LoadE, UnE, BinE, TernE, CastE, CallE]
+
+
+# -- statements --------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DeclS:
+    type_name: str
+    name: str
+    init: Expr
+
+
+@dataclass(frozen=True)
+class ArrayDeclS:
+    elem_type: str
+    name: str
+    size: int  # power of two
+    inits: tuple  # of int
+
+
+@dataclass(frozen=True)
+class AssignS:
+    name: str
+    value: Expr
+
+
+@dataclass(frozen=True)
+class StoreS:
+    array: str
+    index: Expr
+    mask: int
+    value: Expr
+
+
+@dataclass(frozen=True)
+class IfS:
+    cond: Expr
+    then_body: tuple  # of Stmt
+    else_body: tuple  # of Stmt
+
+
+@dataclass(frozen=True)
+class ForS:
+    var: str
+    bound: int  # literal constant bound, counter runs 0..bound-1
+    body: tuple  # of Stmt
+
+
+@dataclass(frozen=True)
+class ReturnS:
+    value: Expr
+
+
+@dataclass(frozen=True)
+class ExprStmtS:
+    expr: Expr
+
+
+Stmt = Union[DeclS, ArrayDeclS, AssignS, StoreS, IfS, ForS, ReturnS, ExprStmtS]
+
+
+# -- top level ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ParamSpec:
+    name: str
+    type_name: str  # uint | u32 | u8
+    pointer: bool = False
+    secret: bool = False
+    size: int = 0  # logical array length for pointer params (power of two)
+
+
+@dataclass(frozen=True)
+class GlobalSpec:
+    name: str
+    elem_type: str
+    size: int
+    inits: tuple  # of int
+    const: bool = True
+
+
+@dataclass(frozen=True)
+class FuncSpec:
+    name: str
+    return_type: str
+    params: tuple  # of ParamSpec
+    body: tuple  # of Stmt
+
+
+@dataclass(frozen=True)
+class ProgramSpec:
+    globals: tuple  # of GlobalSpec
+    functions: tuple  # of FuncSpec; the last one is the entry point
+
+    @property
+    def entry(self) -> str:
+        return self.functions[-1].name
+
+    @property
+    def entry_func(self) -> FuncSpec:
+        return self.functions[-1]
+
+
+# -- rendering ---------------------------------------------------------------
+
+_TIGHT = {"*", "/", "%"}
+
+
+def render_expr(expr: Expr) -> str:
+    if isinstance(expr, ConstE):
+        return str(expr.value)
+    if isinstance(expr, VarE):
+        return expr.name
+    if isinstance(expr, LoadE):
+        return f"{expr.array}[{_render_index(expr)}]"
+    if isinstance(expr, UnE):
+        return f"{expr.op}({render_expr(expr.operand)})"
+    if isinstance(expr, BinE):
+        return f"({render_expr(expr.lhs)} {expr.op} {render_expr(expr.rhs)})"
+    if isinstance(expr, TernE):
+        return (
+            f"(({render_expr(expr.cond)}) ? ({render_expr(expr.if_true)}) "
+            f": ({render_expr(expr.if_false)}))"
+        )
+    if isinstance(expr, CastE):
+        return f"(({expr.type_name}) ({render_expr(expr.operand)}))"
+    if isinstance(expr, CallE):
+        args = ", ".join(
+            arg if isinstance(arg, str) else render_expr(arg)
+            for arg in expr.args
+        )
+        return f"{expr.callee}({args})"
+    raise TypeError(f"unknown expression {expr!r}")
+
+
+def _render_index(access) -> str:
+    if access.mask <= 0:
+        return render_expr(access.index)
+    return f"({render_expr(access.index)}) & {access.mask}"
+
+
+def render_stmt(stmt: Stmt, indent: int) -> list:
+    pad = "  " * indent
+    if isinstance(stmt, DeclS):
+        return [f"{pad}{stmt.type_name} {stmt.name} = {render_expr(stmt.init)};"]
+    if isinstance(stmt, ArrayDeclS):
+        init = ""
+        if stmt.inits:
+            init = " = {" + ", ".join(str(v) for v in stmt.inits) + "}"
+        return [f"{pad}{stmt.elem_type} {stmt.name}[{stmt.size}]{init};"]
+    if isinstance(stmt, AssignS):
+        return [f"{pad}{stmt.name} = {render_expr(stmt.value)};"]
+    if isinstance(stmt, StoreS):
+        return [
+            f"{pad}{stmt.array}[{_render_index(stmt)}] = "
+            f"{render_expr(stmt.value)};"
+        ]
+    if isinstance(stmt, IfS):
+        lines = [f"{pad}if ({render_expr(stmt.cond)}) {{"]
+        for inner in stmt.then_body:
+            lines.extend(render_stmt(inner, indent + 1))
+        if stmt.else_body:
+            lines.append(f"{pad}}} else {{")
+            for inner in stmt.else_body:
+                lines.extend(render_stmt(inner, indent + 1))
+        lines.append(f"{pad}}}")
+        return lines
+    if isinstance(stmt, ForS):
+        lines = [
+            f"{pad}for (uint {stmt.var} = 0; {stmt.var} < {stmt.bound}; "
+            f"{stmt.var} = {stmt.var} + 1) {{"
+        ]
+        for inner in stmt.body:
+            lines.extend(render_stmt(inner, indent + 1))
+        lines.append(f"{pad}}}")
+        return lines
+    if isinstance(stmt, ReturnS):
+        return [f"{pad}return {render_expr(stmt.value)};"]
+    if isinstance(stmt, ExprStmtS):
+        return [f"{pad}{render_expr(stmt.expr)};"]
+    raise TypeError(f"unknown statement {stmt!r}")
+
+
+def render_param(param: ParamSpec) -> str:
+    secret = "secret " if param.secret else ""
+    star = "*" if param.pointer else ""
+    return f"{secret}{param.type_name} {star}{param.name}"
+
+
+def render_program(spec: ProgramSpec) -> str:
+    """Deterministic MiniC source for ``spec`` (stable across processes)."""
+    lines: list = []
+    for glob in spec.globals:
+        const = "const " if glob.const else ""
+        init = ""
+        if glob.inits:
+            init = " = {" + ", ".join(str(v) for v in glob.inits) + "}"
+        lines.append(f"{const}{glob.elem_type} {glob.name}[{glob.size}]{init};")
+    if spec.globals:
+        lines.append("")
+    for func in spec.functions:
+        params = ", ".join(render_param(p) for p in func.params)
+        lines.append(f"{func.return_type} {func.name}({params}) {{")
+        for stmt in func.body:
+            lines.extend(render_stmt(stmt, 1))
+        lines.append("}")
+        lines.append("")
+    return "\n".join(lines).rstrip() + "\n"

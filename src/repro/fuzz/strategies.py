@@ -1,0 +1,137 @@
+"""Hypothesis strategies for random well-formed IR programs.
+
+Promoted from ``tests/property/generators.py`` (which now re-exports this
+module) so the property tests and the fuzz subsystem share one generator
+family.  The strategies gained size/feature knobs; calling them with no
+arguments reproduces the original behaviour, keeping the existing property
+tests untouched.
+
+The generator builds acyclic, single-function modules:
+
+* one pointer parameter (an array of ``array_cells`` cells) and two integer
+  parameters;
+* a DAG of basic blocks in topological order; conditional branches only
+  target later blocks, the final block returns;
+* instructions use only names defined earlier in the *same* block, the
+  entry block, or the parameters — which guarantees SSA dominance without
+  needing phis (phi-specific behaviour is covered by the unit tests).
+
+Memory accesses use indices with ``index_slack`` cells of out-of-bounds
+room on each side, so both in-bounds and out-of-bounds paths are
+generated; the repair properties run them with the memory model in the
+mode appropriate to the property being checked.  Hypothesis is imported
+here and only here — ``lif fuzz`` itself runs on the seeded generators in
+:mod:`repro.fuzz.generators` and never needs it.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.ir.builder import IRBuilder
+from repro.ir.function import Function, Param
+from repro.ir.module import Module
+from repro.ir.values import Const, Var
+
+ARRAY_CELLS = 4
+
+_BINOPS = ("+", "-", "*", "&", "|", "^", "<<", ">>", "==", "!=", "<", "<=")
+_UNOPS = ("-", "!", "~")
+
+
+@st.composite
+def ir_modules(
+    draw,
+    max_blocks: int = 5,
+    max_instrs: int = 5,
+    array_cells: int = ARRAY_CELLS,
+    index_slack: int = 2,
+) -> Module:
+    """A random acyclic single-function module."""
+    n_blocks = draw(st.integers(min_value=1, max_value=max_blocks))
+    module = Module("random")
+    function = Function(
+        "f", [Param("arr", "ptr"), Param("x", "int"), Param("y", "int")]
+    )
+    module.add_function(function)
+    builder = IRBuilder(function, name_prefix="v")
+
+    labels = [f"b{i}" for i in range(n_blocks)]
+    for label in labels:
+        function.add_block(label)
+
+    entry_values: list = [Var("x"), Var("y"), Const(draw(_small_ints()))]
+
+    for position, label in enumerate(labels):
+        builder.position_at(function.blocks[label])
+        # Values usable here: params/entry defs + defs earlier in this block.
+        available = list(entry_values)
+        n_instrs = draw(st.integers(min_value=1, max_value=max_instrs))
+        for _ in range(n_instrs):
+            value = _emit_instruction(
+                draw, builder, available, array_cells, index_slack
+            )
+            if value is not None:
+                available.append(value)
+                if position == 0:
+                    entry_values.append(value)
+
+        if position == n_blocks - 1:
+            builder.ret(draw(st.sampled_from(available)))
+        else:
+            successors = list(range(position + 1, n_blocks))
+            if draw(st.booleans()) and len(successors) >= 1:
+                target_a = labels[draw(st.sampled_from(successors))]
+                target_b = labels[draw(st.sampled_from(successors))]
+                builder.br(draw(st.sampled_from(available)), target_a, target_b)
+            else:
+                builder.jmp(labels[draw(st.sampled_from(successors))])
+
+    # Unreachable blocks (both br arms skipping a block) may lack content;
+    # the preprocessing pipeline removes them — that's part of what we test.
+    return module
+
+
+def _small_ints():
+    return st.integers(min_value=-8, max_value=8)
+
+
+def _emit_instruction(draw, builder: IRBuilder, available, array_cells,
+                      index_slack):
+    kind = draw(st.sampled_from(("binop", "unop", "ctsel", "load", "store")))
+    if kind == "binop":
+        op = draw(st.sampled_from(_BINOPS))
+        lhs = draw(st.sampled_from(available))
+        rhs = draw(st.one_of(st.sampled_from(available),
+                             _small_ints().map(Const)))
+        return builder.binop(op, lhs, rhs)
+    if kind == "unop":
+        return builder.unop(draw(st.sampled_from(_UNOPS)),
+                            draw(st.sampled_from(available)))
+    if kind == "ctsel":
+        return builder.ctsel(
+            draw(st.sampled_from(available)),
+            draw(st.sampled_from(available)),
+            draw(st.sampled_from(available)),
+        )
+    index = Const(draw(st.integers(
+        min_value=-index_slack, max_value=array_cells + index_slack - 1
+    )))
+    if kind == "load":
+        return builder.load("arr", index)
+    builder.store(draw(st.sampled_from(available)), "arr", index)
+    return None
+
+
+@st.composite
+def argument_lists(draw, array_cells: int = ARRAY_CELLS) -> list:
+    """Arguments matching the generated function's signature."""
+    array = draw(
+        st.lists(
+            st.integers(min_value=-100, max_value=100),
+            min_size=array_cells, max_size=array_cells,
+        )
+    )
+    x = draw(st.integers(min_value=-100, max_value=100))
+    y = draw(st.integers(min_value=-100, max_value=100))
+    return [array, x, y]

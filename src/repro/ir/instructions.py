@@ -257,12 +257,23 @@ class CtSel(Instruction):
     single branch-free operation (the paper assumes hardware support, e.g.
     ARM conditional moves; :mod:`repro.core.ctsel_lowering` expands it into
     bitwise arithmetic for targets without one).
+
+    ``guard`` marks the repair pass's memory-safety selects (safe index,
+    safe array, store write-back).  Under a valid contract their condition
+    is true on every real execution, so the selected value is always
+    ``if_true`` — the taint analyses may therefore ignore the condition's
+    value on the data channel for guards, but must NOT for ordinary
+    selects (a source ternary on a secret encodes the secret in its
+    result).  The flag is serialized as a trailing ``, guard`` marker so
+    it survives the artifact cache's text round-trip; hand-written IR
+    without the marker is conservatively treated as non-guard.
     """
 
     dest: str
     cond: Value
     if_true: Value
     if_false: Value
+    guard: bool = False
 
     def uses(self) -> list[Value]:
         return [self.cond, self.if_true, self.if_false]
@@ -273,6 +284,7 @@ class CtSel(Instruction):
             _substitute_value(self.cond, mapping),
             _substitute_value(self.if_true, mapping),
             _substitute_value(self.if_false, mapping),
+            guard=self.guard,
         )
 
     def used_vars(self) -> list[str]:
@@ -283,7 +295,11 @@ class CtSel(Instruction):
         ]
 
     def __str__(self) -> str:
-        return f"{self.dest} = ctsel {self.cond}, {self.if_true}, {self.if_false}"
+        suffix = ", guard" if self.guard else ""
+        return (
+            f"{self.dest} = ctsel {self.cond}, {self.if_true},"
+            f" {self.if_false}{suffix}"
+        )
 
 
 @dataclass(frozen=True)

@@ -308,7 +308,11 @@ class _Parser:
             if_true = self._parse_value()
             self._expect("PUNCT", ",")
             if_false = self._parse_value()
-            return CtSel(dest, cond, if_true, if_false)
+            guard = False
+            if self._accept("PUNCT", ","):
+                self._expect("NAME", "guard")
+                guard = True
+            return CtSel(dest, cond, if_true, if_false, guard=guard)
         if op.text == "phi":
             arms = [self._parse_phi_arm()]
             while self._accept("PUNCT", ","):
@@ -443,9 +447,13 @@ def _fast_instruction(line: str):
         return Load(dest, array, index)
     if rhs.startswith("ctsel "):
         parts = rhs[6:].split(", ")
+        guard = False
+        if len(parts) == 4 and parts[3] == "guard":
+            guard = True
+            parts = parts[:3]
         if len(parts) != 3:
             raise _FastParseError
-        return CtSel(dest, *(_fast_value(p) for p in parts))
+        return CtSel(dest, *(_fast_value(p) for p in parts), guard=guard)
     if rhs.startswith("phi "):
         arms = rhs[4:]
         if not arms.startswith("[") or not arms.endswith("]"):

@@ -46,7 +46,15 @@ def _key(instr) -> "tuple | None":
             return ("un", expr.op, _rep(expr.operand))
         return None  # plain copies are copy-propagation's job
     if isinstance(instr, CtSel):
-        return ("sel", _rep(instr.cond), _rep(instr.if_true), _rep(instr.if_false))
+        # guard is part of the key: merging a guard select into an ordinary
+        # one (or vice versa) would change how the taint channels treat it.
+        return (
+            "sel",
+            instr.guard,
+            _rep(instr.cond),
+            _rep(instr.if_true),
+            _rep(instr.if_false),
+        )
     return None
 
 

@@ -11,16 +11,20 @@ Two value-taint channels are tracked per variable:
 * **full** — any dependence on a secret, including the selector operand of
   a ``ctsel``.  Branch predicates are judged on this channel (a branch on
   a secret-selected boolean is an operation leak).
-* **data** — dependence through data operands only: a ``ctsel`` result is
-  data-tainted when one of its *arms* is, not when only its selector is.
-  Memory indices are judged on this channel.  The repair's guarded access
-  ``idx' = ctsel(c | in-bounds, idx, 0)`` therefore stays clean when
-  ``idx`` is public, which is exactly the paper's covenant: under a valid
-  contract the guard condition is true on every real execution, so the
-  selected address *is* the original public address.  An index that is
-  full- but not data-tainted is still surfaced as a ``CT-SELECTOR-INDEX``
-  warning by the certifier (the address set is bounded by the two public
-  arms, but a sound tool should say so rather than stay silent).
+* **data** — dependence through value-carrying operands.  Memory indices
+  are judged on this channel.  An ordinary ``ctsel`` *computes* with its
+  selector — a secret condition choosing between two distinct public arms
+  encodes the secret in the result (the frontend lowers source ternaries
+  this way) — so its result is data-tainted when the selector *or* either
+  arm is.  A repair **guard** select (``CtSel.guard``, e.g.
+  ``idx' = ctsel(c | in-bounds, idx, 0)``) is the one exception: under a
+  valid contract the condition is true on every real execution, so the
+  selected value *is* the ``if_true`` arm and only that arm's data taint
+  flows through — exactly the paper's covenant, and what keeps a repaired
+  public-index access clean.  A guard whose result is full- but not
+  data-tainted is still surfaced as a ``CT-SELECTOR-INDEX`` warning by
+  the certifier (the address set is bounded by the two public arms, but a
+  sound tool should say so rather than stay silent).
 
 Pointer values carry *alias sets* (which memory regions they may name:
 pointer parameters, ``alloc`` results, module globals); region contents
@@ -288,10 +292,22 @@ class _FunctionAnalysis:
 
         full = implicit or any(v in self.full for v in instr.used_vars())
         if isinstance(instr, CtSel):
+            if instr.guard:
+                # Repair guard: the condition is true on every real
+                # execution (Covenant 1), so the selected value is always
+                # the first arm — the condition and the dead arm carry no
+                # data dependence into it.
+                arms = (instr.if_true,)
+                operands = arms
+            else:
+                # An ordinary select *computes* with its condition: a
+                # secret condition choosing between distinct public arms
+                # yields a secret value (e.g. the frontend's ternary
+                # lowering) — ignoring it certified real data leaks.
+                arms = (instr.if_true, instr.if_false)
+                operands = (instr.cond,) + arms
             data = implicit or any(
-                v.name in self.data
-                for v in (instr.if_true, instr.if_false)
-                if isinstance(v, Var)
+                v.name in self.data for v in operands if isinstance(v, Var)
             )
             arm_aliases = self._alias_set_of_value(
                 instr.if_true

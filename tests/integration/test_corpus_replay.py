@@ -1,0 +1,50 @@
+"""Replay the committed reproducer corpus as ordinary pytest cases.
+
+Every case under ``tests/corpus/`` is a regression seed (a minimized
+reproducer for a since-fixed bug) or a hard program; the corpus policy
+(``docs/FUZZING.md``) requires all of them to pass the full oracle battery
+at head.  This test is what turns the corpus into a standing gate: a
+reintroduced bug fails here with the exact minimized program that first
+exposed it, without running a fuzz campaign.
+"""
+
+import pytest
+
+from repro.fuzz.corpus import DEFAULT_CORPUS_DIR, load_corpus, replay_case
+from repro.fuzz.oracles import ORACLES
+
+CORPUS_DIR = DEFAULT_CORPUS_DIR
+CASES = load_corpus(CORPUS_DIR)
+
+
+def test_corpus_is_present():
+    # The repo ships at least the four triaged regression seeds from the
+    # initial campaigns (docs/FUZZING.md).
+    assert len(CASES) >= 4
+
+
+def test_corpus_files_are_paired():
+    # Every .json has its program text and vice versa — a stray file means
+    # a half-committed case.
+    suffixes = {".mc", ".ir", ".json"}
+    stems = {}
+    for path in CORPUS_DIR.iterdir():
+        assert path.suffix in suffixes, f"unexpected corpus file {path}"
+        stems.setdefault(path.stem, set()).add(path.suffix)
+    for stem, found in stems.items():
+        assert ".json" in found and len(found) == 2, (
+            f"case {stem} is missing its metadata or program file"
+        )
+
+
+@pytest.mark.parametrize(
+    "case", CASES, ids=[case.case_id for case in CASES]
+)
+def test_corpus_case_passes_all_oracles(case):
+    report = replay_case(case)
+    assert report.ok, (
+        f"{case.case_id}: oracles {report.failed} regressed "
+        f"(note: {case.note or 'none'})"
+    )
+    # A full replay exercises the complete battery, not a subset.
+    assert tuple(r.name for r in report.results) == ORACLES

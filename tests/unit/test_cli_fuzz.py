@@ -1,0 +1,40 @@
+"""The ``lif fuzz`` subcommand."""
+
+from repro.cli import main
+
+
+def test_fuzz_smoke_run_prints_summary(capsys):
+    assert main(["fuzz", "--seed", "5", "-n", "3", "--no-minimize"]) == 0
+    out = capsys.readouterr().out
+    assert out.startswith("fuzz seed=5 iterations=3")
+    assert "oracle repair" in out
+    assert "oracle opt_sanitize" in out
+    assert "failures: 0" in out
+
+
+def test_fuzz_is_reproducible_across_invocations(capsys):
+    assert main(["fuzz", "--seed", "2", "-n", "2", "--no-minimize"]) == 0
+    first = capsys.readouterr().out
+    assert main(["fuzz", "--seed", "2", "-n", "2", "--no-minimize"]) == 0
+    second = capsys.readouterr().out
+    assert first == second
+
+
+def test_fuzz_ir_fraction_zero_generates_only_minic(capsys):
+    assert main([
+        "fuzz", "--seed", "1", "-n", "2", "--no-minimize",
+        "--ir-fraction", "0",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "(minic=2, ir=0, invalid=0)" in out
+
+
+def test_fuzz_help_lists_knobs(capsys):
+    try:
+        main(["fuzz", "--help"])
+    except SystemExit as stop:
+        assert stop.code == 0
+    out = capsys.readouterr().out
+    for flag in ("--seed", "--iterations", "--jobs", "--no-minimize",
+                 "--store", "--corpus-dir", "--ir-fraction"):
+        assert flag in out

@@ -1,0 +1,234 @@
+"""The differential oracle battery, one unit test per cross-check.
+
+Each oracle is exercised in both directions: it stays green on the real
+pipeline, and it fires when a deliberately broken ``repair_fn`` (or a
+mis-specified input family) reintroduces exactly the disagreement that
+oracle exists to detect.
+"""
+
+import pytest
+
+from repro.core.repair import repair_module
+from repro.fuzz.oracles import ORACLES, SampleInvalid, compile_sample, run_oracles
+from repro.ir import parse_module
+from repro.ir.instructions import Mov, Ret
+from repro.ir.values import Const, Var
+
+# A secret-steered branch plus a secret-indexed store: the repair has real
+# work to do on every clause, so all six oracles get a meaty sample.
+LEAKY_SRC = """
+u32 f(secret uint s, uint p) {
+  uint acc = p;
+  uint tab[4] = {1, 2, 3, 4};
+  if (s < p) {
+    acc = acc + tab[(s) & 3];
+  }
+  tab[(s) & 3] = acc;
+  return acc + tab[0];
+}
+"""
+
+INPUTS = [[5, 9], [200, 9], [7, 3]]
+#: differ from INPUTS[0] only in the secret parameter ``s``
+SECRET_INPUTS = [[5, 9], [61, 9], [250, 9]]
+
+# An original that is constant-time as written: certified up front, so the
+# static↔dynamic oracle also runs its sound-direction check on the original.
+CT_SRC = """
+u32 f(secret uint s, uint p) {
+  return (s ^ p) + 1;
+}
+"""
+
+# The shape of fuzz seed 1 (see docs/FUZZING.md): a *public* scalar steers
+# a table load.  Certification promises secret-independence only, so the
+# certified↔dynamic comparison must run on the secret family, not on
+# vectors whose public inputs vary.
+PUBLIC_INDEX_SRC = """
+const uint g0[4] = {7, 11, 13, 17};
+
+u32 fuzz_entry(secret u8 *p1, uint n0) {
+  return g0[(n0) & 3];
+}
+"""
+
+# A "repair" that hands the leaky module straight back: the secret-steered
+# branch survives, which is exactly what the dynamic and static oracles
+# must both flag.  (Scalar-only entry: the repaired signature contract adds
+# no length/cond parameters, so the identity keeps the arity valid.)
+LEAKY_ORIGINAL_IR = """
+func @f(s: int) {
+entry:
+  p0 = mov s < 3
+  br p0, a, b
+a:
+  x = mov 1
+  jmp c
+b:
+  y = mov 2
+  jmp c
+c:
+  r = phi [x, a], [y, b]
+  ret r
+}
+"""
+
+
+def test_all_oracles_pass_on_repairable_program():
+    module = compile_sample(LEAKY_SRC)
+    report = run_oracles(module, "f", INPUTS, secret_inputs=SECRET_INPUTS)
+    assert [r.name for r in report.results] == list(ORACLES)
+    assert report.ok, report.summary()
+
+
+def test_all_oracles_pass_on_constant_time_original():
+    module = compile_sample(CT_SRC)
+    report = run_oracles(module, "f", INPUTS, secret_inputs=SECRET_INPUTS)
+    assert report.ok, report.summary()
+
+
+def test_compile_sample_maps_frontend_errors():
+    with pytest.raises(SampleInvalid):
+        compile_sample("u32 f( { return 0; }")
+
+
+# -- oracle: repair ----------------------------------------------------------
+
+
+def test_repair_oracle_catches_crashing_repair():
+    module = compile_sample(LEAKY_SRC)
+
+    def exploding(_module):
+        raise RuntimeError("rule [store] fell over")
+
+    report = run_oracles(module, "f", INPUTS, repair_fn=exploding)
+    assert report.failed == ("repair",)
+    # Without a repaired module no other cross-check is defined.
+    assert len(report.results) == 1
+    assert "rule [store] fell over" in report.result("repair").detail
+
+
+def test_repair_oracle_catches_invalid_output_ir():
+    module = compile_sample(LEAKY_SRC)
+
+    def corrupting(original):
+        repaired = repair_module(original)
+        block = next(iter(repaired.function("f").blocks.values()))
+        block.instructions.insert(0, Mov("clobber", Var("never_defined")))
+        return repaired
+
+    report = run_oracles(module, "f", INPUTS, repair_fn=corrupting)
+    assert report.failed == ("repair",)
+    assert "invalid IR after repair" in report.result("repair").detail
+
+
+# -- oracle: semantics -------------------------------------------------------
+
+
+def test_semantics_oracle_catches_wrong_output():
+    module = compile_sample(LEAKY_SRC)
+
+    def wrong_value(original):
+        repaired = repair_module(original)
+        for block in repaired.function("f").blocks.values():
+            if isinstance(block.terminator, Ret):
+                block.terminator = Ret(Const(123456789))
+        return repaired
+
+    report = run_oracles(module, "f", INPUTS, repair_fn=wrong_value)
+    assert "semantics" in report.failed
+
+
+# -- oracle: backend ---------------------------------------------------------
+
+
+def test_backend_oracle_skips_with_single_backend():
+    module = compile_sample(CT_SRC)
+    report = run_oracles(module, "f", INPUTS, backends=("interp",))
+    result = report.result("backend")
+    assert result.ok and "skipped" in result.detail
+
+
+def test_backend_oracle_fails_on_unrunnable_backend():
+    module = compile_sample(CT_SRC)
+    report = run_oracles(module, "f", INPUTS, backends=("interp", "no-such"))
+    result = report.result("backend")
+    assert not result.ok
+    assert "exception" in result.detail
+
+
+# -- oracle: isochronicity + static_dynamic ----------------------------------
+
+
+def test_isochronicity_and_static_dynamic_catch_residual_branch():
+    original = parse_module(LEAKY_ORIGINAL_IR)
+    broken = parse_module(LEAKY_ORIGINAL_IR)
+
+    report = run_oracles(
+        original, "f", [[0], [7], [100]],
+        secret_inputs=[[0], [7]],
+        repair_fn=lambda _module: broken,
+    )
+    iso = report.result("isochronicity")
+    assert not iso.ok
+    assert "operation trace varies" in iso.detail
+    sd = report.result("static_dynamic")
+    assert not sd.ok
+    assert "secret-steered branches" in sd.detail
+
+
+def test_static_dynamic_uses_secret_family_not_public_variants():
+    module = compile_sample(PUBLIC_INDEX_SRC)
+    inputs = [
+        [[1, 2, 3, 4], 0],
+        [[5, 6, 7, 8], 1],   # public n0 varies: data trace legitimately moves
+        [[9, 1, 2, 3], 2],
+    ]
+    secret_only = [
+        [[1, 2, 3, 4], 0],
+        [[5, 6, 7, 8], 0],   # only the secret pointer contents vary
+        [[9, 1, 2, 3], 0],
+    ]
+    report = run_oracles(module, "fuzz_entry", inputs, secret_inputs=secret_only)
+    assert report.ok, report.summary()
+
+    # Feeding public-varying vectors as the "secret family" is a caller
+    # error, and the oracle duly mistrusts the certificate: this is the
+    # false alarm the secret_inputs channel exists to prevent.
+    confused = run_oracles(module, "fuzz_entry", inputs, secret_inputs=inputs)
+    assert "static_dynamic" in confused.failed
+
+
+# -- oracle: opt_sanitize ----------------------------------------------------
+
+
+def test_opt_sanitize_oracle_reports_sanitizer_trips(monkeypatch):
+    from repro.opt.sanitize import LeakSanitizerError
+    from repro.statics.diagnostics import Anchor, Diagnostic
+
+    module = compile_sample(CT_SRC)
+    diagnostic = Diagnostic(
+        rule="OPT-LEAK-BRANCH",
+        severity="error",
+        message="leak fingerprint grew in @f",
+        anchor=Anchor(function="f", block="cse"),
+    )
+
+    def tripping(_module, sanitize=False):
+        raise LeakSanitizerError("cse: leak fingerprint grew in @f", diagnostic)
+
+    monkeypatch.setattr("repro.opt.pipeline.optimize", tripping)
+    report = run_oracles(module, "f", INPUTS, secret_inputs=SECRET_INPUTS)
+    result = report.result("opt_sanitize")
+    assert not result.ok
+    assert "sanitizer tripped" in result.detail
+    assert "cse" in result.detail
+
+
+def test_report_serialization_round_trip():
+    module = compile_sample(CT_SRC)
+    report = run_oracles(module, "f", INPUTS, secret_inputs=SECRET_INPUTS)
+    record = report.as_dict()
+    assert record["ok"] is True
+    assert [r["name"] for r in record["results"]] == list(ORACLES)
+    assert "all oracles agree" in report.summary()

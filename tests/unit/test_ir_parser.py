@@ -49,6 +49,28 @@ class TestRoundTrips:
         }
         """)
 
+    def test_guard_select_round_trips(self):
+        # The repair pass's guard marker must survive the text round-trip
+        # (the artifact cache stores repaired modules as IR text).
+        function = parse_function("""
+        func @f(a: ptr, i: int, c: int) {
+        entry:
+          s = ctsel c, i, 0, guard
+          t = ctsel c, i, 0
+          ret s
+        }
+        """)
+        guarded, plain = function.entry.instructions
+        assert guarded.guard and not plain.guard
+        assert str(guarded).endswith(", guard")
+        roundtrip("""
+        func @f(a: ptr, i: int, c: int) {
+        entry:
+          s = ctsel c, i, 0, guard
+          ret s
+        }
+        """)
+
     def test_negative_literals(self):
         module = parse_function("func @f() { entry: x = mov -5 ret x }")
         instr = module.entry.instructions[0]

@@ -45,7 +45,7 @@ GUARDED = """
 func @f(a: ptr, i: int, k: int) {
 entry:
   inb = mov k == 0
-  idx = ctsel inb, i, 0
+  idx = ctsel inb, i, 0, guard
   x = load a[idx]
   ret x
 }

@@ -118,15 +118,16 @@ class TestCallSummaries:
 
 class TestShadowSlots:
     def test_repaired_guarded_load_keeps_data_channel_clean(self):
-        # The repair pass's guarded access: the *address* is chosen by a
-        # secret-steered ctsel between two public values (i or 0), so the
-        # full channel is tainted but the data channel is not.
+        # The repair pass's guarded access (the ``, guard`` marker): the
+        # *address* is chosen by a secret-steered guard select between two
+        # public values (i or 0), so the full channel is tainted but the
+        # data channel is not.
         result = taint("""
         func @f(a: ptr, i: int, k: int) {
         entry:
           sh = alloc 1
           inb = mov k == 0
-          idx = ctsel inb, i, 0
+          idx = ctsel inb, i, 0, guard
           x = load a[idx]
           ret x
         }
@@ -136,6 +137,24 @@ class TestShadowSlots:
         assert "idx" not in record.tainted_data
         leaks = record.index_leaks
         assert len(leaks) == 1 and not leaks[0].data_tainted
+
+    def test_secret_condition_ternary_is_data_tainted(self):
+        # Regression for fuzz case s0000005252-80d7d98b40: a *non-guard*
+        # select computes with its condition — ``(k <= x) ? 0 : 1`` encodes
+        # the secret in its result even though both arms are public
+        # constants.  Treating it like a repair guard certified a real leak.
+        result = taint("""
+        func @f(a: ptr, k: int) {
+        entry:
+          c = mov k <= 5
+          idx = ctsel c, 0, 1
+          x = load a[idx]
+          ret x
+        }
+        """, roots={"f": ["k"]}, include_unreached=False)
+        record = result.functions["f"]
+        assert "idx" in record.tainted_data
+        assert any(l.data_tainted for l in record.index_leaks)
 
     def test_secret_arm_index_is_data_tainted(self):
         # An S-box index *computed from* the secret stays a data leak even
