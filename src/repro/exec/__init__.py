@@ -6,6 +6,15 @@ from repro.exec.backend import (
     default_backend,
     make_executor,
     resolve_backend,
+    run_many,
+)
+from repro.exec.batch import (
+    BATCH_SIZE_ENV_VAR,
+    DEFAULT_BATCH_SIZE,
+    TRACE_SPEC_ENV_VAR,
+    BatchExecutor,
+    clear_batch_caches,
+    trace_cache_stats,
 )
 from repro.exec.compiled import (
     CompiledExecutor,
@@ -45,14 +54,15 @@ from repro.exec.traces import (
 )
 
 __all__ = [
-    "AccessViolation", "BACKENDS", "BACKEND_ENV_VAR", "BranchPredictor",
-    "CompiledExecutor", "CompiledModule", "CostModel", "DEFAULT_COST_MODEL",
+    "AccessViolation", "BACKENDS", "BACKEND_ENV_VAR", "BATCH_SIZE_ENV_VAR",
+    "BatchExecutor", "BranchPredictor", "CompiledExecutor", "CompiledModule",
+    "CostModel", "DEFAULT_BATCH_SIZE", "DEFAULT_COST_MODEL",
     "ExecutionResult", "InstructionSite", "Interpreter", "InterpreterError",
     "Memory", "MemoryAccess", "MemorySafetyViolation", "PipelineConfig",
     "PipelineModel", "PipelineReport", "Pointer", "Region",
-    "StepLimitExceeded", "Trace", "clear_compile_cache",
-    "compile_cache_stats", "compile_ir_module", "default_backend",
-    "get_compiled", "make_executor", "resolve_backend",
-    "traces_data_consistent", "traces_data_invariant",
-    "traces_operation_invariant",
+    "StepLimitExceeded", "TRACE_SPEC_ENV_VAR", "Trace", "clear_batch_caches",
+    "clear_compile_cache", "compile_cache_stats", "compile_ir_module",
+    "default_backend", "get_compiled", "make_executor", "resolve_backend",
+    "run_many", "trace_cache_stats", "traces_data_consistent",
+    "traces_data_invariant", "traces_operation_invariant",
 ]

@@ -1497,6 +1497,66 @@ class CompiledExecutor:
 
     def run(self, name: str, args: Sequence[object]) -> ExecutionResult:
         """Execute ``@name`` on the given arguments (interpreter-compatible)."""
+        compiled_function, state, runtime_args, array_pointers = (
+            self._begin(name, args)
+        )
+        value = self._exec(compiled_function, runtime_args, state, 0)
+        return self._finish(value, state, array_pointers)
+
+    def run_recorded(
+        self, name: str, args: Sequence[object]
+    ) -> tuple[ExecutionResult, tuple[int, ...]]:
+        """Like :meth:`run`, additionally returning the sequence of block
+        indices the *entry* function executed (callee blocks excluded).
+
+        This is the leader run of the batch backend's trace-speculation
+        tier: the recorded sequence becomes the straight-line superblock the
+        remaining lanes execute.
+        """
+        cf, state, runtime_args, array_pointers = self._begin(name, args)
+        if self.max_call_depth < 0:
+            raise InterpreterError(
+                f"call depth exceeded at @{cf.name} (recursive program?)"
+            )
+        regs = [_UNDEF] * cf.nslots
+        if cf.global_slots:
+            global_pointers = state.global_pointers
+            for slot, gname in cf.global_slots:
+                regs[slot] = global_pointers[gname]
+        for slot, value in zip(cf.param_slots, runtime_args):
+            regs[slot] = value
+
+        sequence: list[int] = []
+        blocks = cf.blocks
+        max_steps = self.max_steps
+        bi = 0
+        prev = -1
+        while True:
+            sequence.append(bi)
+            block = blocks[bi]
+            steps = state.steps + block.steps
+            state.steps = steps
+            if steps > max_steps:
+                raise StepLimitExceeded(
+                    f"exceeded {max_steps} steps; the program probably loops"
+                )
+            state.cycles += block.cycles
+            prologue = block.prologue
+            if prologue is not None:
+                prologue(state)
+            phi_ops = block.phi_ops
+            if phi_ops is not None:
+                phi_ops[prev](regs)
+            nxt = block.fn(regs, state, 0)
+            if nxt is None:
+                break
+            prev = bi
+            bi = nxt
+        result = self._finish(state.ret, state, array_pointers)
+        return result, tuple(sequence)
+
+    def _begin(self, name: str, args: Sequence[object]):
+        """Marshal arguments and build the execution state for one run."""
         function = self.module.function(name)
         if len(args) != len(function.params):
             raise InterpreterError(
@@ -1534,22 +1594,23 @@ class CompiledExecutor:
                 raise InterpreterError(
                     f"unsupported argument {arg!r} for parameter {param.name}"
                 )
+        return compiled_function, state, runtime_args, array_pointers
 
-        value = self._exec(compiled_function, runtime_args, state, 0)
-
+    def _finish(self, value, state: _ExecState, array_pointers):
+        memory = state.memory
         arrays = [
             memory.snapshot(p) if p is not None else None
             for p in array_pointers
         ]
         global_state = {
             array_name: memory.snapshot(pointer)
-            for array_name, pointer in global_pointers.items()
+            for array_name, pointer in state.global_pointers.items()
         }
         return ExecutionResult(
             value=value,
             cycles=state.cycles,
             steps=state.steps,
-            trace=trace,
+            trace=state.trace,
             violations=list(memory.violations),
             arrays=arrays,
             global_state=global_state,

@@ -218,13 +218,13 @@ def _oracle_semantics(module, repaired, entry, inputs, adapted):
     return OracleResult("semantics", True)
 
 
-def _run_traced(module, entry, args, backend):
-    from repro.exec.backend import make_executor
+def _run_traced_many(module, entry, vectors, backend):
+    from repro.exec.backend import make_executor, run_many
 
     executor = make_executor(
         module, backend=backend, strict_memory=False, record_trace=True
     )
-    return executor.run(entry, list(args))
+    return run_many(executor, entry, vectors)
 
 
 def _oracle_backend(module, repaired, entry, inputs, adapted, backends):
@@ -236,9 +236,11 @@ def _oracle_backend(module, repaired, entry, inputs, adapted, backends):
             ("original", module, inputs),
             ("repaired", repaired, adapted),
         ):
-            for index, args in enumerate(vectors):
-                a = _run_traced(mod, entry, args, ref)
-                b = _run_traced(mod, entry, args, alt)
+            # One executor per backend for the whole family; the batch
+            # backend gets the vectors as a single lock-step dispatch.
+            ref_results = _run_traced_many(mod, entry, vectors, ref)
+            alt_results = _run_traced_many(mod, entry, vectors, alt)
+            for index, (a, b) in enumerate(zip(ref_results, alt_results)):
                 mismatch = _compare_runs(a, b)
                 if mismatch:
                     return OracleResult(

@@ -20,7 +20,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
 
-from repro.exec.backend import make_executor
+from repro.exec.backend import make_executor, run_many
 from repro.ir.module import Module
 
 #: dudect's conventional decision threshold for |t|.
@@ -99,20 +99,27 @@ def dudect_test(
     rng = random.Random(seed)
     interpreter = make_executor(module, backend=backend, record_trace=False,
                                 strict_memory=strict_memory)
+    # Draw every argument vector (and its noise term) up front, in the
+    # exact interleaved order the measurement loop used to consume the
+    # RNG, then submit the whole family as one batch.  On the batch
+    # backend the fixed class deduplicates to a single execution per
+    # chunk; per-measurement cycle counts are identical either way.
+    vectors = []
+    noise = []
+    for index in range(measurements):
+        if index % 2 == 0:
+            vectors.append([list(a) if isinstance(a, list) else a
+                            for a in fixed_inputs])
+        else:
+            vectors.append(list(random_inputs(rng)))
+        noise.append(rng.gauss(0.0, jitter) if jitter > 0 else 0.0)
     welch = Welch()
     low = high = None
-    for index in range(measurements):
-        group = index % 2
-        if group == 0:
-            args = [list(a) if isinstance(a, list) else a
-                    for a in fixed_inputs]
-        else:
-            args = list(random_inputs(rng))
-        cycles = interpreter.run(name, args).cycles
+    for index, result in enumerate(run_many(interpreter, name, vectors)):
+        cycles = result.cycles
         low = cycles if low is None else min(low, cycles)
         high = cycles if high is None else max(high, cycles)
-        sample = cycles + (rng.gauss(0.0, jitter) if jitter > 0 else 0.0)
-        welch.push(group, sample)
+        welch.push(index % 2, cycles + noise[index])
     assert low is not None and high is not None
     return DudectReport(
         function=name,

@@ -20,7 +20,7 @@ from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 from repro.cache.cache import CacheHierarchy
-from repro.exec.backend import make_executor
+from repro.exec.backend import make_executor, resolve_backend, run_many
 from repro.exec.memory import AccessViolation
 from repro.ir.module import Module
 
@@ -74,8 +74,10 @@ def check_invariance(
     first_ops = None
     first_data = None
     first_footprint = None
-    for args in inputs:
-        result = interpreter.run(name, list(args))
+    # One batched submission: the whole input family is a single
+    # structure-of-arrays dispatch on the batch backend (scalar backends
+    # loop), with per-run results identical either way.
+    for result in run_many(interpreter, name, inputs):
         report.runs += 1
         report.cycles.append(result.cycles)
         if result.violations:
@@ -118,11 +120,14 @@ def check_cache_invariance(
 ) -> CacheInvarianceReport:
     """Run under the cache simulator and compare hit/miss signatures."""
     report = CacheInvarianceReport(name)
+    # Each run needs a fresh CacheHierarchy (and therefore executor), but
+    # the backend name is resolved once for the whole loop.
+    resolved = resolve_backend(backend)
     for args in inputs:
         hierarchy = CacheHierarchy()
         interpreter = make_executor(
             module,
-            backend=backend,
+            backend=resolved,
             strict_memory=strict_memory,
             record_trace=False,
             cache=hierarchy,
@@ -154,9 +159,10 @@ def compare_semantics(
     interpreter_b = make_executor(
         transformed, backend=backend, strict_memory=False, record_trace=False,
     )
-    for args_a, args_b in zip(original_inputs, transformed_inputs):
-        result_a = interpreter_a.run(name, list(args_a))
-        result_b = interpreter_b.run(name, list(args_b))
+    pairs = list(zip(original_inputs, transformed_inputs))
+    results_a = run_many(interpreter_a, name, [a for a, _ in pairs])
+    results_b = run_many(interpreter_b, name, [b for _, b in pairs])
+    for result_a, result_b in zip(results_a, results_b):
         if result_a.value != result_b.value:
             return False
         # Contract parameters are plain ints, so the array arguments of both
