@@ -1,0 +1,313 @@
+"""Serve-layer sustained throughput — warm workers vs per-request startup.
+
+Three measurements against the ``lif serve`` stack, written to
+``BENCH_serve.json`` at the repository root:
+
+* **cold** — the pre-serve deployment model: one fresh Python process per
+  request (import the pipeline, run one job, exit), the cost every
+  CI-bot/editor-plugin request used to pay.
+* **warm** — the same job mix submitted to a running server whose worker
+  pool has already paid interpreter startup and imports once.  The
+  acceptance bar is a >= 3x sustained-throughput speedup over cold.
+* **contended** — a burst of cheap jobs behind a few expensive ones from
+  many submitter threads; the server must carry >= 200 concurrent
+  in-flight jobs (peak, from ``/v1/stats``) while staying correct.
+
+Before any timing, a differential gate serves one job of every kind and
+asserts the bytes returned by ``GET /v1/jobs/<id>/result`` equal
+``canonical_result_bytes(execute_job(spec))`` computed directly in this
+process — a served result must be byte-identical to a direct
+``repro.api`` call.
+
+Run standalone (``python benchmarks/bench_serve_throughput.py``) or
+through pytest with the rest of the figure benchmarks.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+_RESULT_PATH = _REPO_ROOT / "BENCH_serve.json"
+
+#: Jobs measured one-process-per-request (each pays full startup).
+COLD_JOBS = 5
+#: Distinct jobs submitted to the warm server for the speedup measurement.
+WARM_JOBS = 30
+#: The contended burst: a few expensive verify jobs saturate the pool,
+#: then a wave of cheap repairs piles up behind them.
+HEAVY_JOBS = 6
+BURST_JOBS = 240
+SUBMITTERS = 16
+#: The in-flight floor the contended run must reach.
+TARGET_IN_FLIGHT = 200
+
+GATE = """
+uint gate(secret uint s, uint p) {
+  uint y = 0;
+  if (s > p) {
+    y = 3;
+  } else {
+    y = 8;
+  }
+  return y;
+}
+"""
+
+MIX = """
+uint mix(uint *t, secret uint k, uint n) {
+  uint acc = 0;
+  for (uint i = 0; i < 8; i = i + 1) {
+    uint x = t[i % n];
+    if (k > x) {
+      acc = acc + x;
+    } else {
+      acc = acc + k;
+    }
+  }
+  return acc;
+}
+"""
+
+LOOKUP = """
+uint lookup(uint *t, secret uint i) {
+  return t[i];
+}
+"""
+
+
+def _repair_spec(index):
+    from repro.serve import JobSpec
+
+    return JobSpec(kind="repair", source=GATE + f"// cold/warm {index}\n",
+                   name=f"w{index}", tenant=f"t{index % 4}")
+
+
+def _verify_spec(index):
+    from repro.serve import JobSpec
+
+    return JobSpec(kind="verify", source=MIX + f"// heavy {index}\n",
+                   name=f"h{index}", entry="mix", runs=4, array_size=8)
+
+
+def _burst_spec(index):
+    from repro.serve import JobSpec
+
+    return JobSpec(kind="repair", source=GATE + f"// burst {index}\n",
+                   name=f"b{index}", tenant=f"t{index % 8}")
+
+
+# -- the differential gate ----------------------------------------------------
+
+
+def check_differential(client) -> int:
+    """Serve one job per kind; bytes must equal the direct pipeline's."""
+    from repro.serve import JobSpec, canonical_result_bytes, execute_job
+
+    specs = [
+        JobSpec(kind="repair", source=GATE, name="gate"),
+        JobSpec(kind="verify", source=MIX, name="mix", entry="mix",
+                runs=3, seed=11, array_size=4),
+        JobSpec(kind="certify", source=LOOKUP, name="lookup"),
+        JobSpec(kind="run", source=GATE, name="gate", entry="gate",
+                args=(12, 7)),
+    ]
+    for spec in specs:
+        direct = canonical_result_bytes(execute_job(spec))
+        accepted = client.submit(spec)
+        if accepted.get("cached"):
+            served = canonical_result_bytes(accepted["result"])
+        else:
+            view = client.wait(accepted["job_id"], timeout=600)
+            assert view["status"] == "done", view
+            served = client.result_bytes(accepted["job_id"])
+        assert served == direct, (
+            f"served result for {spec.kind} diverges from the direct "
+            f"pipeline:\n  served {served!r}\n  direct {direct!r}"
+        )
+    return len(specs)
+
+
+# -- cold: one process per request --------------------------------------------
+
+_COLD_SNIPPET = """
+import sys
+from repro.serve import JobSpec, canonical_result_bytes, execute_job
+source = sys.stdin.read()
+spec = JobSpec(kind="repair", source=source, name="cold")
+blob = canonical_result_bytes(execute_job(spec))
+assert b"ctsel" in blob
+"""
+
+
+def time_cold(jobs: int = COLD_JOBS) -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(_REPO_ROOT / "src")
+    started = time.perf_counter()
+    for index in range(jobs):
+        proc = subprocess.run(
+            [sys.executable, "-c", _COLD_SNIPPET],
+            input=GATE + f"// cold {index}\n", text=True, env=env,
+            capture_output=True,
+        )
+        assert proc.returncode == 0, proc.stderr
+    seconds = time.perf_counter() - started
+    return {
+        "mode": "process-per-request",
+        "jobs": jobs,
+        "seconds": seconds,
+        "jobs_per_second": jobs / seconds,
+    }
+
+
+# -- warm: the running server -------------------------------------------------
+
+
+def time_warm(client, jobs: int = WARM_JOBS) -> dict:
+    started = time.perf_counter()
+    accepted = [client.submit_retrying(_repair_spec(i)) for i in range(jobs)]
+    for entry in accepted:
+        if entry.get("cached"):
+            continue
+        view = client.wait(entry["job_id"], timeout=600)
+        assert view["status"] == "done", view
+    seconds = time.perf_counter() - started
+    return {
+        "jobs": jobs,
+        "seconds": seconds,
+        "jobs_per_second": jobs / seconds,
+    }
+
+
+# -- contended: many tenants, bounded queue -----------------------------------
+
+
+def time_contended(client) -> dict:
+    specs = [_verify_spec(i) for i in range(HEAVY_JOBS)]
+    specs += [_burst_spec(i) for i in range(BURST_JOBS)]
+    job_ids: list = []
+    ids_lock = threading.Lock()
+    cursor = iter(range(len(specs)))
+
+    def submitter():
+        while True:
+            with ids_lock:
+                index = next(cursor, None)
+            if index is None:
+                return
+            accepted = client.submit_retrying(specs[index], attempts=600)
+            if not accepted.get("cached"):
+                with ids_lock:
+                    job_ids.append(accepted["job_id"])
+
+    started = time.perf_counter()
+    threads = [threading.Thread(target=submitter) for _ in range(SUBMITTERS)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    for job_id in job_ids:
+        view = client.wait(job_id, timeout=600)
+        assert view["status"] == "done", view
+    seconds = time.perf_counter() - started
+    stats = client.stats()
+    total = HEAVY_JOBS + BURST_JOBS
+    return {
+        "jobs": total,
+        "submitters": SUBMITTERS,
+        "seconds": seconds,
+        "jobs_per_second": total / seconds,
+        "peak_in_flight": stats["peak_in_flight"],
+        "queue_limit": stats["queue_limit"],
+        "rejected_backpressure": stats["counters"].get(
+            "serve.rejected_backpressure", 0
+        ),
+        "cache_entries": (stats["result_cache"] or {}).get("entries", 0),
+        "cache_shards": (stats["result_cache"] or {}).get("shards", 0),
+    }
+
+
+def measure() -> dict:
+    from repro.serve.client import ServeClient
+    from repro.serve.server import ServeConfig, ServerThread
+
+    # An isolated cache root: the benchmark must not poison (or be
+    # poisoned by) the repository's artifact cache.
+    scratch = tempfile.mkdtemp(prefix="bench-serve-")
+    os.environ["REPRO_CACHE_DIR"] = scratch
+    workers = max(2, os.cpu_count() or 1)
+    config = ServeConfig.from_env(
+        port=0, workers=workers, recycle=500, queue_limit=1024
+    )
+    with ServerThread(config) as server:
+        client = ServeClient(server.host, server.port, timeout=120)
+        gate_jobs = check_differential(client)
+        warm = time_warm(client)
+        contended = time_contended(client)
+        pool = client.stats()["pool"]
+    cold = time_cold()
+    summary = {
+        "differential_gate": {"jobs": gate_jobs, "identical": True},
+        "cold": cold,
+        "warm": {**warm, "workers": workers, "pool_mode": pool["mode"]},
+        "contended": contended,
+        "warm_speedup": warm["jobs_per_second"] / cold["jobs_per_second"],
+    }
+    _RESULT_PATH.write_text(json.dumps(summary, indent=2) + "\n")
+    return summary
+
+
+def _print_summary(summary: dict) -> None:
+    cold, warm = summary["cold"], summary["warm"]
+    contended = summary["contended"]
+    print("== Serve sustained throughput ==")
+    print(
+        f"  differential gate: {summary['differential_gate']['jobs']} kinds, "
+        "served bytes == direct bytes"
+    )
+    print(
+        f"  cold  (process-per-request): {cold['jobs']} jobs in "
+        f"{cold['seconds']:.2f}s = {cold['jobs_per_second']:.2f} jobs/s"
+    )
+    print(
+        f"  warm  ({warm['workers']} {warm['pool_mode']} workers): "
+        f"{warm['jobs']} jobs in {warm['seconds']:.2f}s = "
+        f"{warm['jobs_per_second']:.2f} jobs/s "
+        f"({summary['warm_speedup']:.1f}x cold)"
+    )
+    print(
+        f"  contended: {contended['jobs']} jobs from "
+        f"{contended['submitters']} submitters in "
+        f"{contended['seconds']:.2f}s = "
+        f"{contended['jobs_per_second']:.2f} jobs/s, peak in flight "
+        f"{contended['peak_in_flight']} "
+        f"(429s: {contended['rejected_backpressure']})"
+    )
+    print(f"  written to {_RESULT_PATH.name}")
+
+
+def test_serve_throughput(capsys):
+    summary = measure()
+    with capsys.disabled():
+        print()
+        _print_summary(summary)
+    assert summary["warm_speedup"] >= 3.0, (
+        "warm workers must sustain >= 3x the process-per-request "
+        f"throughput, got {summary['warm_speedup']:.2f}x"
+    )
+    assert summary["contended"]["peak_in_flight"] >= TARGET_IN_FLIGHT, (
+        f"contended run peaked at {summary['contended']['peak_in_flight']} "
+        f"in-flight jobs (need >= {TARGET_IN_FLIGHT})"
+    )
+
+
+if __name__ == "__main__":
+    result = measure()
+    _print_summary(result)

@@ -189,6 +189,72 @@ def fuzz(
     )
 
 
+def serve(
+    host: Optional[str] = None,
+    port: Optional[int] = None,
+    workers: Optional[int] = None,
+    recycle: Optional[int] = None,
+    queue_limit: Optional[int] = None,
+    tenant_rps: Optional[float] = None,
+    use_cache: bool = True,
+) -> int:
+    """Run the repair service until drained (what ``lif serve`` runs).
+
+    Starts the warm worker pool and the local HTTP/JSONL front end and
+    blocks until a graceful shutdown (``POST /v1/shutdown`` or SIGINT).
+    Unset arguments fall back to their ``REPRO_SERVE_*`` environment
+    knobs.  See ``docs/SERVE.md``.
+    """
+    from repro.serve.server import ServeConfig, run_server
+
+    config = ServeConfig.from_env(
+        host=host,
+        port=port,
+        workers=workers,
+        recycle=recycle,
+        queue_limit=queue_limit,
+        tenant_rps=tenant_rps,
+        use_cache=None if use_cache else False,
+    )
+    return run_server(config)
+
+
+def submit_job(
+    kind: str,
+    source: str,
+    name: str = "job",
+    entry: Optional[str] = None,
+    host: str = "127.0.0.1",
+    port: int = 8765,
+    timeout: float = 600.0,
+    **options,
+) -> dict:
+    """Submit one job to a running ``lif serve`` and block for its result.
+
+    ``kind`` is ``"repair"``, ``"verify"``, ``"certify"`` or ``"run"``;
+    ``options`` forwards the remaining :class:`repro.serve.protocol.JobSpec`
+    fields (``optimize``, ``runs``, ``seed``, ``array_size``, ``args``,
+    ``backend``, ``tenant``).  Returns the deterministic result dict —
+    byte-identical to what :func:`repro.serve.jobs.execute_job` computes
+    directly.
+    """
+    import json
+
+    from repro.serve.client import ServeClient
+    from repro.serve.protocol import JobSpec
+
+    spec = JobSpec(kind=kind, source=source, name=name, entry=entry,
+                   **options)
+    client = ServeClient(host, port, timeout=timeout)
+    accepted = client.submit_retrying(spec)
+    if accepted.get("cached"):
+        return accepted["result"]
+    view = client.wait(accepted["job_id"], timeout=timeout)
+    if view["status"] != "done":
+        raise RuntimeError(f"job failed in transport: {view.get('error')}")
+    return json.loads(client.result_bytes(accepted["job_id"]))
+
+
 def check_isochronous(
     module: Module,
     name: str,

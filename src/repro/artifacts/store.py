@@ -25,12 +25,29 @@ from repro.obs import OBS
 
 _META = "meta.json"
 
+#: Hex characters of the key used as the shard directory (0 disables
+#: sharding; the default 2 gives 256 shards).  Shared with the serve
+#: result cache — concurrent tenants spread across shard directories
+#: instead of contending on one directory's entry list.
+SHARD_ENV_VAR = "REPRO_CACHE_SHARDS"
+DEFAULT_SHARD_WIDTH = 2
+
+
+def shard_width_from_env() -> int:
+    raw = os.environ.get(SHARD_ENV_VAR, "").strip()
+    try:
+        width = int(raw) if raw else DEFAULT_SHARD_WIDTH
+    except ValueError:
+        return DEFAULT_SHARD_WIDTH
+    return min(max(width, 0), 8)
+
 
 def default_store() -> "Optional[ArtifactStore]":
     """The store selected by the environment.
 
     ``REPRO_CACHE=0`` disables caching entirely; ``REPRO_CACHE_DIR``
-    relocates the root (default ``.repro-cache`` in the working directory).
+    relocates the root (default ``.repro-cache`` in the working directory);
+    ``REPRO_CACHE_SHARDS`` controls the key-prefix shard width.
     """
     if os.environ.get("REPRO_CACHE", "1") == "0":
         return None
@@ -38,13 +55,19 @@ def default_store() -> "Optional[ArtifactStore]":
 
 
 class ArtifactStore:
-    """Content-addressed artifact directory."""
+    """Content-addressed artifact directory, sharded by key prefix."""
 
-    def __init__(self, root) -> None:
+    def __init__(self, root, shard_width: Optional[int] = None) -> None:
         self.root = Path(root)
+        self.shard_width = (
+            shard_width_from_env() if shard_width is None else shard_width
+        )
+
+    def shard_of(self, key: str) -> str:
+        return key[: self.shard_width] if self.shard_width else "_"
 
     def _entry_dir(self, key: str) -> Path:
-        return self.root / key[:2] / key
+        return self.root / self.shard_of(key) / key
 
     def has(self, key: str) -> bool:
         """Cheap existence check (meta present, IR not read)."""
@@ -149,3 +172,29 @@ class ArtifactStore:
             for entry in shard.iterdir()
             if (entry / _META).is_file()
         )
+
+    def shard_stats(self) -> dict:
+        """Entry counts per shard directory (``lif serve`` diagnostics)."""
+        shards: dict[str, int] = {}
+        entries = 0
+        if self.root.is_dir():
+            for shard in sorted(self.root.iterdir()):
+                if not shard.is_dir() or shard.name.startswith("."):
+                    continue
+                count = sum(
+                    1
+                    for entry in shard.iterdir()
+                    if (entry / _META).is_file()
+                )
+                if count:
+                    shards[shard.name] = count
+                    entries += count
+        return {
+            "entries": entries,
+            "shards": len(shards),
+            "shard_width": self.shard_width,
+            "hottest_shard": (
+                max(shards.items(), key=lambda kv: kv[1])[0] if shards else None
+            ),
+            "per_shard": shards,
+        }

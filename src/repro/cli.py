@@ -15,6 +15,11 @@ Named after the authors' public tool.  Subcommands:
 * ``lif suite [names...]``       — build (and verify) benchmark artifacts
 * ``lif report``                 — metrics summary + the docs/RESULTS.md
                                     results book (``--check`` for CI)
+* ``lif serve``                  — long-running repair service (warm worker
+                                    pool + sharded result cache); see
+                                    docs/SERVE.md
+* ``lif submit file.mc``         — send one job to a running ``lif serve``
+                                    and print its result
 """
 
 from __future__ import annotations
@@ -25,7 +30,7 @@ from pathlib import Path
 
 from repro.analysis import analyze_sensitivity, classify_data_consistency
 from repro.core import RepairOptions, RepairStats, repair_module
-from repro.exec import BACKENDS, make_executor
+from repro.exec import BACKENDS, make_executor, resolve_backend
 from repro.frontend import compile_source
 from repro.ir import module_to_str, parse_module
 from repro.opt import optimize
@@ -73,7 +78,19 @@ def _cmd_repair(args: argparse.Namespace) -> int:
     return 0
 
 
+def _check_backend(name) -> "str | None":
+    """Validate a ``--backend`` value, or exit 2 with the executor's own
+    error (which lists the valid names) — same message everywhere."""
+    try:
+        resolve_backend(name)
+    except ValueError as exc:
+        sys.stderr.write(f"lif: {exc}\n")
+        raise SystemExit(2)
+    return name
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
+    _check_backend(args.backend)
     module = _load(args.file)
     interpreter = make_executor(module, backend=args.backend)
     result = interpreter.run(args.function, [_parse_arg(a) for a in args.args])
@@ -104,6 +121,7 @@ def _cmd_check(args: argparse.Namespace) -> int:
 
 
 def _cmd_verify(args: argparse.Namespace) -> int:
+    _check_backend(args.backend)
     module = _load(args.file)
     function = module.function(args.function)
     import random
@@ -267,12 +285,16 @@ def _cmd_suite(args: argparse.Namespace) -> int:
     import os
     import time
 
-    # Publish the cache selection via the environment so pool workers
-    # (which build their store from it) agree with the parent.
+    # Publish the cache and backend selection via the environment so pool
+    # workers (which build their store/executors from it) agree with the
+    # parent.
     if args.no_cache:
         os.environ["REPRO_CACHE"] = "0"
     elif args.cache_dir:
         os.environ["REPRO_CACHE_DIR"] = args.cache_dir
+    if args.backend is not None:
+        _check_backend(args.backend)
+        os.environ["REPRO_BACKEND"] = args.backend
 
     from repro.bench.runner import build_suite
     from repro.bench.suite import benchmark_names
@@ -371,6 +393,91 @@ def _cmd_fuzz(args) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve.server import ServeConfig, run_server
+
+    _check_backend(args.backend)
+    if args.backend is not None:
+        # Workers resolve the backend from the environment; publish the
+        # flag so spawned processes agree with the parent.
+        import os
+
+        os.environ["REPRO_BACKEND"] = args.backend
+    config = ServeConfig.from_env(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        recycle=args.recycle,
+        queue_limit=args.queue_limit,
+        tenant_rps=args.tenant_rps,
+        use_cache=False if args.no_cache else None,
+    )
+
+    def announce(server, host, port):
+        pool = server.pool.stats()
+        sys.stderr.write(
+            f"lif serve: listening on http://{host}:{port} "
+            f"({pool['workers']} {pool['mode']} workers, "
+            f"queue limit {server.config.queue_limit})\n"
+        )
+
+    return run_server(config, announce)
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.serve.client import ServeClient, ServeError
+    from repro.serve.protocol import JobSpec, ProtocolError
+
+    _check_backend(args.backend)
+    try:
+        spec = JobSpec(
+            kind=args.kind,
+            source=Path(args.file).read_text(),
+            name=Path(args.file).stem,
+            entry=args.function,
+            optimize=args.optimize,
+            runs=args.runs,
+            seed=args.seed,
+            array_size=args.array_size,
+            args=tuple(_parse_arg(a) for a in args.args),
+            backend=args.backend,
+            tenant=args.tenant,
+        )
+        spec.to_payload()  # validate before touching the network
+    except ProtocolError as exc:
+        sys.stderr.write(f"lif submit: {exc}\n")
+        return 2
+
+    client = ServeClient(args.host, args.port)
+    try:
+        accepted = client.submit_retrying(spec)
+        if accepted.get("cached"):
+            print(json.dumps(accepted["result"], indent=1, sort_keys=True))
+            return 0 if "error" not in accepted["result"] else 1
+        job_id = accepted["job_id"]
+        if args.follow:
+            for event in client.events(job_id, timeout=args.timeout):
+                sys.stderr.write(json.dumps(event, sort_keys=True) + "\n")
+        view = client.wait(job_id, timeout=args.timeout)
+        if view["status"] != "done":
+            sys.stderr.write(f"lif submit: job failed: {view.get('error')}\n")
+            return 1
+        result = json.loads(client.result_bytes(job_id))
+    except ServeError as exc:
+        sys.stderr.write(f"lif submit: {exc}\n")
+        return 1
+    except OSError as exc:
+        sys.stderr.write(
+            f"lif submit: cannot reach {args.host}:{args.port} ({exc}); "
+            "is `lif serve` running?\n"
+        )
+        return 1
+    print(json.dumps(result, indent=1, sort_keys=True))
+    return 0 if "error" not in result else 1
+
+
 def main(argv: "list[str] | None" = None) -> int:
     parser = argparse.ArgumentParser(
         prog="lif",
@@ -397,9 +504,9 @@ def main(argv: "list[str] | None" = None) -> int:
     p_run.add_argument("function")
     p_run.add_argument("args", nargs="*",
                        help="ints, or comma-separated lists for arrays")
-    p_run.add_argument("--backend", choices=BACKENDS, default=None,
-                       help="execution engine (default: compiled, or "
-                            "$REPRO_BACKEND)")
+    p_run.add_argument("--backend", default=None, metavar="NAME",
+                       help=f"execution engine: {', '.join(BACKENDS)} "
+                            "(default: compiled, or $REPRO_BACKEND)")
     p_run.set_defaults(func=_cmd_run)
 
     p_check = sub.add_parser("check", help="detect side-channel leaks")
@@ -413,9 +520,9 @@ def main(argv: "list[str] | None" = None) -> int:
     p_verify.add_argument("--runs", type=int, default=4)
     p_verify.add_argument("--array-size", type=int, default=8)
     p_verify.add_argument("--seed", type=int, default=0)
-    p_verify.add_argument("--backend", choices=BACKENDS, default=None,
-                          help="execution engine (default: compiled, or "
-                               "$REPRO_BACKEND)")
+    p_verify.add_argument("--backend", default=None, metavar="NAME",
+                          help=f"execution engine: {', '.join(BACKENDS)} "
+                               "(default: compiled, or $REPRO_BACKEND)")
     p_verify.set_defaults(func=_cmd_verify)
 
     p_lint = sub.add_parser(
@@ -454,6 +561,9 @@ def main(argv: "list[str] | None" = None) -> int:
                               "$REPRO_CACHE_DIR or .repro-cache)")
     p_suite.add_argument("--expect-cached", action="store_true",
                          help="fail unless every artifact was a cache hit")
+    p_suite.add_argument("--backend", default=None, metavar="NAME",
+                         help=f"execution engine: {', '.join(BACKENDS)} "
+                              "(published to workers via $REPRO_BACKEND)")
     p_suite.set_defaults(func=_cmd_suite)
 
     p_report = sub.add_parser(
@@ -503,6 +613,65 @@ def main(argv: "list[str] | None" = None) -> int:
                         help="every Nth sample is an IR-level module "
                              "(0 = MiniC only; default 4)")
     p_fuzz.set_defaults(func=_cmd_fuzz)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="long-running repair service (warm workers + result cache)",
+    )
+    p_serve.add_argument("--host", default=None,
+                         help="bind address (default: $REPRO_SERVE_HOST or "
+                              "127.0.0.1)")
+    p_serve.add_argument("--port", type=int, default=None,
+                         help="TCP port, 0 for ephemeral (default: "
+                              "$REPRO_SERVE_PORT or 8765)")
+    p_serve.add_argument("-w", "--workers", type=int, default=None,
+                         help="worker processes; 0 runs jobs in-process "
+                              "(default: $REPRO_SERVE_WORKERS or cpu count)")
+    p_serve.add_argument("--recycle", type=int, default=None,
+                         help="jobs per worker before it is replaced; 0 "
+                              "never recycles (default: $REPRO_SERVE_RECYCLE "
+                              "or 200)")
+    p_serve.add_argument("--queue-limit", type=int, default=None,
+                         help="max jobs in flight before 429 back-pressure "
+                              "(default: $REPRO_SERVE_QUEUE or 512)")
+    p_serve.add_argument("--tenant-rps", type=float, default=None,
+                         help="per-tenant submissions/second, 0 = unlimited "
+                              "(default: $REPRO_SERVE_TENANT_RPS or 0)")
+    p_serve.add_argument("--no-cache", action="store_true",
+                         help="disable the sharded result cache")
+    p_serve.add_argument("--backend", default=None, metavar="NAME",
+                         help=f"execution engine: {', '.join(BACKENDS)} "
+                              "(published to workers via $REPRO_BACKEND)")
+    p_serve.set_defaults(func=_cmd_serve)
+
+    p_submit = sub.add_parser(
+        "submit", help="send one job to a running `lif serve`"
+    )
+    p_submit.add_argument("file", help="MiniC source file")
+    p_submit.add_argument("-k", "--kind", choices=("repair", "verify",
+                                                   "certify", "run"),
+                          default="repair", help="job kind (default: repair)")
+    p_submit.add_argument("-f", "--function", default=None,
+                          help="entry function (required for verify/run)")
+    p_submit.add_argument("args", nargs="*",
+                          help="run-kind arguments: ints, or comma-separated "
+                               "lists for arrays")
+    p_submit.add_argument("-O", "--optimize", action="store_true")
+    p_submit.add_argument("--runs", type=int, default=4)
+    p_submit.add_argument("--array-size", type=int, default=8)
+    p_submit.add_argument("--seed", type=int, default=0)
+    p_submit.add_argument("--backend", default=None, metavar="NAME",
+                          help=f"execution engine: {', '.join(BACKENDS)}")
+    p_submit.add_argument("--tenant", default="cli",
+                          help="tenant id for rate limiting (default: cli)")
+    p_submit.add_argument("--host", default="127.0.0.1")
+    p_submit.add_argument("--port", type=int, default=8765)
+    p_submit.add_argument("--timeout", type=float, default=600.0,
+                          help="seconds to wait for the result")
+    p_submit.add_argument("--follow", action="store_true",
+                          help="stream the job's event log to stderr while "
+                               "waiting")
+    p_submit.set_defaults(func=_cmd_submit)
 
     args = parser.parse_args(argv)
     return args.func(args)

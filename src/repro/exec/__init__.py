@@ -13,15 +13,18 @@ from repro.exec.batch import (
     DEFAULT_BATCH_SIZE,
     TRACE_SPEC_ENV_VAR,
     BatchExecutor,
+    batch_cache_stats,
     clear_batch_caches,
     trace_cache_stats,
 )
 from repro.exec.compiled import (
+    EXEC_CACHE_SIZE_ENV_VAR,
     CompiledExecutor,
     CompiledModule,
     clear_compile_cache,
     compile_cache_stats,
     compile_ir_module,
+    exec_cache_limit,
     get_compiled,
 )
 from repro.exec.costs import DEFAULT_COST_MODEL, CostModel
@@ -53,6 +56,22 @@ from repro.exec.traces import (
     traces_operation_invariant,
 )
 
+def executor_cache_stats() -> dict:
+    """One dict over every identity-keyed executor cache.
+
+    The serve layer's ``/v1/stats`` endpoint and the warm-pool diagnostics
+    read this to show what a long-running process has pinned; each entry
+    carries hit/miss/eviction counters plus the live entry count, all
+    bounded by ``REPRO_EXEC_CACHE_SIZE``.
+    """
+    return {
+        "limit": exec_cache_limit(),
+        "compile": compile_cache_stats(),
+        "batch": batch_cache_stats(),
+        "trace": trace_cache_stats(),
+    }
+
+
 __all__ = [
     "AccessViolation", "BACKENDS", "BACKEND_ENV_VAR", "BATCH_SIZE_ENV_VAR",
     "BatchExecutor", "BranchPredictor", "CompiledExecutor", "CompiledModule",
@@ -60,9 +79,11 @@ __all__ = [
     "ExecutionResult", "InstructionSite", "Interpreter", "InterpreterError",
     "Memory", "MemoryAccess", "MemorySafetyViolation", "PipelineConfig",
     "PipelineModel", "PipelineReport", "Pointer", "Region",
-    "StepLimitExceeded", "TRACE_SPEC_ENV_VAR", "Trace", "clear_batch_caches",
+    "StepLimitExceeded", "TRACE_SPEC_ENV_VAR", "Trace",
+    "EXEC_CACHE_SIZE_ENV_VAR", "batch_cache_stats", "clear_batch_caches",
     "clear_compile_cache", "compile_cache_stats", "compile_ir_module",
-    "default_backend", "get_compiled", "make_executor", "resolve_backend",
+    "default_backend", "exec_cache_limit", "executor_cache_stats",
+    "get_compiled", "make_executor", "resolve_backend",
     "run_many", "trace_cache_stats", "traces_data_consistent",
     "traces_data_invariant", "traces_operation_invariant",
 ]

@@ -55,6 +55,7 @@ from __future__ import annotations
 import os
 import threading
 import weakref
+from collections import OrderedDict
 from typing import Optional, Sequence
 
 from repro.exec.compiled import (
@@ -932,15 +933,18 @@ def _compile_batch_function(
 
 
 #: ``id(module) -> (weakref, {(record_trace, cost_model, numpy): {fname:
-#: _BatchFunction}})`` — identity-keyed like the scalar compile cache.
+#: _BatchFunction}})`` — identity-keyed like the scalar compile cache and,
+#: like it, LRU-bounded to ``REPRO_EXEC_CACHE_SIZE`` live module entries
+#: (the long-running serve workers pin modules across jobs, so an
+#: unbounded cache would grow with every distinct submission).
 _BATCH_LOCK = threading.Lock()
-_BATCH_CACHE: dict[int, tuple] = {}
-_BATCH_STATS = {"hits": 0, "misses": 0}
+_BATCH_CACHE: "OrderedDict[int, tuple]" = OrderedDict()
+_BATCH_STATS = {"hits": 0, "misses": 0, "evictions": 0}
 
 #: Superblock programs: ``id(module) -> (weakref, {(options, entry, block
-#: sequence): _TraceProgram})``.
-_TRACE_CACHE: dict[int, tuple] = {}
-_TRACE_STATS = {"hits": 0, "misses": 0}
+#: sequence): _TraceProgram})``, same LRU discipline.
+_TRACE_CACHE: "OrderedDict[int, tuple]" = OrderedDict()
+_TRACE_STATS = {"hits": 0, "misses": 0, "evictions": 0}
 
 
 def _identity_get(cache, lock, stats, hit_counter, module, key):
@@ -952,6 +956,7 @@ def _identity_get(cache, lock, stats, hit_counter, module, key):
             if ref() is module:
                 value = variants.get(key)
                 if value is not None:
+                    cache.move_to_end(mid)
                     stats["hits"] += 1
                     OBS.counter(hit_counter)
                     return value
@@ -960,13 +965,16 @@ def _identity_get(cache, lock, stats, hit_counter, module, key):
     return None
 
 
-def _identity_put(cache, lock, stats, module, key, value):
+def _identity_put(cache, lock, stats, evict_counter, module, key, value):
+    from repro.exec.compiled import exec_cache_limit
+
     mid = id(module)
     with lock:
         stats["misses"] += 1
         entry = cache.get(mid)
         if entry is not None and entry[0]() is module:
             entry[1][key] = value
+            cache.move_to_end(mid)
         else:
 
             def _evict(_ref, _mid=mid, _cache=cache, _lock=lock):
@@ -977,6 +985,11 @@ def _identity_put(cache, lock, stats, module, key, value):
 
             ref = weakref.ref(module, _evict)
             cache[mid] = (ref, {key: value})
+            limit = exec_cache_limit()
+            while len(cache) > limit:
+                cache.popitem(last=False)
+                stats["evictions"] += 1
+                OBS.counter(evict_counter)
 
 
 def _get_batch_function(
@@ -992,7 +1005,8 @@ def _get_batch_function(
         functions = {}
         OBS.counter("exec.batch_cache.misses")
         _identity_put(
-            _BATCH_CACHE, _BATCH_LOCK, _BATCH_STATS, module, key, functions
+            _BATCH_CACHE, _BATCH_LOCK, _BATCH_STATS,
+            "exec.batch_cache.evictions", module, key, functions,
         )
     bf = functions.get(name)
     if bf is None:
@@ -1008,18 +1022,30 @@ def clear_batch_caches() -> None:
     with _BATCH_LOCK:
         _BATCH_CACHE.clear()
         _TRACE_CACHE.clear()
-        _BATCH_STATS["hits"] = 0
-        _BATCH_STATS["misses"] = 0
-        _TRACE_STATS["hits"] = 0
-        _TRACE_STATS["misses"] = 0
+        for stats in (_BATCH_STATS, _TRACE_STATS):
+            stats["hits"] = 0
+            stats["misses"] = 0
+            stats["evictions"] = 0
+
+
+def batch_cache_stats() -> dict:
+    """Hit/miss/eviction counters and entry count of the SoA lowering cache."""
+    with _BATCH_LOCK:
+        return {
+            "hits": _BATCH_STATS["hits"],
+            "misses": _BATCH_STATS["misses"],
+            "evictions": _BATCH_STATS["evictions"],
+            "entries": len(_BATCH_CACHE),
+        }
 
 
 def trace_cache_stats() -> dict:
-    """Hit/miss counters and live entry count of the superblock cache."""
+    """Hit/miss/eviction counters and entry count of the superblock cache."""
     with _BATCH_LOCK:
         return {
             "hits": _TRACE_STATS["hits"],
             "misses": _TRACE_STATS["misses"],
+            "evictions": _TRACE_STATS["evictions"],
             "entries": len(_TRACE_CACHE),
         }
 
@@ -1107,7 +1133,8 @@ def _get_trace_program(
     program = _build_trace_program(bf, sequence)
     OBS.counter("exec.trace_cache.misses")
     _identity_put(
-        _TRACE_CACHE, _BATCH_LOCK, _TRACE_STATS, module, key, program
+        _TRACE_CACHE, _BATCH_LOCK, _TRACE_STATS,
+        "exec.trace_cache.evictions", module, key, program,
     )
     return program
 

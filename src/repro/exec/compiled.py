@@ -42,8 +42,10 @@ therefore never sees stale code.
 
 from __future__ import annotations
 
+import os
 import threading
 import weakref
+from collections import OrderedDict
 from typing import Optional, Sequence
 
 from repro.exec.costs import DEFAULT_COST_MODEL, CostModel
@@ -1366,10 +1368,28 @@ def compile_ir_module(
 
 # -- module-level compile cache ----------------------------------------------
 
+#: Bound (live module entries) shared by every identity-keyed executor
+#: cache — compile, SoA and superblock.  Long-running servers pin modules
+#: across jobs, so without a bound these grow with distinct submissions.
+EXEC_CACHE_SIZE_ENV_VAR = "REPRO_EXEC_CACHE_SIZE"
+DEFAULT_EXEC_CACHE_SIZE = 128
+
+
+def exec_cache_limit() -> int:
+    raw = os.environ.get(EXEC_CACHE_SIZE_ENV_VAR, "").strip()
+    try:
+        limit = int(raw) if raw else DEFAULT_EXEC_CACHE_SIZE
+    except ValueError:
+        return DEFAULT_EXEC_CACHE_SIZE
+    return max(1, limit)
+
+
 _CACHE_LOCK = threading.Lock()
-#: ``id(module) -> (weakref to module, {options key: CompiledModule})``.
-_COMPILE_CACHE: dict[int, tuple] = {}
-_CACHE_STATS = {"hits": 0, "misses": 0}
+#: ``id(module) -> (weakref to module, {options key: CompiledModule})``,
+#: in LRU order (recency updated on every hit, least-recent evicted once
+#: the entry count passes :func:`exec_cache_limit`).
+_COMPILE_CACHE: "OrderedDict[int, tuple]" = OrderedDict()
+_CACHE_STATS = {"hits": 0, "misses": 0, "evictions": 0}
 
 
 def get_compiled(
@@ -1396,6 +1416,7 @@ def get_compiled(
             if ref() is module:
                 compiled = variants.get(key)
                 if compiled is not None:
+                    _COMPILE_CACHE.move_to_end(mid)
                     _CACHE_STATS["hits"] += 1
                     OBS.counter("exec.compile_cache.hits")
                     return compiled
@@ -1413,6 +1434,7 @@ def get_compiled(
         entry = _COMPILE_CACHE.get(mid)
         if entry is not None and entry[0]() is module:
             entry[1][key] = compiled
+            _COMPILE_CACHE.move_to_end(mid)
         else:
 
             def _evict(_ref, _mid=mid):
@@ -1423,6 +1445,11 @@ def get_compiled(
 
             ref = weakref.ref(module, _evict)
             _COMPILE_CACHE[mid] = (ref, {key: compiled})
+            limit = exec_cache_limit()
+            while len(_COMPILE_CACHE) > limit:
+                _COMPILE_CACHE.popitem(last=False)
+                _CACHE_STATS["evictions"] += 1
+                OBS.counter("exec.compile_cache.evictions")
     return compiled
 
 
@@ -1432,14 +1459,16 @@ def clear_compile_cache() -> None:
         _COMPILE_CACHE.clear()
         _CACHE_STATS["hits"] = 0
         _CACHE_STATS["misses"] = 0
+        _CACHE_STATS["evictions"] = 0
 
 
 def compile_cache_stats() -> dict:
-    """Hit/miss counters and live entry count of the compile cache."""
+    """Hit/miss/eviction counters and live entry count of the compile cache."""
     with _CACHE_LOCK:
         return {
             "hits": _CACHE_STATS["hits"],
             "misses": _CACHE_STATS["misses"],
+            "evictions": _CACHE_STATS["evictions"],
             "entries": len(_COMPILE_CACHE),
         }
 

@@ -1,0 +1,153 @@
+"""Blocking stdlib client for the serve protocol (``lif submit``).
+
+One :class:`ServeClient` per server address; every call opens its own
+``http.client`` connection, so a client instance is safe to share across
+threads (the throughput benchmark submits from a thread pool).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Iterator, Optional
+
+from repro.serve.protocol import JobSpec, ProtocolError
+
+
+class ServeError(RuntimeError):
+    """A non-2xx transport answer (back-pressure, rate limit, drain…)."""
+
+    def __init__(self, status: int, payload: dict) -> None:
+        super().__init__(f"HTTP {status}: {payload}")
+        self.status = status
+        self.payload = payload
+
+    @property
+    def retry_after(self) -> float:
+        return float(self.payload.get("retry_after", 1))
+
+
+class ServeClient:
+    """Talk to one running :class:`repro.serve.server.RepairServer`."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8765,
+                 timeout: float = 60.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # -- low-level -----------------------------------------------------------
+
+    def _request(self, method: str, path: str, body: Optional[dict] = None,
+                 timeout: Optional[float] = None) -> tuple:
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=timeout or self.timeout
+        )
+        try:
+            payload = None
+            headers = {}
+            if body is not None:
+                payload = json.dumps(body).encode()
+                headers["Content-Type"] = "application/json"
+            connection.request(method, path, body=payload, headers=headers)
+            response = connection.getresponse()
+            blob = response.read()
+            return response.status, blob
+        finally:
+            connection.close()
+
+    def _json(self, method: str, path: str, body: Optional[dict] = None,
+              timeout: Optional[float] = None) -> dict:
+        status, blob = self._request(method, path, body, timeout)
+        payload = json.loads(blob.decode()) if blob else {}
+        if status >= 400:
+            raise ServeError(status, payload)
+        return payload
+
+    # -- protocol ------------------------------------------------------------
+
+    def submit(self, spec: "JobSpec | dict") -> dict:
+        """Submit one job; returns the server's acceptance payload."""
+        payload = spec.to_payload() if isinstance(spec, JobSpec) else spec
+        return self._json("POST", "/v1/jobs", payload)
+
+    def submit_retrying(self, spec: "JobSpec | dict",
+                        attempts: int = 50) -> dict:
+        """Submit, honouring 429 back-pressure/rate-limit retry hints."""
+        last: Optional[ServeError] = None
+        for _ in range(attempts):
+            try:
+                return self.submit(spec)
+            except ServeError as exc:
+                if exc.status != 429:
+                    raise
+                last = exc
+                time.sleep(min(exc.retry_after, 1.0))
+        raise last  # pragma: no cover - pathological contention only
+
+    def status(self, job_id: str) -> dict:
+        return self._json("GET", f"/v1/jobs/{job_id}")
+
+    def wait(self, job_id: str, timeout: float = 600.0) -> dict:
+        """Block until the job finishes (long-poll; no busy polling)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise TimeoutError(f"job {job_id} still running")
+            view = self._json(
+                "GET",
+                f"/v1/jobs/{job_id}?wait=1&timeout={min(remaining, 60):.0f}",
+                timeout=min(remaining, 60) + self.timeout,
+            )
+            if view["status"] in ("done", "failed"):
+                return view
+
+    def result_bytes(self, job_id: str) -> bytes:
+        """The job's canonical result, byte-exact as the worker wrote it."""
+        status, blob = self._request("GET", f"/v1/jobs/{job_id}/result")
+        if status != 200:
+            raise ServeError(status, json.loads(blob.decode() or "{}"))
+        return blob
+
+    def events(self, job_id: str, timeout: float = 600.0) -> Iterator[dict]:
+        """Yield the job's JSONL event stream until it completes."""
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=timeout
+        )
+        try:
+            connection.request("GET", f"/v1/jobs/{job_id}/events")
+            response = connection.getresponse()
+            if response.status != 200:
+                raise ServeError(
+                    response.status,
+                    json.loads(response.read().decode() or "{}"),
+                )
+            buffer = b""
+            while True:
+                chunk = response.read(4096)
+                if not chunk:
+                    break
+                buffer += chunk
+                while b"\n" in buffer:
+                    line, _, buffer = buffer.partition(b"\n")
+                    if line.strip():
+                        try:
+                            yield json.loads(line.decode())
+                        except ValueError:
+                            raise ProtocolError(
+                                f"malformed event line: {line!r}"
+                            ) from None
+        finally:
+            connection.close()
+
+    def stats(self) -> dict:
+        return self._json("GET", "/v1/stats")
+
+    def health(self) -> dict:
+        return self._json("GET", "/v1/healthz")
+
+    def shutdown(self) -> dict:
+        """Request a graceful drain; in-flight jobs still complete."""
+        return self._json("POST", "/v1/shutdown")

@@ -1,0 +1,187 @@
+"""Job specs, content-addressed job keys, and the HTTP+JSONL wire format.
+
+A *job* is one request against the pipeline: repair, verify, certify or
+run a MiniC module.  The spec deliberately carries everything that
+determines the result — source text, entry point, and the deterministic
+option set — so a job is content-addressable with the same SHA-256
+discipline the artifact store uses (:func:`repro.artifacts.keys.cache_key`
+already folds in the pipeline code version, which makes stale served
+results impossible across code changes).
+
+The tenant id is *not* part of the key: deduplicating identical
+submissions across tenants is the point of content addressing.
+
+Wire format (``docs/SERVE.md``): HTTP/1.1 with JSON bodies; the per-job
+event stream is JSON Lines, one ``repro.obs`` event per line.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Optional
+
+#: Recognised job kinds.
+JOB_KINDS = ("repair", "verify", "certify", "run")
+
+#: Tenant id used when a submission names none.
+DEFAULT_TENANT = "anon"
+
+_MAX_SOURCE_BYTES = 1 << 20  # 1 MiB of MiniC is far beyond any benchmark.
+
+
+class ProtocolError(ValueError):
+    """A malformed submission (mapped to HTTP 400 by the server)."""
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One deterministic unit of work against the pipeline."""
+
+    kind: str
+    source: str
+    name: str = "job"
+    entry: Optional[str] = None
+    #: Run the -O1 cleanup pipeline on the repaired module (repair jobs).
+    optimize: bool = False
+    #: Seeded verification inputs (verify jobs) — mirrors ``lif verify``.
+    runs: int = 4
+    seed: int = 0
+    array_size: int = 8
+    #: Argument vector for ``run`` jobs: ints, or lists for arrays.
+    args: tuple = ()
+    #: Execution backend for verify/run jobs (None = process default).
+    backend: Optional[str] = None
+    #: Who is asking.  Only used for rate limiting and stats.
+    tenant: str = DEFAULT_TENANT
+
+    def options(self) -> dict:
+        """The deterministic option set — everything but source and tenant.
+
+        This dict is the ``options`` half of the cache key; its JSON
+        canonicalisation makes keys stable across processes.
+        """
+        return {
+            "kind": self.kind,
+            "name": self.name,
+            "entry": self.entry,
+            "optimize": self.optimize,
+            "runs": self.runs,
+            "seed": self.seed,
+            "array_size": self.array_size,
+            "args": _jsonable_args(self.args),
+            "backend": self.backend,
+        }
+
+    def to_payload(self) -> dict:
+        """The submission body ``lif submit`` posts."""
+        payload = dict(self.options())
+        payload["source"] = self.source
+        payload["tenant"] = self.tenant
+        return payload
+
+    @classmethod
+    def from_payload(cls, payload: object) -> "JobSpec":
+        """Validate and normalise a submission body."""
+        if not isinstance(payload, dict):
+            raise ProtocolError("job payload must be a JSON object")
+        kind = payload.get("kind")
+        if kind not in JOB_KINDS:
+            raise ProtocolError(
+                f"unknown job kind {kind!r} "
+                f"(expected one of {', '.join(JOB_KINDS)})"
+            )
+        source = payload.get("source")
+        if not isinstance(source, str) or not source.strip():
+            raise ProtocolError("job needs a non-empty 'source' string")
+        if len(source.encode()) > _MAX_SOURCE_BYTES:
+            raise ProtocolError("source exceeds the 1 MiB submission limit")
+        entry = payload.get("entry")
+        if entry is not None and not isinstance(entry, str):
+            raise ProtocolError("'entry' must be a string")
+        if kind in ("verify", "run") and not entry:
+            raise ProtocolError(f"{kind} jobs need an 'entry' function")
+        name = payload.get("name", "job")
+        if not isinstance(name, str) or not name:
+            raise ProtocolError("'name' must be a non-empty string")
+        tenant = payload.get("tenant", DEFAULT_TENANT)
+        if not isinstance(tenant, str) or not tenant:
+            raise ProtocolError("'tenant' must be a non-empty string")
+        backend = payload.get("backend")
+        if backend is not None and not isinstance(backend, str):
+            raise ProtocolError("'backend' must be a string")
+        args = payload.get("args", [])
+        if not isinstance(args, (list, tuple)):
+            raise ProtocolError("'args' must be a list")
+        frozen_args = []
+        for arg in args:
+            if isinstance(arg, list) and all(
+                isinstance(v, int) and not isinstance(v, bool) for v in arg
+            ):
+                frozen_args.append(tuple(arg))
+            elif isinstance(arg, int) and not isinstance(arg, bool):
+                frozen_args.append(arg)
+            else:
+                raise ProtocolError(
+                    "'args' entries must be ints or lists of ints"
+                )
+        spec = cls(
+            kind=kind,
+            source=source,
+            name=name,
+            entry=entry,
+            optimize=bool(payload.get("optimize", False)),
+            runs=_int_field(payload, "runs", 4, low=1, high=64),
+            seed=_int_field(payload, "seed", 0, low=0, high=2**32 - 1),
+            array_size=_int_field(payload, "array_size", 8, low=1, high=256),
+            args=tuple(frozen_args),
+            backend=backend,
+            tenant=tenant,
+        )
+        return spec
+
+
+def _int_field(payload: dict, key: str, default: int, low: int, high: int):
+    value = payload.get(key, default)
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ProtocolError(f"'{key}' must be an integer")
+    if not low <= value <= high:
+        raise ProtocolError(f"'{key}' must be in [{low}, {high}]")
+    return value
+
+
+def _jsonable_args(args) -> list:
+    return [list(a) if isinstance(a, (list, tuple)) else a for a in args]
+
+
+def job_key(spec: JobSpec) -> str:
+    """Content address of a job: SHA-256 over (source, options, pipeline).
+
+    Reuses the artifact-store key function, so the pipeline code digest is
+    part of every key and a code change invalidates all served results.
+    """
+    from repro.artifacts.keys import cache_key
+
+    return cache_key(spec.source, {"serve": spec.options()})
+
+
+# -- wire helpers -------------------------------------------------------------
+
+
+def encode_json(payload: object) -> bytes:
+    """Canonical JSON encoding used for bodies and the result cache."""
+    return (
+        json.dumps(payload, sort_keys=True, separators=(",", ":")) + "\n"
+    ).encode()
+
+
+def decode_json(blob: bytes) -> object:
+    try:
+        return json.loads(blob.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise ProtocolError(f"invalid JSON body: {exc}") from exc
+
+
+def encode_event(record: dict) -> bytes:
+    """One JSONL event-stream line."""
+    return (json.dumps(record, sort_keys=True) + "\n").encode()

@@ -1,0 +1,674 @@
+"""The asyncio front end: intake, back-pressure, streaming, drain.
+
+One process runs a small HTTP/1.1 server (hand-rolled over asyncio
+streams — zero dependencies) in front of the warm worker pool:
+
+* **Bounded intake.**  Admission is controlled by the number of jobs
+  submitted-but-not-finished; past ``REPRO_SERVE_QUEUE`` the server
+  answers ``429`` with a ``Retry-After`` header instead of queueing
+  without bound.
+* **Per-tenant rate limiting.**  A token bucket per tenant id
+  (``REPRO_SERVE_TENANT_RPS`` tokens/second, burst of twice that);
+  ``0`` disables the limiter.
+* **Content-addressed dedup.**  A submission whose job key is already
+  in the sharded result cache is answered immediately (``cached:
+  true``); one whose key is currently *in flight* coalesces onto the
+  running job instead of executing twice.
+* **Streaming progress.**  Every job owns a JSONL spool file; the
+  server appends lifecycle events and process workers retarget their
+  ``repro.obs`` sink at it, so ``GET /v1/jobs/<id>/events`` tails the
+  live event stream of the repair/verify stages.
+* **Graceful drain.**  ``POST /v1/shutdown`` (or SIGINT/SIGTERM under
+  ``lif serve``) stops intake with ``503`` and finishes every in-flight
+  job before the process exits; status and result endpoints keep
+  answering during the drain.
+
+Endpoints, wire examples and semantics: ``docs/SERVE.md``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional
+
+from repro.obs import OBS
+from repro.serve.cache import ResultCache, default_result_cache
+from repro.serve.pool import WarmPool
+from repro.serve.protocol import (
+    JobSpec,
+    ProtocolError,
+    decode_json,
+    encode_event,
+    encode_json,
+    job_key,
+)
+
+HOST_ENV_VAR = "REPRO_SERVE_HOST"
+PORT_ENV_VAR = "REPRO_SERVE_PORT"
+QUEUE_ENV_VAR = "REPRO_SERVE_QUEUE"
+TENANT_RPS_ENV_VAR = "REPRO_SERVE_TENANT_RPS"
+SPOOL_ENV_VAR = "REPRO_SERVE_SPOOL"
+
+DEFAULT_PORT = 8765
+DEFAULT_QUEUE_LIMIT = 512
+
+
+def _env_int(name: str, default: int) -> int:
+    raw = os.environ.get(name, "").strip()
+    try:
+        return int(raw) if raw else default
+    except ValueError:
+        return default
+
+
+def _env_float(name: str, default: float) -> float:
+    raw = os.environ.get(name, "").strip()
+    try:
+        return float(raw) if raw else default
+    except ValueError:
+        return default
+
+
+@dataclass
+class ServeConfig:
+    """Everything ``lif serve`` can tune (flags override the environment)."""
+
+    host: str = "127.0.0.1"
+    port: int = DEFAULT_PORT
+    workers: Optional[int] = None
+    recycle: Optional[int] = None
+    queue_limit: int = DEFAULT_QUEUE_LIMIT
+    tenant_rps: float = 0.0  # 0 = rate limiting off
+    spool_dir: Optional[str] = None
+    use_cache: bool = True
+    #: Seconds a ``?wait=1`` status request may block before answering.
+    wait_timeout: float = 600.0
+    #: After the last in-flight job drains, keep answering status/result
+    #: requests on connections that are still open for up to this long, so
+    #: clients that submitted before the shutdown can collect their results.
+    drain_grace: float = 5.0
+
+    @classmethod
+    def from_env(cls, **overrides) -> "ServeConfig":
+        config = cls(
+            host=os.environ.get(HOST_ENV_VAR, "127.0.0.1"),
+            port=_env_int(PORT_ENV_VAR, DEFAULT_PORT),
+            queue_limit=_env_int(QUEUE_ENV_VAR, DEFAULT_QUEUE_LIMIT),
+            tenant_rps=_env_float(TENANT_RPS_ENV_VAR, 0.0),
+            spool_dir=os.environ.get(SPOOL_ENV_VAR) or None,
+        )
+        for name, value in overrides.items():
+            if value is not None:
+                setattr(config, name, value)
+        return config
+
+
+class TokenBucket:
+    """Classic token bucket; ``rate`` tokens/second, ``burst`` capacity."""
+
+    __slots__ = ("rate", "burst", "tokens", "stamp")
+
+    def __init__(self, rate: float, burst: float) -> None:
+        self.rate = rate
+        self.burst = burst
+        self.tokens = burst
+        self.stamp = time.monotonic()
+
+    def take(self) -> float:
+        """0.0 when a token was taken, else seconds until one is due."""
+        now = time.monotonic()
+        self.tokens = min(self.burst, self.tokens + (now - self.stamp) * self.rate)
+        self.stamp = now
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return 0.0
+        return (1.0 - self.tokens) / self.rate
+
+
+@dataclass
+class JobRecord:
+    """Server-side state of one accepted job."""
+
+    job_id: str
+    key: str
+    tenant: str
+    payload: dict
+    status: str = "queued"  # queued | running | done | failed
+    result: Optional[bytes] = None
+    error: Optional[str] = None
+    events_path: Optional[Path] = None
+    created: float = field(default_factory=time.monotonic)
+    finished_event: "asyncio.Event" = field(default_factory=asyncio.Event)
+
+    def public(self, include_result: bool = True) -> dict:
+        view: dict = {
+            "job_id": self.job_id,
+            "key": self.key,
+            "status": self.status,
+        }
+        if self.error is not None:
+            view["error"] = self.error
+        if include_result and self.result is not None:
+            view["result"] = json.loads(self.result.decode())
+        return view
+
+
+_STOP = object()
+
+
+class RepairServer:
+    """The long-running multi-tenant service in front of ``repro.api``."""
+
+    def __init__(self, config: Optional[ServeConfig] = None) -> None:
+        self.config = config or ServeConfig.from_env()
+        self.pool = WarmPool(self.config.workers, self.config.recycle)
+        self.cache: Optional[ResultCache] = (
+            default_result_cache() if self.config.use_cache else None
+        )
+        spool = self.config.spool_dir or os.path.join(
+            os.environ.get("REPRO_CACHE_DIR", ".repro-cache"), "serve-spool"
+        )
+        self.spool_dir = Path(spool)
+        self.jobs: dict[str, JobRecord] = {}
+        self.by_key: dict[str, str] = {}  # in-flight key -> job_id
+        self.queue: "asyncio.Queue" = asyncio.Queue()
+        self.buckets: dict[str, TokenBucket] = {}
+        self.counters: dict[str, int] = {}
+        self.tenant_jobs: dict[str, int] = {}
+        self.pending = 0  # submitted but not finished (queued + running)
+        self.running = 0
+        self.peak_in_flight = 0
+        self.draining = False
+        self._active_connections = 0
+        self._drained = asyncio.Event()
+        self._seq = 0
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._dispatchers: list = []
+        self.started = time.monotonic()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def address(self) -> tuple:
+        sock = self._server.sockets[0]
+        return sock.getsockname()[:2]
+
+    async def start(self) -> None:
+        self.spool_dir.mkdir(parents=True, exist_ok=True)
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        self._dispatchers = [
+            asyncio.create_task(self._dispatcher())
+            for _ in range(max(1, self.pool.slots))
+        ]
+
+    async def wait_closed(self) -> None:
+        """Block until a drain completes, then tear everything down."""
+        await self._drained.wait()
+        deadline = time.monotonic() + max(0.0, self.config.drain_grace)
+        while self._active_connections > 0 and time.monotonic() < deadline:
+            await asyncio.sleep(0.02)
+        for _ in self._dispatchers:
+            self.queue.put_nowait(_STOP)
+        await asyncio.gather(*self._dispatchers, return_exceptions=True)
+        self._server.close()
+        await self._server.wait_closed()
+        self.pool.shutdown(wait=True)
+
+    async def drain(self) -> None:
+        """Stop intake; the drained flag trips when in-flight hits zero."""
+        self.draining = True
+        self._count("serve.drain_requested")
+        if self.pending == 0:
+            self._drained.set()
+
+    # -- dispatch ------------------------------------------------------------
+
+    async def _dispatcher(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            record = await self.queue.get()
+            if record is _STOP:
+                return
+            record.status = "running"
+            self.running += 1
+            self._append_event(record, {"event": "job.started",
+                                        "job_id": record.job_id})
+            events = (
+                str(record.events_path)
+                if self.pool.mode == "process" else None
+            )
+            try:
+                future = self.pool.submit(record.payload, events)
+                blob, snapshot = await asyncio.wrap_future(future, loop=loop)
+                OBS.merge(snapshot)
+                record.result = blob
+                record.status = "done"
+                self._count("serve.completed")
+                if self.cache is not None:
+                    self.cache.put(record.key, blob)
+            except Exception as exc:  # transport/pool failure, not a result
+                record.status = "failed"
+                record.error = f"{type(exc).__name__}: {exc}"
+                self._count("serve.transport_failures")
+            finally:
+                self.running -= 1
+                self.pending -= 1
+                if self.by_key.get(record.key) == record.job_id:
+                    del self.by_key[record.key]
+                self._append_event(
+                    record,
+                    {"event": "job.done", "job_id": record.job_id,
+                     "status": record.status},
+                )
+                record.finished_event.set()
+                if self.draining and self.pending == 0:
+                    self._drained.set()
+
+    # -- submission ----------------------------------------------------------
+
+    def _submit(self, payload: object) -> tuple:
+        """Returns (http status, response payload)."""
+        if self.draining:
+            self._count("serve.rejected_draining")
+            return 503, {"error": "draining",
+                         "detail": "server is draining; resubmit elsewhere"}
+        spec = JobSpec.from_payload(payload)  # ProtocolError -> 400 upstream
+        retry = self._rate_limit(spec.tenant)
+        if retry > 0:
+            self._count("serve.rejected_ratelimit")
+            return 429, {"error": "rate_limited", "tenant": spec.tenant,
+                         "retry_after": retry}
+        key = job_key(spec)
+        self._count("serve.submitted")
+        self.tenant_jobs[spec.tenant] = self.tenant_jobs.get(spec.tenant, 0) + 1
+        if self.cache is not None:
+            cached = self.cache.get(key)
+            if cached is not None:
+                self._count("serve.cache_served")
+                record = self._new_record(spec, key, register=False)
+                record.status = "done"
+                record.result = cached
+                record.finished_event.set()
+                self._append_event(
+                    record,
+                    {"event": "job.cached", "job_id": record.job_id,
+                     "key": key},
+                )
+                self._append_event(
+                    record,
+                    {"event": "job.done", "job_id": record.job_id,
+                     "status": "done"},
+                )
+                response = record.public()
+                response["cached"] = True
+                return 200, response
+        inflight = self.by_key.get(key)
+        if inflight is not None:
+            self._count("serve.coalesced")
+            return 202, {"job_id": inflight, "key": key,
+                         "status": self.jobs[inflight].status,
+                         "coalesced": True}
+        if self.pending >= self.config.queue_limit:
+            self._count("serve.rejected_backpressure")
+            return 429, {"error": "backpressure",
+                         "queued": self.pending, "retry_after": 1}
+        record = self._new_record(spec, key, register=True)
+        self.pending += 1
+        self.peak_in_flight = max(self.peak_in_flight, self.pending)
+        self._append_event(
+            record,
+            {"event": "job.queued", "job_id": record.job_id, "key": key,
+             "kind": spec.kind, "tenant": spec.tenant},
+        )
+        self.queue.put_nowait(record)
+        return 202, {"job_id": record.job_id, "key": key,
+                     "status": "queued", "cached": False}
+
+    def _new_record(self, spec: JobSpec, key: str, register: bool) -> JobRecord:
+        self._seq += 1
+        job_id = f"j{self._seq:08d}"
+        record = JobRecord(
+            job_id=job_id,
+            key=key,
+            tenant=spec.tenant,
+            payload=spec.to_payload(),
+            events_path=self.spool_dir / f"{job_id}.jsonl",
+        )
+        try:
+            # Job ids restart per server process; a leftover spool file from
+            # a previous run must not replay into this job's event stream.
+            record.events_path.unlink()
+        except OSError:
+            pass
+        self.jobs[job_id] = record
+        if register:
+            self.by_key[key] = job_id
+        return record
+
+    def _rate_limit(self, tenant: str) -> float:
+        rate = self.config.tenant_rps
+        if rate <= 0:
+            return 0.0
+        bucket = self.buckets.get(tenant)
+        if bucket is None:
+            bucket = self.buckets[tenant] = TokenBucket(rate, 2 * rate)
+        return bucket.take()
+
+    def _count(self, name: str, value: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + value
+        if OBS.enabled:
+            OBS.counter(name, value)
+
+    def _append_event(self, record: JobRecord, event: dict) -> None:
+        if record.events_path is None:
+            return
+        try:
+            with open(record.events_path, "ab") as handle:
+                handle.write(encode_event({**event, "pid": os.getpid()}))
+        except OSError:
+            pass
+        if OBS.enabled:
+            OBS.event(event.pop("event"), **event)
+
+    # -- stats ---------------------------------------------------------------
+
+    def stats(self) -> dict:
+        from repro.exec import executor_cache_stats
+        from repro.serve.jobs import warm_module_stats
+
+        return {
+            "uptime_seconds": round(time.monotonic() - self.started, 3),
+            "pending": self.pending,
+            "running": self.running,
+            "peak_in_flight": self.peak_in_flight,
+            "draining": self.draining,
+            "queue_limit": self.config.queue_limit,
+            "tenant_rps": self.config.tenant_rps,
+            "counters": dict(sorted(self.counters.items())),
+            "tenants": dict(sorted(self.tenant_jobs.items())),
+            "pool": self.pool.stats(),
+            "result_cache": self.cache.stats() if self.cache else None,
+            "exec_caches": executor_cache_stats(),
+            "warm_modules": warm_module_stats(),
+        }
+
+    # -- HTTP plumbing -------------------------------------------------------
+
+    async def _handle_connection(self, reader, writer) -> None:
+        self._active_connections += 1
+        try:
+            request = await self._read_request(reader)
+            if request is None:
+                return
+            method, target, body = request
+            await self._route(method, target, body, writer)
+        except (ConnectionResetError, BrokenPipeError, asyncio.IncompleteReadError):
+            pass
+        except ProtocolError as exc:
+            await self._respond(writer, 400, {"error": "bad_request",
+                                              "detail": str(exc)})
+        except Exception as exc:  # never kill the accept loop
+            self._count("serve.internal_errors")
+            try:
+                await self._respond(
+                    writer, 500,
+                    {"error": "internal", "detail": f"{type(exc).__name__}: {exc}"},
+                )
+            except OSError:
+                pass
+        finally:
+            self._active_connections -= 1
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (OSError, asyncio.CancelledError):
+                pass
+
+    async def _read_request(self, reader):
+        request_line = await reader.readline()
+        if not request_line:
+            return None
+        parts = request_line.decode("latin-1").split()
+        if len(parts) < 2:
+            raise ProtocolError("malformed request line")
+        method, target = parts[0].upper(), parts[1]
+        headers = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        if length > (2 << 20):
+            raise ProtocolError("request body too large")
+        body = await reader.readexactly(length) if length else b""
+        return method, target, body
+
+    async def _route(self, method: str, target: str, body: bytes, writer):
+        path, _, query = target.partition("?")
+        params = _parse_query(query)
+        if method == "POST" and path == "/v1/jobs":
+            status, payload = self._submit(decode_json(body))
+            extra = ()
+            if status == 429:
+                extra = (("Retry-After", str(max(1, int(payload.get(
+                    "retry_after", 1) + 0.999)))),)
+            await self._respond(writer, status, payload, extra_headers=extra)
+            return
+        if method == "POST" and path == "/v1/shutdown":
+            pending = self.pending
+            await self.drain()
+            await self._respond(
+                writer, 200, {"status": "draining", "pending": pending}
+            )
+            return
+        if method == "GET" and path == "/v1/healthz":
+            await self._respond(
+                writer, 200,
+                {"status": "draining" if self.draining else "ok"},
+            )
+            return
+        if method == "GET" and path == "/v1/stats":
+            await self._respond(writer, 200, self.stats())
+            return
+        if method == "GET" and path.startswith("/v1/jobs/"):
+            rest = path[len("/v1/jobs/"):]
+            job_id, _, sub = rest.partition("/")
+            record = self.jobs.get(job_id)
+            if record is None:
+                await self._respond(
+                    writer, 404, {"error": "unknown_job", "job_id": job_id}
+                )
+                return
+            if sub == "":
+                if params.get("wait") == "1" and record.result is None \
+                        and record.status not in ("done", "failed"):
+                    timeout = float(
+                        params.get("timeout", self.config.wait_timeout)
+                    )
+                    try:
+                        await asyncio.wait_for(
+                            record.finished_event.wait(), timeout
+                        )
+                    except asyncio.TimeoutError:
+                        pass
+                await self._respond(writer, 200, record.public())
+                return
+            if sub == "result":
+                if record.result is None:
+                    await self._respond(
+                        writer, 404,
+                        {"error": "not_done", "status": record.status},
+                    )
+                    return
+                await self._respond_raw(writer, 200, record.result)
+                return
+            if sub == "events":
+                await self._stream_events(writer, record)
+                return
+        await self._respond(writer, 404, {"error": "unknown_endpoint",
+                                          "path": path})
+
+    async def _stream_events(self, writer, record: JobRecord) -> None:
+        """Tail the job's JSONL spool until the job finishes."""
+        head = (
+            "HTTP/1.1 200 OK\r\n"
+            "Content-Type: application/x-ndjson\r\n"
+            "Connection: close\r\n\r\n"
+        )
+        writer.write(head.encode("latin-1"))
+        await writer.drain()
+        offset = 0
+        while True:
+            chunk = b""
+            try:
+                with open(record.events_path, "rb") as handle:
+                    handle.seek(offset)
+                    chunk = handle.read()
+            except OSError:
+                pass
+            if chunk:
+                # Only ship complete lines; a partial tail stays buffered.
+                cut = chunk.rfind(b"\n") + 1
+                if cut:
+                    writer.write(chunk[:cut])
+                    await writer.drain()
+                    offset += cut
+            elif record.finished_event.is_set():
+                return
+            if record.finished_event.is_set() and not chunk:
+                return
+            await asyncio.sleep(0.02)
+
+    async def _respond(self, writer, status: int, payload: dict,
+                       extra_headers=()) -> None:
+        await self._respond_raw(
+            writer, status, encode_json(payload), extra_headers
+        )
+
+    async def _respond_raw(self, writer, status: int, body: bytes,
+                           extra_headers=()) -> None:
+        reason = {200: "OK", 202: "Accepted", 400: "Bad Request",
+                  404: "Not Found", 429: "Too Many Requests",
+                  500: "Internal Server Error",
+                  503: "Service Unavailable"}.get(status, "OK")
+        lines = [
+            f"HTTP/1.1 {status} {reason}",
+            "Content-Type: application/json",
+            f"Content-Length: {len(body)}",
+            "Connection: close",
+        ]
+        for name, value in extra_headers:
+            lines.append(f"{name}: {value}")
+        head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+        writer.write(head + body)
+        await writer.drain()
+
+
+def _parse_query(query: str) -> dict:
+    params = {}
+    for pair in query.split("&"):
+        if not pair:
+            continue
+        name, _, value = pair.partition("=")
+        params[name] = value
+    return params
+
+
+async def _amain(config: ServeConfig, announce=None) -> None:
+    server = RepairServer(config)
+    await server.start()
+    host, port = server.address
+    if announce is not None:
+        announce(server, host, port)
+    loop = asyncio.get_running_loop()
+    try:
+        import signal
+
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(
+                signum, lambda: asyncio.ensure_future(server.drain())
+            )
+    except (ImportError, NotImplementedError, RuntimeError):
+        pass
+    await server.wait_closed()
+
+
+def run_server(config: Optional[ServeConfig] = None, announce=None) -> int:
+    """Run the service until drained (what ``lif serve`` does)."""
+    asyncio.run(_amain(config or ServeConfig.from_env(), announce))
+    return 0
+
+
+class ServerThread:
+    """An in-process server on a background thread (tests, benchmarks).
+
+    Context-manager use drains the server on exit, so in-flight jobs
+    finish before the ``with`` block returns::
+
+        with ServerThread(ServeConfig(port=0, workers=2)) as handle:
+            client = ServeClient(handle.host, handle.port)
+            ...
+    """
+
+    def __init__(self, config: Optional[ServeConfig] = None) -> None:
+        import threading
+
+        self.config = config or ServeConfig.from_env()
+        self.server: Optional[RepairServer] = None
+        self.loop: Optional[asyncio.AbstractEventLoop] = None
+        self.host: Optional[str] = None
+        self.port: Optional[int] = None
+        self.error: Optional[BaseException] = None
+        self._ready = threading.Event()
+        self._thread = threading.Thread(
+            target=self._main, name="repro-serve", daemon=True
+        )
+
+    def _main(self) -> None:
+        try:
+            asyncio.run(self._amain())
+        except BaseException as exc:  # surfaced by start()
+            self.error = exc
+            self._ready.set()
+
+    async def _amain(self) -> None:
+        self.server = RepairServer(self.config)
+        await self.server.start()
+        self.loop = asyncio.get_running_loop()
+        self.host, self.port = self.server.address
+        self._ready.set()
+        await self.server.wait_closed()
+
+    def start(self) -> "ServerThread":
+        self._thread.start()
+        self._ready.wait(timeout=60)
+        if self.error is not None:
+            raise RuntimeError("server failed to start") from self.error
+        if self.port is None:
+            raise RuntimeError("server did not come up within 60s")
+        return self
+
+    def request_drain(self) -> None:
+        if self.loop is not None and self._thread.is_alive():
+            self.loop.call_soon_threadsafe(
+                lambda: asyncio.ensure_future(self.server.drain())
+            )
+
+    def join(self, timeout: float = 120.0) -> None:
+        self._thread.join(timeout)
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.request_drain()
+        self.join()

@@ -52,7 +52,7 @@ class TestKeying:
         assert plain is not tracing
         assert plain is not caching
         assert compile_cache_stats() == {
-            "hits": 0, "misses": 3, "entries": 1,
+            "hits": 0, "misses": 3, "evictions": 0, "entries": 1,
         }
 
     def test_executors_share_compilation(self):
@@ -130,4 +130,4 @@ class TestLifecycle:
         module = parse_module(TEXT)
         get_compiled(module, False, False, DEFAULT_COST_MODEL)
         clear_compile_cache()
-        assert compile_cache_stats() == {"hits": 0, "misses": 0, "entries": 0}
+        assert compile_cache_stats() == {"hits": 0, "misses": 0, "evictions": 0, "entries": 0}

@@ -1,0 +1,108 @@
+"""``run_many`` on non-batch executors: the interpreter fallback loop.
+
+``run_many`` hands the whole vector family to ``run_batch`` when the
+executor has one and otherwise loops ``run`` per vector.  These tests pin
+the contract the serve/verify layers rely on: the fallback loop is
+bit-identical to the batch dispatch (values, cycles, steps, arrays), the
+result list is index-aligned, input vectors are not mutated, and a
+per-vector error surfaces in vector order on every backend.
+"""
+
+import pytest
+
+from repro.exec import make_executor, run_many
+from repro.exec.memory import MemorySafetyViolation
+from repro.ir import parse_module
+
+SUM_IR = """
+func @sum(a: ptr, n: int) {
+entry:
+  jmp head
+head:
+  i = phi [0, entry], [i2, body]
+  s = phi [0, entry], [s2, body]
+  p = mov i < n
+  br p, body, done
+body:
+  x = load a[i]
+  s2 = mov s + x
+  i2 = mov i + 1
+  jmp head
+done:
+  ret s
+}
+"""
+
+
+def _module():
+    return parse_module(SUM_IR, name="run_many_fixture")
+
+
+def _vectors(count=10, width=4):
+    return [
+        [[(lane * 13 + k) % 89 for k in range(width)], width]
+        for lane in range(count)
+    ]
+
+
+def _observe(result):
+    return (
+        result.value,
+        result.cycles,
+        result.steps,
+        result.arrays,
+        sorted(result.global_state),
+        len(result.violations),
+    )
+
+
+def test_fallback_loop_matches_batch_bit_for_bit():
+    module = _module()
+    vectors = _vectors()
+    batch = run_many(make_executor(module, backend="batch"), "sum", vectors)
+    for backend in ("interp", "compiled"):
+        executor = make_executor(module, backend=backend)
+        assert not hasattr(executor, "run_batch")
+        results = run_many(executor, "sum", vectors)
+        assert len(results) == len(vectors)
+        assert [_observe(r) for r in results] == [_observe(r) for r in batch]
+
+
+def test_fallback_results_are_index_aligned():
+    module = _module()
+    vectors = _vectors(count=6)
+    results = run_many(make_executor(module, backend="interp"), "sum", vectors)
+    for vector, result in zip(vectors, results):
+        assert result.value == sum(vector[0])
+
+
+def test_fallback_does_not_mutate_vectors():
+    module = _module()
+    vectors = _vectors(count=4)
+    snapshot = [[list(v[0]), v[1]] for v in vectors]
+    for backend in ("interp", "compiled", "batch"):
+        run_many(make_executor(module, backend=backend), "sum", vectors)
+        assert vectors == snapshot
+
+
+@pytest.mark.parametrize("backend", ["interp", "compiled", "batch"])
+def test_first_erroring_vector_raises_in_order(backend):
+    """Vector 2 reads out of bounds before vector 4 does: every backend
+    must surface vector 2's violation (the fallback loop trivially does;
+    the batch path documents the same order)."""
+    module = _module()
+    vectors = _vectors(count=6)
+    vectors[2] = [[1, 2], 5]  # OOB at i=2
+    vectors[4] = [[3], 5]
+    executor = make_executor(module, backend=backend)
+    with pytest.raises(MemorySafetyViolation) as excinfo_each:
+        executor.run("sum", list(vectors[2]))
+    with pytest.raises(MemorySafetyViolation) as excinfo_many:
+        run_many(executor, "sum", vectors)
+    assert str(excinfo_many.value) == str(excinfo_each.value)
+
+
+def test_run_many_empty_family():
+    module = _module()
+    for backend in ("interp", "compiled", "batch"):
+        assert run_many(make_executor(module, backend=backend), "sum", []) == []

@@ -1,0 +1,98 @@
+"""Job specs, validation, and content-addressed job keys."""
+
+import pytest
+
+from repro.serve import JOB_KINDS, JobSpec, ProtocolError, job_key
+from repro.serve.protocol import decode_json, encode_event, encode_json
+
+SOURCE = """
+uint gate(secret uint s, uint p) {
+  uint y = 0;
+  if (s > p) {
+    y = 3;
+  }
+  return y;
+}
+"""
+
+
+def test_payload_round_trip():
+    spec = JobSpec(kind="verify", source=SOURCE, name="gate", entry="gate",
+                   runs=8, seed=3, array_size=16, backend="interp",
+                   tenant="team-a")
+    assert JobSpec.from_payload(spec.to_payload()) == spec
+
+
+def test_run_args_round_trip_freezes_lists():
+    payload = JobSpec(kind="run", source=SOURCE, entry="gate").to_payload()
+    payload["args"] = [4, [1, 2, 3]]
+    spec = JobSpec.from_payload(payload)
+    assert spec.args == (4, (1, 2, 3))
+    # and the spec stays hashable (it is a dict key in the warm memo)
+    hash(spec)
+
+
+@pytest.mark.parametrize("mutate, message", [
+    (lambda p: p.update(kind="banana"), "unknown job kind"),
+    (lambda p: p.update(source=""), "non-empty 'source'"),
+    (lambda p: p.update(source="x" * (1 << 20 + 1)), "1 MiB"),
+    (lambda p: p.update(kind="run", entry=None), "need an 'entry'"),
+    (lambda p: p.update(kind="verify", entry=None), "need an 'entry'"),
+    (lambda p: p.update(runs=0), "'runs' must be in"),
+    (lambda p: p.update(runs=65), "'runs' must be in"),
+    (lambda p: p.update(runs=True), "'runs' must be an integer"),
+    (lambda p: p.update(array_size=0), "'array_size' must be in"),
+    (lambda p: p.update(args=[1.5]), "ints or lists of ints"),
+    (lambda p: p.update(args=[[1, "x"]]), "ints or lists of ints"),
+    (lambda p: p.update(args="nope"), "'args' must be a list"),
+    (lambda p: p.update(tenant=""), "'tenant'"),
+    (lambda p: p.update(name=17), "'name'"),
+])
+def test_rejects_malformed_payloads(mutate, message):
+    payload = JobSpec(kind="repair", source=SOURCE).to_payload()
+    mutate(payload)
+    with pytest.raises(ProtocolError, match=message):
+        JobSpec.from_payload(payload)
+
+
+def test_rejects_non_object_payload():
+    with pytest.raises(ProtocolError):
+        JobSpec.from_payload([1, 2, 3])
+
+
+def test_every_kind_is_accepted():
+    for kind in JOB_KINDS:
+        payload = JobSpec(
+            kind=kind, source=SOURCE, entry="gate"
+        ).to_payload()
+        assert JobSpec.from_payload(payload).kind == kind
+
+
+def test_job_key_is_content_addressed():
+    base = JobSpec(kind="repair", source=SOURCE, name="gate")
+    assert job_key(base) == job_key(
+        JobSpec(kind="repair", source=SOURCE, name="gate")
+    )
+    # every option that can change the result changes the key...
+    assert job_key(base) != job_key(
+        JobSpec(kind="certify", source=SOURCE, name="gate")
+    )
+    assert job_key(base) != job_key(
+        JobSpec(kind="repair", source=SOURCE + "\n", name="gate")
+    )
+    assert job_key(base) != job_key(
+        JobSpec(kind="repair", source=SOURCE, name="gate", optimize=True)
+    )
+    # ...but the tenant does not: cross-tenant dedup is the point.
+    assert job_key(base) == job_key(
+        JobSpec(kind="repair", source=SOURCE, name="gate", tenant="other")
+    )
+
+
+def test_canonical_json_is_deterministic():
+    blob = encode_json({"b": 1, "a": [2, 3]})
+    assert blob == b'{"a":[2,3],"b":1}\n'
+    assert decode_json(blob) == {"a": [2, 3], "b": 1}
+    with pytest.raises(ProtocolError):
+        decode_json(b"{nope")
+    assert encode_event({"event": "x"}).endswith(b"\n")
