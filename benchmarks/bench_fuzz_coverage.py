@@ -1,0 +1,128 @@
+"""Coverage-guided vs blind fuzzing at an equal iteration budget.
+
+Runs two campaigns with the same ``(seed, iterations)`` — one blind
+(the PR 5 generator, coverage merely tracked) and one coverage-guided
+(``--mutate``: splice/tweak/grow mutations of coverage-novel corpus
+parents) — and compares the number of unique coverage keys and unique
+oracle disagreements each reaches.  The acceptance bar is that guidance
+reaches strictly more unique coverage keys than blind generation at the
+same budget; results (including the per-round coverage-growth series the
+``docs/FUZZING.md`` dashboard quotes) are written to ``BENCH_fuzz.json``
+at the repository root.
+
+Run standalone (``python benchmarks/bench_fuzz_coverage.py``) or through
+pytest with the rest of the figure benchmarks.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.fuzz.campaign import CampaignOptions, run_campaign
+
+#: One shared budget for both modes — the comparison is only meaningful
+#: at identical (seed, iterations).
+SEED = 3
+ITERATIONS = 300
+ROUND_SIZE = 25
+
+_RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_fuzz.json"
+
+
+def _campaign(mutate: bool) -> dict:
+    report = run_campaign(CampaignOptions(
+        seed=SEED,
+        iterations=ITERATIONS,
+        mutate=mutate,
+        minimize=True,
+        round_size=ROUND_SIZE,
+    ))
+    record = report.as_dict()
+    return {
+        "coverage_keys": record["coverage"]["keys"],
+        "unique_disagreements": len(
+            {f["case_id"] for f in record["failures"]}
+        ),
+        "failures": record["failures"],
+        "oracles": record["oracles"],
+        "samples": record["samples"],
+        "mutated_samples": record["samples"]["mutated"],
+        "corpus_entries": record["corpus"]["entries"],
+        "unique_sources": record["corpus"]["unique_sources"],
+        "dedup_hits": record["corpus"]["dedup_hits"],
+        "rounds": [
+            {
+                "round": entry["round"],
+                "samples": entry["samples"],
+                "new_keys": entry["new_keys"],
+                "coverage": entry["coverage"],
+                "corpus": entry["corpus"],
+            }
+            for entry in record["rounds"]
+        ],
+    }
+
+
+def measure_fuzz_coverage() -> dict:
+    """Both campaigns at the shared budget; deterministic by construction."""
+    return {"blind": _campaign(mutate=False),
+            "guided": _campaign(mutate=True)}
+
+
+def report(measured: dict) -> dict:
+    blind = measured["blind"]
+    guided = measured["guided"]
+    summary = {
+        "seed": SEED,
+        "iterations": ITERATIONS,
+        "round_size": ROUND_SIZE,
+        "blind": blind,
+        "guided": guided,
+        "advantage": {
+            "extra_keys": guided["coverage_keys"] - blind["coverage_keys"],
+            "coverage_ratio": (
+                guided["coverage_keys"] / blind["coverage_keys"]
+                if blind["coverage_keys"] else 0.0
+            ),
+        },
+    }
+    _RESULT_PATH.write_text(json.dumps(summary, indent=2) + "\n")
+    return summary
+
+
+def test_fuzz_coverage(capsys):
+    summary = report(measure_fuzz_coverage())
+    blind, guided = summary["blind"], summary["guided"]
+    with capsys.disabled():
+        print("\n== Coverage-guided vs blind fuzzing (equal budget) ==")
+        print(
+            f"  blind : {blind['coverage_keys']} keys, "
+            f"{blind['unique_disagreements']} unique disagreements"
+        )
+        print(
+            f"  guided: {guided['coverage_keys']} keys, "
+            f"{guided['unique_disagreements']} unique disagreements, "
+            f"{guided['mutated_samples']} mutated samples, "
+            f"corpus {guided['corpus_entries']} "
+            f"(written to {_RESULT_PATH.name})"
+        )
+    assert guided["coverage_keys"] > blind["coverage_keys"], (
+        "coverage guidance must reach strictly more unique coverage keys "
+        f"than blind generation at the same budget, got "
+        f"{guided['coverage_keys']} vs {blind['coverage_keys']}"
+    )
+
+
+if __name__ == "__main__":
+    result = report(measure_fuzz_coverage())
+    print(
+        f"blind : {result['blind']['coverage_keys']} keys / "
+        f"{result['blind']['unique_disagreements']} disagreements"
+    )
+    print(
+        f"guided: {result['guided']['coverage_keys']} keys / "
+        f"{result['guided']['unique_disagreements']} disagreements "
+        f"(+{result['advantage']['extra_keys']}, "
+        f"{result['advantage']['coverage_ratio']:.2f}x)"
+    )

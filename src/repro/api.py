@@ -167,6 +167,11 @@ def fuzz(
     minimize: bool = True,
     store: bool = False,
     corpus_dir=None,
+    mutate: bool = False,
+    cov: bool = False,
+    checkpoint=None,
+    resume: bool = False,
+    shards: int = 1,
 ):
     """Run a differential fuzz campaign (what ``lif fuzz`` runs).
 
@@ -175,8 +180,32 @@ def fuzz(
     verdicts, optimizer sanitization), minimizes any disagreement, and —
     with ``store=True`` — writes reduced reproducers into the corpus.
 
-    Returns a :class:`repro.fuzz.engine.FuzzReport`.
+    ``mutate=True`` switches to the coverage-guided campaign (mutations of
+    coverage-novel corpus parents); ``cov=True`` tracks coverage without
+    mutating.  ``checkpoint``/``resume``/``shards`` journal the campaign
+    to disk and resume it byte-deterministically after a kill (see
+    :mod:`repro.fuzz.campaign`).
+
+    Returns a :class:`repro.fuzz.engine.FuzzReport` (blind mode) or a
+    :class:`repro.fuzz.campaign.CampaignReport` (guided/checkpointed).
     """
+    if mutate or cov or checkpoint or resume or shards > 1:
+        from repro.fuzz.campaign import CampaignOptions, run_campaign
+
+        return run_campaign(
+            CampaignOptions(
+                seed=seed,
+                iterations=iterations,
+                mutate=mutate,
+                minimize=minimize,
+                jobs=jobs,
+                shards=shards,
+                checkpoint_dir=checkpoint,
+            ),
+            resume=resume,
+            store=store,
+            corpus_dir=corpus_dir,
+        )
     from repro.fuzz.engine import run_fuzz
 
     return run_fuzz(

@@ -54,6 +54,79 @@ def default_store() -> "Optional[ArtifactStore]":
     return ArtifactStore(os.environ.get("REPRO_CACHE_DIR", ".repro-cache"))
 
 
+class BlobStore:
+    """A flat content-addressed blob directory (sha256-keyed, write-once).
+
+    The fuzz campaign's corpus dedup sits on this: a blob's key *is* the
+    sha256 of its bytes, so storing the same rendered program twice is a
+    no-op and "have I seen this sample" is one ``is_file`` check.  Writes
+    go through a temp file + ``os.replace`` like the artifact entries, so
+    concurrent shard processes race benignly.  Sharding reuses the
+    ``REPRO_CACHE_SHARDS`` width of :class:`ArtifactStore`.
+    """
+
+    def __init__(self, root, shard_width: Optional[int] = None) -> None:
+        self.root = Path(root)
+        self.shard_width = (
+            shard_width_from_env() if shard_width is None else shard_width
+        )
+
+    @staticmethod
+    def key_of(data: bytes) -> str:
+        import hashlib
+
+        return hashlib.sha256(data).hexdigest()
+
+    def _path(self, key: str) -> Path:
+        shard = key[: self.shard_width] if self.shard_width else "_"
+        return self.root / shard / f"{key}.blob"
+
+    def has(self, key: str) -> bool:
+        return self._path(key).is_file()
+
+    def put(self, data: bytes) -> tuple[str, bool]:
+        """Store ``data``; return ``(key, was_new)``."""
+        key = self.key_of(data)
+        path = self._path(key)
+        if path.is_file():
+            if OBS.enabled:
+                OBS.counter("fuzz.corpus.dedup_hits")
+            return key, False
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, staging = tempfile.mkstemp(dir=path.parent, prefix=".blob-")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(data)
+            os.replace(staging, path)
+        except OSError:
+            try:
+                os.unlink(staging)
+            except OSError:
+                pass
+            return key, False
+        if OBS.enabled:
+            OBS.counter("fuzz.corpus.blobs_written")
+            OBS.counter("fuzz.corpus.bytes_written", len(data))
+        return key, True
+
+    def get(self, key: str) -> Optional[bytes]:
+        try:
+            return self._path(key).read_bytes()
+        except OSError:
+            return None
+
+    def known_keys(self) -> list[str]:
+        if not self.root.is_dir():
+            return []
+        return sorted(
+            entry.name[: -len(".blob")]
+            for shard in self.root.iterdir()
+            if shard.is_dir() and not shard.name.startswith(".")
+            for entry in shard.iterdir()
+            if entry.name.endswith(".blob")
+        )
+
+
 class ArtifactStore:
     """Content-addressed artifact directory, sharded by key prefix."""
 

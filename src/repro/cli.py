@@ -375,19 +375,45 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 
 def _cmd_fuzz(args) -> int:
-    from repro.fuzz.engine import run_fuzz
     from repro.fuzz.generators import FuzzConfig
 
     config = FuzzConfig(ir_fraction=args.ir_fraction)
-    report = run_fuzz(
-        seed=args.seed,
-        iterations=args.iterations,
-        jobs=args.jobs,
-        minimize=not args.no_minimize,
-        config=config,
-        corpus_dir=args.corpus_dir,
-        store=args.store,
+    if args.resume and not args.checkpoint:
+        print("lif fuzz: --resume requires --checkpoint DIR", file=sys.stderr)
+        return 2
+    guided = (
+        args.mutate or args.cov or args.checkpoint or args.shards > 1
     )
+    if guided:
+        from repro.fuzz.campaign import CampaignOptions, run_campaign
+
+        report = run_campaign(
+            CampaignOptions(
+                seed=args.seed,
+                iterations=args.iterations,
+                mutate=args.mutate,
+                minimize=not args.no_minimize,
+                fuzz=config,
+                shards=args.shards,
+                jobs=args.jobs,
+                checkpoint_dir=args.checkpoint,
+            ),
+            resume=args.resume,
+            store=args.store,
+            corpus_dir=args.corpus_dir,
+        )
+    else:
+        from repro.fuzz.engine import run_fuzz
+
+        report = run_fuzz(
+            seed=args.seed,
+            iterations=args.iterations,
+            jobs=args.jobs,
+            minimize=not args.no_minimize,
+            config=config,
+            corpus_dir=args.corpus_dir,
+            store=args.store,
+        )
     for line in report.summary_lines():
         print(line)
     return 0 if report.ok else 1
@@ -612,6 +638,27 @@ def main(argv: "list[str] | None" = None) -> int:
     p_fuzz.add_argument("--ir-fraction", type=int, default=4,
                         help="every Nth sample is an IR-level module "
                              "(0 = MiniC only; default 4)")
+    p_fuzz.add_argument("--cov", action="store_true",
+                        help="track pipeline coverage (branch edges + "
+                             "rule/pass firings) per sample; implied by "
+                             "--mutate")
+    p_fuzz.add_argument("--mutate", action="store_true",
+                        help="coverage-guided mode: mutate coverage-novel "
+                             "corpus parents (splice/tweak/grow) instead of "
+                             "sampling blind")
+    p_fuzz.add_argument("--checkpoint", default=None, metavar="DIR",
+                        help="journal the campaign to DIR (identity record, "
+                             "content-addressed sample blobs, per-slice "
+                             "result checkpoints)")
+    p_fuzz.add_argument("--resume", action="store_true",
+                        help="resume from --checkpoint DIR: completed "
+                             "slices are replayed, missing ones re-run; "
+                             "the merged result is byte-identical to an "
+                             "uninterrupted run")
+    p_fuzz.add_argument("--shards", type=int, default=1,
+                        help="checkpoint slices per round (default 1); "
+                             "like --jobs, has no effect on the output "
+                             "bytes")
     p_fuzz.set_defaults(func=_cmd_fuzz)
 
     p_serve = sub.add_parser(

@@ -16,15 +16,26 @@ which is replayed as ordinary pytest cases.
   generators with size/feature knobs (:class:`FuzzConfig`);
 * :mod:`repro.fuzz.strategies` — the Hypothesis strategies shared with
   the property tests (promoted from ``tests/property/generators.py``);
-* :mod:`repro.fuzz.oracles` — the differential engine: the five oracle
+* :mod:`repro.fuzz.oracles` — the differential engine: the six oracle
   cross-checks over one sample;
 * :mod:`repro.fuzz.minimize` — the deterministic delta-debugging shrinker;
 * :mod:`repro.fuzz.corpus` — the reproducer store and replay loader;
-* :mod:`repro.fuzz.engine` — the campaign driver behind ``lif fuzz``
+* :mod:`repro.fuzz.engine` — the blind campaign driver behind ``lif fuzz``
   (``--seed/--iterations/--jobs/--minimize``), with process fan-out and
-  per-oracle counters.
+  per-oracle counters;
+* :mod:`repro.fuzz.coverage` — deterministic coverage keys (branch/call
+  edges plus whitelisted obs counter deltas) and the campaign-wide
+  :class:`CoverageMap`;
+* :mod:`repro.fuzz.mutate` — the pure ``(parent, seed)`` mutation engine:
+  MiniC splice/tweak/grow and IR perturbations, with a memory-safety
+  sanitizer and fresh-sample fallback;
+* :mod:`repro.fuzz.campaign` — the coverage-guided campaign behind
+  ``lif fuzz --mutate`` (``--cov/--checkpoint/--resume/--shards``):
+  round-synchronized corpus evolution, sharded checkpoints, and
+  byte-deterministic resume.
 
-See ``docs/FUZZING.md`` for the oracle matrix and the corpus policy.
+See ``docs/FUZZING.md`` for the oracle matrix, the coverage-guided
+campaign design, and the corpus policy.
 """
 
 from repro.fuzz.generators import (

@@ -124,21 +124,40 @@ def run_one(
     minimize: bool = True,
     max_minimize_checks: int = 1500,
     repair_fn: Optional[Callable] = None,
+    spec=None,
+    module=None,
+    coverage: bool = False,
 ) -> dict:
-    """Generate and cross-check one sample; minimize on disagreement."""
+    """Generate and cross-check one sample; minimize on disagreement.
+
+    ``spec`` (MiniC) / ``module`` (IR) inject a pre-materialized sample —
+    the coverage-guided campaign passes mutated genotypes this way while
+    the blind driver keeps deriving everything from ``case_seed``.  With
+    ``coverage=True`` the oracle battery runs inside an
+    ``OBS.capture(force=True)`` window and the result carries the sample's
+    sorted coverage keys under ``"coverage"`` (see
+    :mod:`repro.fuzz.coverage`).
+    """
     if kind == "ir":
-        module = random_ir_module(case_seed)
+        if module is None:
+            module = random_ir_module(case_seed)
         inputs = ir_module_inputs(case_seed)
         source = _ir_text(module)
         entry = "f"
-        report = run_oracles(module, entry, inputs, repair_fn=repair_fn)
+        report, keys = _checked(
+            module, entry, inputs, None, repair_fn, coverage
+        )
         result = _result(case_seed, kind, entry, report)
+        if keys is not None:
+            result["coverage"] = keys
+        result["source"] = source
         if not report.ok:
-            result.update(source=source, inputs=inputs,
+            result.update(inputs=inputs,
                           case_id=make_case_id(case_seed, source))
         return result
 
-    spec = generate_program(case_seed, config)
+    if spec is None:
+        spec = generate_program(case_seed, config)
     source = render_program(spec)
     try:
         module = compile_sample(source, name=f"fuzz_{case_seed}")
@@ -148,13 +167,16 @@ def run_one(
         return {
             "seed": case_seed, "kind": kind, "entry": spec.entry,
             "invalid": str(error), "checked": [], "failed": [],
+            "source": source,
         }
     inputs = generate_inputs(spec, case_seed)
-    report = run_oracles(
-        module, spec.entry, inputs,
-        secret_inputs=secret_family(inputs), repair_fn=repair_fn,
+    report, keys = _checked(
+        module, spec.entry, inputs, secret_family(inputs), repair_fn, coverage
     )
     result = _result(case_seed, kind, spec.entry, report)
+    if keys is not None:
+        result["coverage"] = keys
+    result["source"] = source
     if report.ok:
         return result
 
@@ -173,6 +195,8 @@ def run_one(
             secret_inputs=secret_family(inputs), repair_fn=repair_fn,
         )
         result = _result(case_seed, kind, spec.entry, report)
+        if keys is not None:  # coverage reflects the sample as generated
+            result["coverage"] = keys
         if report.ok:  # cannot happen for a sound predicate; keep the raw case
             result["failed"] = [target]
     result.update(
@@ -184,6 +208,23 @@ def run_one(
         report_dict=report.as_dict(),
     )
     return result
+
+
+def _checked(module, entry, inputs, secret_inputs, repair_fn, coverage):
+    """Run the oracle battery, optionally harvesting coverage keys."""
+    if not coverage:
+        return run_oracles(
+            module, entry, inputs,
+            secret_inputs=secret_inputs, repair_fn=repair_fn,
+        ), None
+    from repro.fuzz.coverage import sample_keys
+
+    with OBS.capture(force=True) as window:
+        report = run_oracles(
+            module, entry, inputs,
+            secret_inputs=secret_inputs, repair_fn=repair_fn,
+        )
+    return report, sorted(sample_keys(module, entry, inputs, window.counters))
 
 
 def _result(seed: int, kind: str, entry: str, report) -> dict:

@@ -79,6 +79,52 @@ class _Span:
         return False
 
 
+class _Capture:
+    """A counter-delta window: ``with OBS.capture() as cap: ...``.
+
+    On exit, ``cap.counters`` holds the net counter increments recorded
+    inside the body.  With ``force=True`` a disabled collector is enabled
+    for the duration of the body and restored afterwards — events appended
+    during a forced window are dropped on exit, so a nominally-untraced
+    process (a fuzz worker harvesting rule-firing coverage) neither leaks
+    memory nor changes observable state.
+    """
+
+    __slots__ = ("_collector", "_force", "_was_enabled", "_before",
+                 "_events_before", "counters")
+
+    def __init__(self, collector: "Collector", force: bool) -> None:
+        self._collector = collector
+        self._force = force
+        self.counters: dict[str, float] = {}
+
+    def __enter__(self) -> "_Capture":
+        collector = self._collector
+        self._was_enabled = collector.enabled
+        if self._force and not self._was_enabled:
+            collector.enabled = True
+        with collector._lock:
+            self._before = dict(collector.counters)
+            self._events_before = len(collector.events)
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        collector = self._collector
+        with collector._lock:
+            after = dict(collector.counters)
+            if self._force and not self._was_enabled:
+                del collector.events[self._events_before:]
+        if self._force and not self._was_enabled:
+            collector.enabled = False
+        before = self._before
+        self.counters = {
+            name: value - before.get(name, 0.0)
+            for name, value in after.items()
+            if value != before.get(name, 0.0)
+        }
+        return False
+
+
 class Collector:
     """Counters, timers and a JSONL event sink for one process."""
 
@@ -131,6 +177,15 @@ class Collector:
         self.event(
             "span", name=span.name, seconds=round(span.seconds, 9), **span.fields
         )
+
+    def capture(self, force: bool = False) -> _Capture:
+        """Counter-delta context manager (see :class:`_Capture`).
+
+        ``force=True`` records through a disabled collector for the body
+        only — the fuzz coverage map uses this to read repair-rule and
+        optimizer-pass firings without turning tracing on campaign-wide.
+        """
+        return _Capture(self, force)
 
     def event(self, kind: str, **fields) -> None:
         """Record a structured event (and stream it when a sink is set)."""

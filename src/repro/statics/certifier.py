@@ -282,4 +282,9 @@ def _report_from_taint(module: Module, taint) -> CertificationReport:
         OBS.counter(
             "statics.certifier.fixpoint_iterations", taint.iterations
         )
+        # Per-rule firing counts: the fuzz coverage map treats each rule
+        # id reached on a sample as a coverage key.
+        for certificate in report.functions.values():
+            for diagnostic in certificate.diagnostics:
+                OBS.counter(f"statics.certifier.rule.{diagnostic.rule}")
     return report

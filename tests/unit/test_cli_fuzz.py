@@ -36,5 +36,33 @@ def test_fuzz_help_lists_knobs(capsys):
         assert stop.code == 0
     out = capsys.readouterr().out
     for flag in ("--seed", "--iterations", "--jobs", "--no-minimize",
-                 "--store", "--corpus-dir", "--ir-fraction"):
+                 "--store", "--corpus-dir", "--ir-fraction",
+                 "--mutate", "--cov", "--checkpoint", "--resume",
+                 "--shards"):
         assert flag in out
+
+
+def test_fuzz_cov_routes_to_campaign(capsys):
+    assert main([
+        "fuzz", "--seed", "5", "-n", "3", "--no-minimize", "--cov",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert out.startswith("fuzz campaign seed=5 iterations=3")
+    assert "mode=blind+coverage" in out
+    assert "coverage keys=" in out
+
+
+def test_fuzz_mutate_summary_is_reproducible(capsys):
+    args = ["fuzz", "--seed", "4", "-n", "6", "--no-minimize", "--mutate"]
+    assert main(args) == 0
+    first = capsys.readouterr().out
+    assert main(args) == 0
+    second = capsys.readouterr().out
+    assert "mode=coverage-guided" in first
+    assert first == second
+
+
+def test_fuzz_resume_requires_checkpoint(capsys):
+    assert main(["fuzz", "--seed", "0", "-n", "2", "--resume"]) == 2
+    err = capsys.readouterr().err
+    assert "--resume requires --checkpoint" in err

@@ -1,0 +1,197 @@
+"""The coverage-guided campaign: coverage keys, mutation, determinism,
+checkpoint/resume byte-identity."""
+
+import json
+
+import pytest
+
+from repro.fuzz.campaign import (
+    CampaignAborted,
+    CampaignOptions,
+    run_campaign,
+)
+from repro.fuzz.coverage import (
+    CoverageMap,
+    counter_keys,
+    sample_keys,
+    value_bucket,
+)
+from repro.fuzz.generators import FuzzConfig, generate_program
+from repro.fuzz.mutate import _sanitize_spec, mutate_ir, mutate_spec
+from repro.fuzz.oracles import compile_sample
+from repro.fuzz.spec import render_program
+
+
+def _dump(report) -> str:
+    return json.dumps(report.as_dict(), sort_keys=True)
+
+
+# -- coverage keys -----------------------------------------------------------
+
+
+def test_value_bucket_is_bit_length():
+    assert value_bucket(0) == 0
+    assert value_bucket(1) == 1
+    assert value_bucket(2) == 2
+    assert value_bucket(3) == 2
+    assert value_bucket(1000) == 10
+
+
+def test_counter_keys_whitelist_and_buckets():
+    keys = counter_keys({
+        "statics.certifier.rule.CT001": 2.0,       # exact family
+        "core.repair.ctsels_inserted": 5.0,        # bucketed family
+        "core.repair.seconds": 0.123,              # excluded: timer
+        "exec.dispatch.compiled": 9.0,             # not whitelisted
+        "opt.pass.dce.fired": 1.0,                 # bucketed family
+    })
+    assert "ctr:statics.certifier.rule.CT001" in keys
+    assert "ctr:core.repair.ctsels_inserted:b3" in keys
+    assert "ctr:opt.pass.dce.fired:b1" in keys
+    assert not any("seconds" in key for key in keys)
+    assert not any("exec.dispatch" in key for key in keys)
+
+
+def test_sample_keys_include_branch_edges():
+    spec = generate_program(7, FuzzConfig())
+    module = compile_sample(render_program(spec), name="cov")
+    from repro.fuzz.generators import generate_inputs
+
+    keys = sample_keys(module, spec.entry, generate_inputs(spec, 7), {})
+    assert any(key.startswith("edge:") for key in keys)
+
+
+def test_coverage_map_observe_and_round_trip():
+    cover = CoverageMap()
+    assert cover.observe({"a", "b"}, 0) == ["a", "b"]
+    assert cover.observe({"b", "c"}, 3) == ["c"]
+    assert len(cover) == 3 and "a" in cover
+    clone = CoverageMap.from_dict(cover.as_dict())
+    assert clone.as_dict() == cover.as_dict()
+
+
+# -- mutation ----------------------------------------------------------------
+
+
+def test_mutate_spec_is_pure_and_valid():
+    config = FuzzConfig()
+    parent = generate_program(3, config)
+    donor = generate_program(4, config)
+    for seed in range(6):
+        first = mutate_spec(parent, seed, config, donor=donor)
+        second = mutate_spec(parent, seed, config, donor=donor)
+        assert first == second
+        compile_sample(render_program(first), name="mutant")  # must not raise
+
+
+def test_mutate_ir_is_pure_and_valid():
+    from repro.fuzz.generators import random_ir_module
+    from repro.ir import module_to_str
+    from repro.ir.validate import diagnose_module
+
+    parent = random_ir_module(5)
+    for seed in range(6):
+        first = mutate_ir(parent, seed)
+        second = mutate_ir(parent, seed)
+        assert module_to_str(first) == module_to_str(second)
+        assert module_to_str(first) != module_to_str(parent)
+        assert not [d for d in diagnose_module(first)
+                    if d.severity == "error"]
+
+
+def test_sanitizer_clamps_oversized_masks():
+    import dataclasses
+
+    from repro.fuzz.spec import ConstE, LoadE, ReturnS, VarE
+
+    spec = generate_program(2, FuzzConfig())
+    entry = spec.entry_func
+    arrays = [p for p in entry.params if p.pointer]
+    assert arrays, "generated entry should take a pointer parameter"
+    target = arrays[0]
+    # Simulate a splice artifact: an access masked for a bigger array.
+    rogue = ReturnS(LoadE(target.name, ConstE(1), mask=1024))
+    body = entry.body[:-1] + (rogue,)
+    spec = dataclasses.replace(
+        spec,
+        functions=spec.functions[:-1]
+        + (dataclasses.replace(entry, body=body),),
+    )
+    fixed = _sanitize_spec(spec)
+    assert fixed is not None
+    last = fixed.entry_func.body[-1]
+    assert last.value.mask == target.size - 1
+
+
+# -- campaigns ---------------------------------------------------------------
+
+
+def test_campaign_byte_identical_across_jobs_and_shards():
+    base = CampaignOptions(seed=0, iterations=10, mutate=True,
+                           minimize=False, round_size=4)
+    serial = run_campaign(base)
+    fanned = run_campaign(base, jobs=2, shards=2)
+    assert _dump(serial) == _dump(fanned)
+    assert serial.coverage_keys > 0
+    assert serial.rounds and serial.rounds[0]["new_keys"] > 0
+
+
+def test_campaign_resume_matches_uninterrupted(tmp_path):
+    base = CampaignOptions(seed=1, iterations=10, mutate=True,
+                           minimize=False, round_size=4, shards=2,
+                           checkpoint_dir=str(tmp_path / "ckpt"))
+    uninterrupted = run_campaign(
+        CampaignOptions(seed=1, iterations=10, mutate=True,
+                        minimize=False, round_size=4, shards=2)
+    )
+    with pytest.raises(CampaignAborted):
+        run_campaign(base, abort_after_slices=2)
+    resumed = run_campaign(base, resume=True)
+    assert _dump(resumed) == _dump(uninterrupted)
+
+
+def test_fuzz_dashboard_renders_deterministically():
+    from pathlib import Path
+
+    from repro.obs.report import (
+        FUZZ_DASHBOARD_BEGIN,
+        FUZZ_DASHBOARD_END,
+        load_bench_records,
+        render_fuzz_dashboard,
+        splice_fuzz_dashboard,
+    )
+
+    repo = Path(__file__).resolve().parents[2]
+    records = load_bench_records(str(repo))
+    corpus = str(repo / "tests" / "corpus")
+    first = render_fuzz_dashboard(records, corpus_dir=corpus)
+    assert first == render_fuzz_dashboard(records, corpus_dir=corpus)
+    assert "Campaign comparison" in first
+    assert "fixed (replayed in CI)" in first
+
+    doc = (f"head\n\n{FUZZ_DASHBOARD_BEGIN}\nOLD-SENTINEL\n"
+           f"{FUZZ_DASHBOARD_END}\ntail\n")
+    spliced = splice_fuzz_dashboard(doc, first)
+    assert spliced.startswith("head\n\n" + FUZZ_DASHBOARD_BEGIN)
+    assert spliced.endswith(FUZZ_DASHBOARD_END + "\ntail\n")
+    assert "OLD-SENTINEL" not in spliced
+    assert splice_fuzz_dashboard("no markers here", first) is None
+
+    committed = (repo / "docs" / "FUZZING.md").read_text()
+    # The committed dashboard must be exactly what the renderer produces
+    # from the committed BENCH_fuzz.json (what `lif report --check` gates).
+    assert splice_fuzz_dashboard(committed, first) == committed
+
+
+def test_campaign_resume_rejects_different_identity(tmp_path):
+    ckpt = str(tmp_path / "ckpt")
+    run_campaign(CampaignOptions(seed=2, iterations=4, mutate=True,
+                                 minimize=False, round_size=4,
+                                 checkpoint_dir=ckpt))
+    with pytest.raises(ValueError, match="different campaign"):
+        run_campaign(
+            CampaignOptions(seed=3, iterations=4, mutate=True,
+                            minimize=False, round_size=4,
+                            checkpoint_dir=ckpt),
+            resume=True,
+        )

@@ -36,6 +36,39 @@ class TestCounters:
         assert collector.counters == {}
 
 
+class TestCapture:
+    def test_capture_reports_counter_deltas(self):
+        collector = Collector(enabled=True)
+        collector.counter("a.b", 5)
+        with collector.capture() as window:
+            collector.counter("a.b", 2)
+            collector.counter("a.c", 1)
+        assert window.counters == {"a.b": 2, "a.c": 1}
+        assert collector.counters["a.b"] == 7  # campaign totals untouched
+
+    def test_capture_force_enables_disabled_collector(self):
+        collector = Collector(enabled=False)
+        with collector.capture(force=True) as window:
+            assert collector.enabled
+            collector.counter("x", 3)
+        assert not collector.enabled
+        assert window.counters == {"x": 3}
+
+    def test_forced_capture_truncates_events(self):
+        collector = Collector(enabled=False)
+        with collector.capture(force=True):
+            collector.event("noise", detail=1)
+        # Forced windows must not grow the event log of a collector the
+        # user left disabled (long campaigns would leak memory).
+        assert collector.events == []
+
+    def test_unforced_capture_keeps_events(self):
+        collector = Collector(enabled=True)
+        with collector.capture():
+            collector.event("kept")
+        assert [e["event"] for e in collector.events] == ["kept"]
+
+
 class TestSpans:
     def test_span_times_into_timer(self):
         collector = Collector(enabled=True)
