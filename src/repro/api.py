@@ -147,16 +147,39 @@ def certify_constant_time(
     return certify_module(module)
 
 
-def lint_module(module: Module) -> list:
+def certify(
+    module: Module,
+    entry: Optional[str] = None,
+    channels=None,
+    arg_sizes: Optional[dict] = None,
+):
+    """Multi-channel static certification (time, cache, power).
+
+    Returns a :class:`repro.statics.certifier.CertificationMatrix` holding
+    one per-function verdict report per requested channel.  ``channels``
+    accepts an iterable or a comma-separated string (default: all three);
+    ``arg_sizes`` maps entry pointer-parameter names to array lengths so
+    the abstract cache gets concrete region bases.
+    """
+    from repro.statics.certifier import certify_matrix
+
+    return certify_matrix(
+        module, entry=entry, channels=channels, arg_sizes=arg_sizes
+    )
+
+
+def lint_module(module: Module, channels=None) -> list:
     """Every static finding for ``module``: IR well-formedness plus the
-    certifier's leak diagnostics, sorted most severe first (what ``lif
-    lint`` prints)."""
+    certifiers' leak diagnostics across the requested channels (default
+    all of time/cache/power), sorted most severe first (what ``lif lint``
+    prints)."""
     from repro.ir.validate import diagnose_module
-    from repro.statics.certifier import certify_module
+    from repro.statics.certifier import certify_matrix
     from repro.statics.diagnostics import sort_diagnostics
 
+    matrix = certify_matrix(module, channels=channels)
     return sort_diagnostics(
-        list(diagnose_module(module)) + certify_module(module).diagnostics()
+        list(diagnose_module(module)) + matrix.diagnostics()
     )
 
 

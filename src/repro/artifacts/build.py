@@ -75,6 +75,10 @@ class BuiltArtifacts:
     #: variant -> :meth:`repro.statics.certifier.CertificationReport.as_dict`
     #: for the benchmark entry point (original and repaired variants).
     certification: dict = field(default_factory=dict)
+    #: variant -> :meth:`repro.statics.certifier.CertificationMatrix.as_dict`
+    #: — the per-channel (time/cache/power) static verdicts for all four
+    #: compiled variants, so warm loads re-certify nothing.
+    certification_matrix: dict = field(default_factory=dict)
     #: True when this record came from the on-disk store, not a build.
     cache_hit: bool = False
 
@@ -235,15 +239,37 @@ def _build_impl(request: BuildRequest, key: str) -> BuiltArtifacts:
             lambda: outputs_match(original, sce, request.entry, request.check_inputs),
         )
 
-    from repro.statics.certifier import certify_entry
+    from repro.statics.certifier import certify_matrix
 
-    certification = timed(
-        "certify",
-        lambda: {
-            variant: certify_entry(modules[variant], request.entry).as_dict()
-            for variant in ("original", "repaired")
-        },
-    )
+    # Pointer-parameter sizes from the first check input give the cache
+    # analysis concrete region bases (same layout the executor uses).
+    arg_sizes = {
+        param.name: len(arg)
+        for param, arg in zip(
+            original.functions[request.entry].params,
+            request.check_inputs[0] if request.check_inputs else (),
+        )
+        if param.is_pointer and isinstance(arg, (list, tuple))
+    }
+
+    def _certify_all() -> dict:
+        return {
+            variant: certify_matrix(
+                modules[variant], entry=request.entry, arg_sizes=arg_sizes
+            )
+            for variant in ("original", "original_o1", "repaired", "repaired_o1")
+        }
+
+    matrices = timed("certify", _certify_all)
+    certification_matrix = {
+        variant: matrix.as_dict() for variant, matrix in matrices.items()
+    }
+    # The legacy time-channel view is a projection of the matrix — no
+    # second taint analysis.
+    certification = {
+        variant: matrices[variant].time.as_dict()
+        for variant in ("original", "repaired")
+    }
 
     ir = timed(
         "print", lambda: {variant: module_to_str(m) for variant, m in modules.items()}
@@ -265,5 +291,6 @@ def _build_impl(request: BuildRequest, key: str) -> BuiltArtifacts:
         },
         opt_pass_stats=opt_report.as_dict(),
         certification=certification,
+        certification_matrix=certification_matrix,
         cache_hit=False,
     )

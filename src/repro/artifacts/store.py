@@ -186,6 +186,7 @@ class ArtifactStore:
             instruction_counts=meta["instruction_counts"],
             opt_pass_stats=meta.get("opt_pass_stats", {}),
             certification=meta.get("certification", {}),
+            certification_matrix=meta.get("certification_matrix", {}),
             cache_hit=True,
         )
 
@@ -207,6 +208,7 @@ class ArtifactStore:
                 "instruction_counts": built.instruction_counts,
                 "opt_pass_stats": built.opt_pass_stats,
                 "certification": built.certification,
+                "certification_matrix": built.certification_matrix,
             }
             for variant, text in built.ir.items():
                 (staging / f"{variant}.ir").write_text(text)

@@ -34,11 +34,18 @@ class Cache:
 
     def __init__(self, size: int = 32768, line_size: int = 64, ways: int = 8,
                  name: str = "cache") -> None:
-        if not (_is_power_of_two(size) and _is_power_of_two(line_size)
-                and _is_power_of_two(ways)):
-            raise ValueError("cache geometry must use powers of two")
+        for param, value in (("size", size), ("line_size", line_size),
+                             ("ways", ways)):
+            if not _is_power_of_two(value):
+                raise ValueError(
+                    f"cache geometry must use powers of two: "
+                    f"{param}={value!r}"
+                )
         if size % (line_size * ways) != 0:
-            raise ValueError("cache size must be a multiple of line_size * ways")
+            raise ValueError(
+                "cache size must be a multiple of line_size * ways: "
+                f"size={size} line_size={line_size} ways={ways}"
+            )
         self.name = name
         self.size = size
         self.line_size = line_size
@@ -70,8 +77,17 @@ class Cache:
         return False
 
     def reset(self) -> None:
-        self.stats = CacheStats()
-        self._sets = [OrderedDict() for _ in range(self.num_sets)]
+        """Return to the post-construction state without reallocating.
+
+        The verifiers run one cache instance across a whole input family
+        (one ``reset()`` per run), so the per-set ``OrderedDict``s are
+        cleared in place rather than rebuilt.
+        """
+        self.stats.accesses = 0
+        self.stats.hits = 0
+        self.stats.misses = 0
+        for entries in self._sets:
+            entries.clear()
 
 
 @dataclass

@@ -148,11 +148,16 @@ def _cmd_verify(args: argparse.Namespace) -> int:
 
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.ir.validate import diagnose_module
-    from repro.statics.certifier import certify_entry, certify_module
+    from repro.statics.certifier import certify_matrix, normalize_channels
     from repro.statics.diagnostics import render_json, render_text
 
+    try:
+        channels = normalize_channels(args.channels)
+    except ValueError as error:
+        sys.stderr.write(f"lif lint: {error}\n")
+        return 2
     if args.suite:
-        return _lint_suite(args)
+        return _lint_suite(args, channels)
     if not args.targets:
         sys.stderr.write("lif lint: expected a file (or --suite)\n")
         return 2
@@ -162,35 +167,44 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     if args.repair:
         module = repair_module(module, RepairOptions(validate_output=False))
     diagnostics = list(diagnose_module(module))
-    if function is not None:
-        certification = certify_entry(module, function)
-    else:
-        certification = certify_module(module)
-    diagnostics.extend(certification.diagnostics())
-    verdicts = {
-        name: certificate.verdict
-        for name, certificate in certification.functions.items()
-    }
+    matrix = certify_matrix(module, entry=function, channels=channels)
+    diagnostics.extend(matrix.diagnostics())
+    channel_verdicts = matrix.verdicts()
+    extra = {"channels": channel_verdicts}
+    if matrix.time is not None:
+        # Back-compat: the pre-matrix JSON exposed the time channel as
+        # the flat ``verdicts`` map.
+        extra["verdicts"] = channel_verdicts["time"]
     if args.json:
-        print(render_json(diagnostics, module=module.name, verdicts=verdicts))
+        print(render_json(diagnostics, module=module.name, **extra))
     else:
         print(render_text(diagnostics))
-        for name, certificate in sorted(certification.functions.items()):
-            suffix = (
-                " (inherently data-inconsistent)"
-                if certificate.inherently_data_inconsistent
-                else ""
-            )
-            print(f"@{name}: {certificate.verdict}{suffix}")
+        names = sorted(
+            {fn for per in channel_verdicts.values() for fn in per}
+        )
+        for name in names:
+            parts = []
+            for channel in matrix.channels:
+                verdict = channel_verdicts[channel].get(name, "-")
+                parts.append(f"{channel}={verdict}")
+            suffix = ""
+            if (
+                matrix.time is not None
+                and name in matrix.time.functions
+                and matrix.time.functions[name].inherently_data_inconsistent
+            ):
+                suffix = " (inherently data-inconsistent)"
+            print(f"@{name}: " + " ".join(parts) + suffix)
     return 1 if any(d.severity == "error" for d in diagnostics) else 0
 
 
-def _lint_suite(args: argparse.Namespace) -> int:
+def _lint_suite(args: argparse.Namespace, channels) -> int:
     """Lint every benchmark's original + repaired variants.
 
     Fails (exit 1) when a repaired variant has an IR validation error, a
-    genuine residual leak, or a residual leak in a benchmark whose metadata
-    does not whitelist it as inherently data-inconsistent.
+    genuine residual leak on any requested channel, or a residual leak in
+    a benchmark whose metadata does not whitelist it as inherently
+    data-inconsistent.
     """
     import json
 
@@ -198,7 +212,7 @@ def _lint_suite(args: argparse.Namespace) -> int:
     from repro.bench.runner import get_artifacts
     from repro.bench.suite import benchmark_names, get_benchmark
     from repro.ir.validate import diagnose_module
-    from repro.statics.certifier import CertificationReport, certify_entry
+    from repro.statics.certifier import CertificationMatrix, certify_matrix
     from repro.statics.diagnostics import sort_diagnostics
 
     names = args.targets or benchmark_names()
@@ -215,19 +229,27 @@ def _lint_suite(args: argparse.Namespace) -> int:
         per_bench: dict = {}
         for variant in ("original", "repaired"):
             module = parse_variant(built, variant)
-            cached = built.certification.get(variant)
+            cached = built.certification_matrix.get(variant)
             if cached is not None:
-                report = CertificationReport.from_dict(cached)
-            else:  # pre-certifier cache entry: compute in process
-                report = certify_entry(module, built.entry)
+                matrix = CertificationMatrix.from_dict(cached)
+            else:  # pre-matrix cache entry: compute in process
+                matrix = certify_matrix(module, entry=built.entry)
+            report = matrix.time
             diagnostics = sort_diagnostics(
-                list(diagnose_module(module)) + report.diagnostics()
+                list(diagnose_module(module))
+                + matrix.diagnostics(channels=channels)
             )
+            channel_verdicts = {
+                channel: verdict_map
+                for channel, verdict_map in matrix.verdicts().items()
+                if channel in channels
+            }
             per_bench[variant] = {
                 "verdicts": {
                     fn: certificate.verdict
                     for fn, certificate in report.functions.items()
                 },
+                "channels": channel_verdicts,
                 "inherently_data_inconsistent": {
                     fn: certificate.inherently_data_inconsistent
                     for fn, certificate in report.functions.items()
@@ -255,6 +277,29 @@ def _lint_suite(args: argparse.Namespace) -> int:
                     "but benchmark is not whitelisted as inherently "
                     "data-inconsistent"
                 )
+            if "cache" in channels and matrix.cache is not None:
+                cache = matrix.cache
+                if cache.genuine_failures:
+                    failures.append(
+                        f"{name}: genuine cache leak in "
+                        f"{cache.genuine_failures}"
+                    )
+                elif (
+                    cache.residual_functions
+                    and not bench.inherently_inconsistent
+                ):
+                    failures.append(
+                        f"{name}: residual cache leak in "
+                        f"{cache.residual_functions} but benchmark is not "
+                        "whitelisted as inherently data-inconsistent"
+                    )
+            if "power" in channels and matrix.power is not None:
+                power = matrix.power
+                if power.genuine_failures:
+                    failures.append(
+                        f"{name}: genuine power imbalance in "
+                        f"{power.genuine_failures}"
+                    )
         payload[name] = per_bench
 
     if args.json:
@@ -263,18 +308,21 @@ def _lint_suite(args: argparse.Namespace) -> int:
         for name in names:
             for variant in ("original", "repaired"):
                 entry = payload[name][variant]
-                residual = sorted(
-                    fn
-                    for fn, verdict in entry["verdicts"].items()
-                    if verdict != "CERTIFIED_CONSTANT_TIME"
-                )
-                status = (
-                    f"residual: {', '.join(residual)}" if residual
-                    else "certified"
-                )
+                columns = []
+                for channel in channels:
+                    verdict_map = entry["channels"].get(channel, {})
+                    residual = sorted(
+                        fn
+                        for fn, verdict in verdict_map.items()
+                        if not verdict.startswith("CERTIFIED")
+                    )
+                    columns.append(
+                        f"{channel}:"
+                        + (",".join(residual) if residual else "ok")
+                    )
                 print(
-                    f"{name:18s} {variant:9s} {status} "
-                    f"({len(entry['diagnostics'])} diagnostics)"
+                    f"{name:18s} {variant:9s} " + " ".join(columns)
+                    + f" ({len(entry['diagnostics'])} diagnostics)"
                 )
     for failure in failures:
         sys.stderr.write(f"lint failure: {failure}\n")
@@ -564,6 +612,9 @@ def main(argv: "list[str] | None" = None) -> int:
                              "instead of a file")
     p_lint.add_argument("--repair", action="store_true",
                         help="repair the module first and lint the result")
+    p_lint.add_argument("--channels", default=None,
+                        help="comma-separated side channels to certify "
+                             "(time,cache,power; default all)")
     p_lint.add_argument("--json", action="store_true",
                         help="deterministic JSON output")
     p_lint.set_defaults(func=_cmd_lint)

@@ -19,6 +19,11 @@ oracle                    disagreement it detects
 ``static_dynamic``        the static certifier and the dynamic covenant
                           disagree (certified-but-variant, or a genuine
                           residual leak after repair)
+``cache_power``           the abstract-cache certifier calls the repaired
+                          module cache-invariant but its simulated hit/miss
+                          signature varies under secret changes, or the
+                          power balance check finds a genuine (secret
+                          branch) imbalance after repair
 ``opt_sanitize``          the optimizer changes semantics, breaks invariance,
                           or trips the per-pass leakage sanitizer
                           (``REPRO_OPT_SANITIZE`` machinery, forced on)
@@ -44,6 +49,7 @@ ORACLES = (
     "backend",
     "isochronicity",
     "static_dynamic",
+    "cache_power",
     "opt_sanitize",
 )
 
@@ -157,6 +163,9 @@ def run_oracles(
     )
     results.append(iso_result)
     results.append(_oracle_static_dynamic(
+        module, repaired, entry, secret_inputs, adapted_secret
+    ))
+    results.append(_oracle_cache_power(
         module, repaired, entry, secret_inputs, adapted_secret
     ))
     results.append(_oracle_opt_sanitize(module, repaired, entry, adapted))
@@ -360,6 +369,56 @@ def _oracle_static_dynamic(module, repaired, entry, secret_inputs,
             f"exception {type(error).__name__}: {error}",
         )
     return OracleResult("static_dynamic", True)
+
+
+def _oracle_cache_power(module, repaired, entry, secret_inputs,
+                        adapted_secret):
+    """Cross-check the cache/power channels of the static matrix.
+
+    Sound direction only: a ``CERTIFIED_CACHE_INVARIANT`` repaired entry
+    must produce one hit/miss signature across the secret-input family
+    (the abstract interpretation over-approximates, so a static residual
+    with a quiet simulator is conservatism, not a bug).  The power channel
+    must have no genuine failures after repair — a remaining secret-branch
+    cost imbalance means the repair left a secret branch behind.
+    """
+    from repro.statics.certifier import certify_matrix
+    from repro.verify.isochronicity import check_cache_invariance
+
+    try:
+        arg_sizes = {
+            param.name: len(arg)
+            for param, arg in zip(
+                module.functions[entry].params, secret_inputs[0]
+            )
+            if param.is_pointer and isinstance(arg, (list, tuple))
+        }
+        matrix = certify_matrix(
+            repaired, entry=entry, channels=("cache", "power"),
+            arg_sizes=arg_sizes,
+        )
+        cache_cert = matrix.cache.functions.get(entry)
+        if cache_cert is not None and cache_cert.certified:
+            dynamic = check_cache_invariance(repaired, entry, adapted_secret)
+            if not dynamic.cache_invariant:
+                return OracleResult(
+                    "cache_power", False,
+                    "repaired module is CERTIFIED_CACHE_INVARIANT but its "
+                    "simulated hit/miss signature varies under secret "
+                    "changes",
+                )
+        if matrix.power.genuine_failures:
+            return OracleResult(
+                "cache_power", False,
+                "power balance check found secret-branch cost imbalance "
+                f"after repair in {matrix.power.genuine_failures}",
+            )
+    except Exception as error:
+        return OracleResult(
+            "cache_power", False,
+            f"exception {type(error).__name__}: {error}",
+        )
+    return OracleResult("cache_power", True)
 
 
 def _oracle_opt_sanitize(module, repaired, entry, adapted):

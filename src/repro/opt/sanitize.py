@@ -60,6 +60,13 @@ class LeakFingerprint:
 
     branches: int
     indices: int
+    #: power channel: non-guard ``ctsel``s with a tainted condition that are
+    #: not *provably* balanced (both arms constant with equal Hamming
+    #: weight).  Counting potential rather than proven imbalance keeps the
+    #: metric monotone under constant folding: a pass that merely reveals
+    #: an arm's value cannot grow it, only one that manufactures a new
+    #: secret-conditioned transition (``POWER-CTSEL-IMBALANCE``) can.
+    ctsel_imbalances: int = 0
 
     @classmethod
     def of(cls, function: Function) -> "LeakFingerprint":
@@ -67,7 +74,36 @@ class LeakFingerprint:
             function,
             list(function.sensitive_params) or None,
         )
-        return cls(len(report.leaky_branches), len(report.leaky_indices))
+        return cls(
+            len(report.leaky_branches),
+            len(report.leaky_indices),
+            _count_ctsel_imbalances(function, report.tainted_vars),
+        )
+
+
+def _count_ctsel_imbalances(function: Function, tainted: set) -> int:
+    from repro.ir.instructions import CtSel
+    from repro.ir.values import Const, Var
+
+    count = 0
+    for block in function.blocks.values():
+        for instr in block.instructions:
+            if not isinstance(instr, CtSel) or instr.guard:
+                continue
+            if not (isinstance(instr.cond, Var) and instr.cond.name in tainted):
+                continue
+            if (
+                isinstance(instr.if_true, Const)
+                and isinstance(instr.if_false, Const)
+            ):
+                mask = (1 << 64) - 1
+                balanced = bin(instr.if_true.value & mask).count("1") == bin(
+                    instr.if_false.value & mask
+                ).count("1")
+                if balanced:
+                    continue
+            count += 1
+    return count
 
 
 def check_pass(
@@ -132,6 +168,24 @@ def check_pass(
             message,
             Diagnostic(
                 rule="OPT-LEAK-INDEX",
+                severity="error",
+                message=message,
+                anchor=Anchor(function.name, pass_name),
+                fixit=f"fix or disable the {pass_name} pass",
+            ),
+        )
+    if after.ctsel_imbalances > before.ctsel_imbalances:
+        message = (
+            f"pass {pass_name} introduced "
+            f"{after.ctsel_imbalances - before.ctsel_imbalances} "
+            f"power-imbalanced secret ctsel(s) in @{function.name} "
+            f"({before.ctsel_imbalances} before, "
+            f"{after.ctsel_imbalances} after)"
+        )
+        raise LeakSanitizerError(
+            message,
+            Diagnostic(
+                rule="OPT-LEAK-POWER",
                 severity="error",
                 message=message,
                 anchor=Anchor(function.name, pass_name),

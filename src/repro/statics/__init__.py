@@ -17,18 +17,41 @@ Schaumont's program repair do:
   (``CERTIFIED_CONSTANT_TIME`` / ``RESIDUAL_LEAK``), distinguishing the
   paper's "inherently data-inconsistent" accesses from genuine failures,
   surfaced via ``lif lint`` and cross-checked against the dynamic covenant
-  verdicts in CI.
+  verdicts in CI;
+* :mod:`repro.statics.abscache` — abstract-interpretation cache analysis
+  (must/may line sets with LRU ages, taint-conditioned) classifying every
+  load/store and yielding ``CERTIFIED_CACHE_INVARIANT`` /
+  ``RESIDUAL_CACHE_LEAK`` verdicts;
+* :mod:`repro.statics.power` — Hamming-distance transition-cost model with
+  a secret-conditioned balance check (``CERTIFIED_POWER_BALANCED`` /
+  ``RESIDUAL_POWER_LEAK``).
+
+The three channels combine into a :class:`repro.statics.certifier.CertificationMatrix`
+(``certify_matrix``), cached in build artifacts and cross-checked against
+the dynamic cache simulator across the benchmark suite.
 
 See ``docs/STATIC_ANALYSIS.md`` for the rule catalogue and semantics.
 """
 
+from repro.statics.abscache import (
+    CACHE_VERDICT_CERTIFIED,
+    CACHE_VERDICT_RESIDUAL,
+    CacheCertificationReport,
+    CacheConfig,
+    FunctionCacheCertificate,
+    analyze_cache,
+)
 from repro.statics.certifier import (
+    CHANNELS,
     VERDICT_CERTIFIED,
     VERDICT_RESIDUAL,
+    CertificationMatrix,
     CertificationReport,
     FunctionCertificate,
     certify_entry,
+    certify_matrix,
     certify_module,
+    normalize_channels,
 )
 from repro.statics.diagnostics import (
     RULES,
@@ -44,21 +67,43 @@ from repro.statics.interproc import (
     TaintSummary,
     analyze_module_taint,
 )
+from repro.statics.power import (
+    POWER_VERDICT_CERTIFIED,
+    POWER_VERDICT_RESIDUAL,
+    FunctionPowerCertificate,
+    PowerCertificationReport,
+    analyze_power,
+)
 
 __all__ = [
     "Anchor",
+    "CACHE_VERDICT_CERTIFIED",
+    "CACHE_VERDICT_RESIDUAL",
+    "CHANNELS",
+    "CacheCertificationReport",
+    "CacheConfig",
+    "CertificationMatrix",
     "CertificationReport",
     "Diagnostic",
+    "FunctionCacheCertificate",
     "FunctionCertificate",
+    "FunctionPowerCertificate",
     "ModuleTaint",
+    "POWER_VERDICT_CERTIFIED",
+    "POWER_VERDICT_RESIDUAL",
+    "PowerCertificationReport",
     "RULES",
     "TaintContext",
     "TaintSummary",
     "VERDICT_CERTIFIED",
     "VERDICT_RESIDUAL",
+    "analyze_cache",
     "analyze_module_taint",
+    "analyze_power",
     "certify_entry",
+    "certify_matrix",
     "certify_module",
+    "normalize_channels",
     "diagnostics_from_json",
     "render_json",
     "render_text",

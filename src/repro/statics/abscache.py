@@ -1,0 +1,845 @@
+"""Abstract-interpretation cache analysis (the CANAL-style static channel).
+
+The dynamic covenant validates cache behaviour by running the repaired
+program under the set-associative LRU simulator (``repro.cache``) and
+comparing hit/miss signatures across inputs.  This module proves the same
+property *statically*: a must/may abstract cache is propagated over the
+IR and every ``load``/``store`` is classified
+
+* ``always-hit``   — its line is in the **must** cache (age < ways) on
+  every path,
+* ``always-miss``  — its line is outside the **may** cache on every path,
+* ``unknown``      — a fixed but statically unknown address (the access
+  pattern does not depend on secrets; only the classification is
+  imprecise),
+* ``neutral``      — the index is secret-tainted but the access cannot
+  disturb the cache in a secret-dependent way: every candidate address
+  falls inside one cache line, or every candidate line is a must-hit
+  (``CACHE-NEUTRAL-INDEX``),
+* ``secret``       — the index is secret-tainted and the candidate
+  addresses span several lines that are not all must-hits
+  (``CACHE-INDEX-SECRET``).
+
+The analysis is *taint-conditioned*: secretness of indices and branch
+predicates comes from the two-channel interprocedural summaries of
+:mod:`repro.statics.interproc` (memory indices on the **data** channel,
+branches on the **full** channel).  A secret-steered branch varies the
+instruction-fetch sequence itself, so it is reported as
+``CACHE-BRANCH-SECRET`` — the I-cache counterpart of the D-cache index
+rules — and no abstract I-cache simulation is needed: with zero secret
+branches the fetch trace is secret-invariant by construction.
+
+**Address model.**  The abstract addresses mirror the concrete executor's
+bump allocator exactly (``repro.exec.memory``): module globals are
+allocated first in declaration order, then the entry's array arguments in
+parameter order, each padded with the allocator's guard words.  Argument
+lengths are supplied by the caller (``arg_sizes``; the artifact builder
+derives them from the benchmark input vectors).  ``alloc``-created
+regions (the repair's shadow slots) have deterministic but unmodelled
+base addresses.  Repair **guard** selects resolve to their ``if_true``
+arm — under a valid contract the guard condition is true on every real
+execution (Covenant 1), which is the same reading the taint analysis
+uses — so a repaired access analyses as the original array with the
+original index, not as the array-or-shadow pair.
+
+Soundness caveat, shared with the dynamic check: classifications assume
+inputs respect the contracts and the original program is memory-safe, so
+a secret index stays inside its region's span.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+from repro.ir.cfg import is_acyclic, predecessor_map, topological_order
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    Alloc,
+    Call,
+    CtSel,
+    Load,
+    Mov,
+    Phi,
+    Store,
+)
+from repro.ir.module import Module
+from repro.ir.ops import WORD_BYTES
+from repro.ir.values import Const, Var
+from repro.obs import OBS
+from repro.statics.diagnostics import Anchor, Diagnostic, sort_diagnostics
+from repro.statics.interproc import ModuleTaint
+
+CACHE_VERDICT_CERTIFIED = "CERTIFIED_CACHE_INVARIANT"
+CACHE_VERDICT_RESIDUAL = "RESIDUAL_CACHE_LEAK"
+
+#: Access classifications, weakest information last.
+CLASS_ALWAYS_HIT = "always-hit"
+CLASS_ALWAYS_MISS = "always-miss"
+CLASS_UNKNOWN = "unknown"
+CLASS_NEUTRAL = "neutral"
+CLASS_SECRET = "secret"
+
+#: Merge priority when one instruction is visited under several contexts.
+_CLASS_RANK = {
+    CLASS_ALWAYS_HIT: 0,
+    CLASS_ALWAYS_MISS: 1,
+    CLASS_UNKNOWN: 2,
+    CLASS_NEUTRAL: 3,
+    CLASS_SECRET: 4,
+}
+
+#: The executor's allocator pads every region with guard words.
+_GUARD_WORDS = 8
+#: First data address the bump allocator hands out.
+_DATA_BASE = 0x1000
+
+#: Inlining depth guard; deeper call chains degrade to unknown effects.
+_MAX_DEPTH = 32
+
+_BRANCH_FIXIT = (
+    "run the repair transform: without secret-steered branches the "
+    "instruction-fetch trace (and thus the I-cache state) is "
+    "secret-invariant"
+)
+_INDEX_FIXIT = (
+    "inherently cache-variant if the index derives from an input; shrink "
+    "the table below one cache line, preload it, or bitslice the lookup"
+)
+_NEUTRAL_FIXIT = (
+    "no action needed: the access cannot move secret information into "
+    "the cache state under the covenant's in-bounds assumption"
+)
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry of the abstract cache; defaults mirror the dynamic D1."""
+
+    size: int = 32768
+    line_size: int = 64
+    ways: int = 8
+
+    @property
+    def num_sets(self) -> int:
+        return self.size // (self.line_size * self.ways)
+
+    def as_dict(self) -> dict:
+        return {
+            "size": self.size,
+            "line_size": self.line_size,
+            "ways": self.ways,
+        }
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "CacheConfig":
+        return cls(record["size"], record["line_size"], record["ways"])
+
+
+@dataclass(frozen=True)
+class FunctionCacheCertificate:
+    """The abstract cache verdict for one function."""
+
+    function: str
+    verdict: str
+    inherently_data_inconsistent: bool
+    branch_leaks: int
+    secret_accesses: int
+    neutral_accesses: int
+    always_hit: int
+    always_miss: int
+    unknown: int
+    diagnostics: tuple = ()
+
+    @property
+    def certified(self) -> bool:
+        return self.verdict == CACHE_VERDICT_CERTIFIED
+
+    @property
+    def accesses(self) -> int:
+        return (
+            self.secret_accesses + self.neutral_accesses + self.always_hit
+            + self.always_miss + self.unknown
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "function": self.function,
+            "verdict": self.verdict,
+            "inherently_data_inconsistent": self.inherently_data_inconsistent,
+            "branch_leaks": self.branch_leaks,
+            "secret_accesses": self.secret_accesses,
+            "neutral_accesses": self.neutral_accesses,
+            "always_hit": self.always_hit,
+            "always_miss": self.always_miss,
+            "unknown": self.unknown,
+            "diagnostics": [d.as_dict() for d in self.diagnostics],
+        }
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "FunctionCacheCertificate":
+        return cls(
+            function=record["function"],
+            verdict=record["verdict"],
+            inherently_data_inconsistent=record["inherently_data_inconsistent"],
+            branch_leaks=record["branch_leaks"],
+            secret_accesses=record["secret_accesses"],
+            neutral_accesses=record["neutral_accesses"],
+            always_hit=record["always_hit"],
+            always_miss=record["always_miss"],
+            unknown=record["unknown"],
+            diagnostics=tuple(
+                Diagnostic.from_dict(d) for d in record["diagnostics"]
+            ),
+        )
+
+
+@dataclass
+class CacheCertificationReport:
+    """Whole-module abstract cache certification."""
+
+    module: str
+    config: CacheConfig = field(default_factory=CacheConfig)
+    functions: dict = field(default_factory=dict)
+
+    @property
+    def all_certified(self) -> bool:
+        return all(c.certified for c in self.functions.values())
+
+    @property
+    def residual_functions(self) -> list:
+        return sorted(
+            name for name, c in self.functions.items() if not c.certified
+        )
+
+    @property
+    def genuine_failures(self) -> list:
+        """Residual functions that are *not* inherent S-box style cases."""
+        return sorted(
+            name
+            for name, c in self.functions.items()
+            if not c.certified and not c.inherently_data_inconsistent
+        )
+
+    def diagnostics(self) -> list:
+        merged: list = []
+        for name in sorted(self.functions):
+            merged.extend(self.functions[name].diagnostics)
+        return sort_diagnostics(merged)
+
+    def as_dict(self) -> dict:
+        return {
+            "module": self.module,
+            "config": self.config.as_dict(),
+            "functions": {
+                name: certificate.as_dict()
+                for name, certificate in sorted(self.functions.items())
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "CacheCertificationReport":
+        return cls(
+            module=record["module"],
+            config=CacheConfig.from_dict(record["config"]),
+            functions={
+                name: FunctionCacheCertificate.from_dict(sub)
+                for name, sub in record["functions"].items()
+            },
+        )
+
+
+# -- abstract values ---------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _Region:
+    """One abstract memory region (global, array argument, or alloc)."""
+
+    key: str
+    base: Optional[int]    # byte address, None when not modelled
+    size: Optional[int]    # words, None when unknown
+
+    def lines(self, line_size: int) -> Optional[frozenset]:
+        """Candidate cache lines the region's span covers (None: unknown)."""
+        if self.base is None or self.size is None or self.size <= 0:
+            return None
+        first = self.base // line_size
+        last = (self.base + self.size * WORD_BYTES - 1) // line_size
+        return frozenset(range(first, last + 1))
+
+
+# Environment values: ("const", int) | ("ptr", frozenset[str]) | _UNKNOWN.
+_UNKNOWN = ("unknown", None)
+
+
+class _MustCache:
+    """Per-set LRU must-cache with lazy conservative aging.
+
+    Entries map ``line -> (age, clock)``; the effective age is
+    ``age + (clock_now - clock)``, so an access at an unknown address ages
+    *every* set in O(1) (``clock += 1``) instead of touching each entry.
+    """
+
+    __slots__ = ("config", "sets", "clock")
+
+    def __init__(self, config: CacheConfig) -> None:
+        self.config = config
+        self.sets: dict = {}  # set index -> {line: (age, clock)}
+        self.clock = 0
+
+    def copy(self) -> "_MustCache":
+        clone = _MustCache(self.config)
+        clone.sets = {index: dict(entries) for index, entries in self.sets.items()}
+        clone.clock = self.clock
+        return clone
+
+    def _materialize(self, index: int) -> dict:
+        """Effective ages of one set, dropping evicted entries."""
+        entries = self.sets.get(index, {})
+        live = {}
+        for line, (age, clock) in entries.items():
+            effective = age + (self.clock - clock)
+            if effective < self.config.ways:
+                live[line] = effective
+        return live
+
+    def contains(self, line: int) -> bool:
+        live = self._materialize(line % self.config.num_sets)
+        return line in live
+
+    def touch(self, line: int) -> None:
+        index = line % self.config.num_sets
+        live = self._materialize(index)
+        bumped = {
+            other: (age + 1, self.clock)
+            for other, age in live.items()
+            if other != line and age + 1 < self.config.ways
+        }
+        bumped[line] = (0, self.clock)
+        self.sets[index] = bumped
+
+    def age_all(self) -> None:
+        """One access somewhere unknown: every set may have aged by one."""
+        self.clock += 1
+
+    def join(self, other: "_MustCache") -> "_MustCache":
+        joined = _MustCache(self.config)
+        for index in set(self.sets) & set(other.sets):
+            mine = self._materialize(index)
+            theirs = other._materialize(index)
+            merged = {
+                line: (max(mine[line], theirs[line]), 0)
+                for line in mine.keys() & theirs.keys()
+            }
+            if merged:
+                joined.sets[index] = merged
+        return joined
+
+
+class _CacheState:
+    """Must/may pair flowing along CFG edges."""
+
+    __slots__ = ("must", "may", "may_top")
+
+    def __init__(self, config: CacheConfig) -> None:
+        self.must = _MustCache(config)
+        self.may: set = set()
+        self.may_top = False
+
+    def copy(self) -> "_CacheState":
+        clone = _CacheState(self.must.config)
+        clone.must = self.must.copy()
+        clone.may = set(self.may)
+        clone.may_top = self.may_top
+        return clone
+
+    def join(self, other: "_CacheState") -> "_CacheState":
+        joined = _CacheState(self.must.config)
+        joined.must = self.must.join(other.must)
+        joined.may = self.may | other.may
+        joined.may_top = self.may_top or other.may_top
+        return joined
+
+    def havoc(self) -> None:
+        """Forget everything (recursion / depth fallback)."""
+        self.must = _MustCache(self.must.config)
+        self.may_top = True
+
+
+# -- the walk ----------------------------------------------------------------
+
+
+class _Access:
+    """Merged classification of one access instruction across visits."""
+
+    __slots__ = ("kind", "anchor", "cls", "detail")
+
+    def __init__(self, kind: str, anchor: Anchor) -> None:
+        self.kind = kind
+        self.anchor = anchor
+        self.cls: Optional[str] = None
+        self.detail = ""
+
+    def merge(self, cls: str, detail: str = "") -> None:
+        if self.cls is None or _CLASS_RANK[cls] > _CLASS_RANK[self.cls]:
+            self.cls = cls
+            self.detail = detail
+
+
+class _Walker:
+    def __init__(
+        self,
+        module: Module,
+        taint: ModuleTaint,
+        config: CacheConfig,
+        arg_sizes: Optional[dict] = None,
+    ) -> None:
+        self.module = module
+        self.taint = taint
+        self.config = config
+        self.arg_sizes = dict(arg_sizes or {})
+        self.regions: dict = {}
+        self.accesses: dict = {}   # (fn, block, index) -> _Access
+        self.visited_functions: set = set()
+        #: functions reached during the current root's walk (reset per root)
+        self.reached: set = set()
+        self._alloc_counter = 0
+        self._cursor: Optional[int] = _DATA_BASE
+        for array in module.globals.values():
+            self._add_region(f"g:{array.name}", array.size)
+
+    # -- region bookkeeping --------------------------------------------------
+
+    def _add_region(self, key: str, size: Optional[int]) -> str:
+        base = None
+        if size is not None and self._cursor is not None:
+            base = self._cursor
+            self._cursor += (size + _GUARD_WORDS) * WORD_BYTES
+        else:
+            # One unmodelled region makes every later base unknown.
+            self._cursor = None
+        self.regions[key] = _Region(key, base, size)
+        return key
+
+    def _fresh_alloc_region(self, function: str, dest: str, size) -> str:
+        self._alloc_counter += 1
+        words = size.value if isinstance(size, Const) else None
+        key = f"alloc:{function}:{dest}:{self._alloc_counter}"
+        # Shadow slots are allocated at run time, after the roots' arrays;
+        # their bases are deterministic but not modelled here.
+        self.regions[key] = _Region(key, None, words)
+        return key
+
+    def bind_root(self, function: Function) -> dict:
+        """Environment for a root: argument arrays laid out after globals."""
+        env: dict = {}
+        for param in function.params:
+            if param.is_pointer:
+                size = self.arg_sizes.get(param.name)
+                key = self._add_region(f"arg:{function.name}:{param.name}", size)
+                env[param.name] = ("ptr", frozenset((key,)))
+            else:
+                env[param.name] = _UNKNOWN
+        return env
+
+    # -- environment helpers -------------------------------------------------
+
+    def _value_of(self, env: dict, value) -> tuple:
+        if isinstance(value, Const):
+            return ("const", value.value)
+        if isinstance(value, Var):
+            known = env.get(value.name)
+            if known is not None:
+                return known
+            if value.name in self.module.globals:
+                return ("ptr", frozenset((f"g:{value.name}",)))
+        return _UNKNOWN
+
+    def _pointer_regions(self, env: dict, value) -> frozenset:
+        resolved = self._value_of(env, value)
+        if resolved[0] == "ptr":
+            return resolved[1]
+        return frozenset()
+
+    # -- per-function walk ---------------------------------------------------
+
+    def walk(self, function: Function, env: dict, state: _CacheState,
+             depth: int = 0) -> _CacheState:
+        self.visited_functions.add(function.name)
+        self.reached.add(function.name)
+        if depth > _MAX_DEPTH:
+            state.havoc()
+            return state
+        if not is_acyclic(function):
+            # Post-unroll modules are acyclic; for arbitrary lint input we
+            # keep the taint-driven verdict but give up on must/may facts.
+            state.havoc()
+            self._walk_blocks(
+                function, env, {label: state for label in function.blocks},
+                depth, order=list(function.blocks),
+            )
+            return state
+        return self._walk_acyclic(function, env, state, depth)
+
+    def _walk_acyclic(self, function: Function, env: dict,
+                      state: _CacheState, depth: int) -> _CacheState:
+        order = topological_order(function)
+        preds = predecessor_map(function)
+        block_out: dict = {}
+        exit_state: Optional[_CacheState] = None
+        for label in order:
+            # Topological order guarantees every predecessor was walked.
+            incoming = [
+                block_out[p] for p in preds.get(label, []) if p in block_out
+            ]
+            if incoming:
+                entry = incoming[0]
+                for other in incoming[1:]:
+                    entry = entry.join(other)
+            else:
+                entry = state
+            out = self._walk_block(
+                function, function.blocks[label], env, entry.copy(), depth,
+            )
+            block_out[label] = out
+            if not function.blocks[label].successors():
+                exit_state = out if exit_state is None else exit_state.join(out)
+        return exit_state if exit_state is not None else state
+
+    def _walk_blocks(self, function: Function, env: dict, block_in: dict,
+                     depth: int, order: Sequence[str]) -> None:
+        for label in order:
+            self._walk_block(
+                function, function.blocks[label], env,
+                block_in[label].copy(), depth,
+            )
+
+    def _walk_block(self, function: Function, block, env: dict,
+                    state: _CacheState, depth: int) -> _CacheState:
+        fn_taint = self.taint.functions.get(function.name)
+        tainted_data = fn_taint.tainted_data if fn_taint is not None else set()
+        for index, instr in enumerate(block.instructions):
+            if isinstance(instr, (Load, Store)):
+                self._transfer_access(
+                    function, block.label, index, instr, env, state,
+                    tainted_data,
+                )
+            elif isinstance(instr, Alloc):
+                key = self._fresh_alloc_region(
+                    function.name, instr.dest, instr.size
+                )
+                env[instr.dest] = ("ptr", frozenset((key,)))
+            elif isinstance(instr, Mov):
+                env[instr.dest] = self._value_of(env, instr.expr) \
+                    if isinstance(instr.expr, (Const, Var)) else _UNKNOWN
+            elif isinstance(instr, CtSel):
+                env[instr.dest] = self._transfer_ctsel(env, instr)
+            elif isinstance(instr, Phi):
+                env[instr.dest] = self._transfer_phi(env, instr)
+            elif isinstance(instr, Call):
+                self._transfer_call(instr, env, state, depth)
+            elif instr.dest is not None:
+                env[instr.dest] = _UNKNOWN
+        return state
+
+    def _transfer_ctsel(self, env: dict, instr: CtSel) -> tuple:
+        if instr.guard:
+            # Covenant 1: the guard condition holds on every real
+            # execution, so the select *is* its first arm.
+            return self._value_of(env, instr.if_true)
+        left = self._value_of(env, instr.if_true)
+        right = self._value_of(env, instr.if_false)
+        if left == right:
+            return left
+        if left[0] == "ptr" or right[0] == "ptr":
+            regions = frozenset()
+            if left[0] == "ptr":
+                regions |= left[1]
+            if right[0] == "ptr":
+                regions |= right[1]
+            return ("ptr", regions)
+        return _UNKNOWN
+
+    def _transfer_phi(self, env: dict, instr: Phi) -> tuple:
+        resolved = [self._value_of(env, value) for value, _ in instr.incomings]
+        first = resolved[0]
+        if all(value == first for value in resolved[1:]):
+            return first
+        regions = frozenset()
+        for value in resolved:
+            if value[0] == "ptr":
+                regions |= value[1]
+        if regions:
+            return ("ptr", regions)
+        return _UNKNOWN
+
+    def _transfer_call(self, instr: Call, env: dict, state: _CacheState,
+                       depth: int) -> None:
+        callee = self.module.functions.get(instr.callee)
+        if callee is None or depth >= _MAX_DEPTH:
+            state.havoc()
+            if instr.dest is not None:
+                env[instr.dest] = _UNKNOWN
+            return
+        callee_env: dict = {}
+        for param, arg in zip(callee.params, instr.args):
+            if param.is_pointer:
+                callee_env[param.name] = (
+                    "ptr", self._pointer_regions(env, arg)
+                )
+            else:
+                value = self._value_of(env, arg)
+                callee_env[param.name] = value if value[0] == "const" \
+                    else _UNKNOWN
+        exit_state = self.walk(callee, callee_env, state, depth + 1)
+        # The walk mutates/returns the flowing state; keep the exit state.
+        state.must = exit_state.must
+        state.may = exit_state.may
+        state.may_top = exit_state.may_top
+        if instr.dest is not None:
+            env[instr.dest] = _UNKNOWN
+
+    # -- access classification ----------------------------------------------
+
+    def _access(self, function: str, label: str, index: int, instr) -> _Access:
+        key = (function, label, index)
+        access = self.accesses.get(key)
+        if access is None:
+            kind = "load" if isinstance(instr, Load) else "store"
+            access = _Access(
+                kind, Anchor(function, label, index, str(instr))
+            )
+            self.accesses[key] = access
+        return access
+
+    def _transfer_access(self, function: Function, label: str, index: int,
+                         instr, env: dict, state: _CacheState,
+                         tainted_data: set) -> None:
+        access = self._access(function.name, label, index, instr)
+        regions = self._pointer_regions(env, instr.array)
+        index_value = self._value_of(env, instr.index)
+        secret = (
+            isinstance(instr.index, Var)
+            and index_value[0] != "const"
+            and instr.index.name in tainted_data
+        )
+
+        if secret:
+            self._classify_secret(access, regions, state)
+            return
+
+        if index_value[0] == "const" and len(regions) == 1:
+            region = self.regions[next(iter(regions))]
+            if region.base is not None:
+                address = region.base + index_value[1] * WORD_BYTES
+                line = address // self.config.line_size
+                if state.must.contains(line):
+                    access.merge(CLASS_ALWAYS_HIT)
+                elif not state.may_top and line not in state.may:
+                    access.merge(CLASS_ALWAYS_MISS)
+                    state.may.add(line)
+                else:
+                    access.merge(CLASS_UNKNOWN)
+                    state.may.add(line)
+                state.must.touch(line)
+                return
+
+        # Fixed-but-unmodelled address: ages everything conservatively and
+        # widens the may cache by the region span (or to TOP).
+        access.merge(CLASS_UNKNOWN)
+        self._widen_unknown(regions, state)
+
+    def _classify_secret(self, access: _Access, regions: frozenset,
+                         state: _CacheState) -> None:
+        candidates = self._candidate_lines(regions)
+        if candidates is None:
+            access.merge(
+                CLASS_SECRET,
+                "candidate address set is unbounded (region size unknown)",
+            )
+            self._widen_unknown(regions, state)
+            return
+        if len(candidates) == 1:
+            access.merge(
+                CLASS_NEUTRAL,
+                "every candidate address falls in one cache line",
+            )
+            line = next(iter(candidates))
+            state.may.add(line)
+            state.must.touch(line)
+            return
+        if all(state.must.contains(line) for line in candidates):
+            access.merge(
+                CLASS_NEUTRAL,
+                f"all {len(candidates)} candidate lines are must-hits",
+            )
+            state.may.update(candidates)
+            state.must.age_all()
+            return
+        access.merge(
+            CLASS_SECRET,
+            f"candidate addresses span {len(candidates)} cache lines",
+        )
+        state.may.update(candidates)
+        state.must.age_all()
+
+    def _candidate_lines(self, regions: frozenset) -> Optional[frozenset]:
+        if not regions:
+            return None
+        lines: frozenset = frozenset()
+        for key in regions:
+            span = self.regions[key].lines(self.config.line_size)
+            if span is None:
+                return None
+            lines |= span
+        return lines
+
+    def _widen_unknown(self, regions: frozenset, state: _CacheState) -> None:
+        state.must.age_all()
+        if state.may_top:
+            return
+        spans = self._candidate_lines(regions)
+        if spans is None:
+            state.may_top = True
+        else:
+            state.may.update(spans)
+
+
+# -- report assembly ---------------------------------------------------------
+
+
+def _certify_function(name: str, closure: set, walker: _Walker,
+                      taint: ModuleTaint) -> FunctionCacheCertificate:
+    """Certify root ``name`` over its call ``closure``.
+
+    The dynamic simulator observes the whole call tree of an entry, so the
+    static verdict must too: a secret-indexed access in an inlined callee
+    makes the *root's* cache behaviour secret-dependent.
+    """
+    diagnostics: list = []
+    branch_leaks = 0
+    for member in sorted(closure):
+        fn_taint = taint.functions.get(member)
+        if fn_taint is None:
+            continue
+        branch_leaks += len(fn_taint.branch_leaks)
+        for leak in fn_taint.branch_leaks:
+            diagnostics.append(
+                Diagnostic(
+                    rule="CACHE-BRANCH-SECRET",
+                    severity="error",
+                    message=(
+                        f"branch on {leak.predicate} makes the instruction-"
+                        "fetch sequence (I-cache state) secret-dependent"
+                    ),
+                    anchor=leak.anchor,
+                    fixit=_BRANCH_FIXIT,
+                )
+            )
+
+    counts = {cls: 0 for cls in _CLASS_RANK}
+    for (fn, _label, _index), access in sorted(walker.accesses.items()):
+        if fn not in closure:
+            continue
+        counts[access.cls] += 1
+        if access.cls == CLASS_SECRET:
+            diagnostics.append(
+                Diagnostic(
+                    rule="CACHE-INDEX-SECRET",
+                    severity="error",
+                    message=(
+                        f"{access.kind} address is secret-dependent: "
+                        f"{access.detail}"
+                    ),
+                    anchor=access.anchor,
+                    fixit=_INDEX_FIXIT,
+                )
+            )
+        elif access.cls == CLASS_NEUTRAL:
+            diagnostics.append(
+                Diagnostic(
+                    rule="CACHE-NEUTRAL-INDEX",
+                    severity="note",
+                    message=(
+                        f"secret-indexed {access.kind} is cache-neutral: "
+                        f"{access.detail}"
+                    ),
+                    anchor=access.anchor,
+                    fixit=_NEUTRAL_FIXIT,
+                )
+            )
+
+    residual = branch_leaks > 0 or counts[CLASS_SECRET] > 0
+    return FunctionCacheCertificate(
+        function=name,
+        verdict=CACHE_VERDICT_RESIDUAL if residual else CACHE_VERDICT_CERTIFIED,
+        inherently_data_inconsistent=residual and branch_leaks == 0,
+        branch_leaks=branch_leaks,
+        secret_accesses=counts[CLASS_SECRET],
+        neutral_accesses=counts[CLASS_NEUTRAL],
+        always_hit=counts[CLASS_ALWAYS_HIT],
+        always_miss=counts[CLASS_ALWAYS_MISS],
+        unknown=counts[CLASS_UNKNOWN],
+        diagnostics=tuple(sort_diagnostics(diagnostics)),
+    )
+
+
+def analyze_cache(
+    module: Module,
+    taint: ModuleTaint,
+    roots: Iterable[str],
+    arg_sizes: Optional[dict] = None,
+    config: Optional[CacheConfig] = None,
+) -> CacheCertificationReport:
+    """Certify the cache channel for ``roots`` and their callees.
+
+    ``taint`` must come from :func:`repro.statics.interproc.analyze_module_taint`
+    over the same module (the verdicts are conditioned on its data/full
+    channels).  ``arg_sizes`` maps root pointer-parameter names to array
+    lengths so argument regions get concrete bases; without it those
+    regions are unmodelled and any secret index into them is residual.
+    """
+    config = config or CacheConfig()
+    walker = _Walker(module, taint, config, arg_sizes)
+    closures: dict = {}
+    for name in roots:
+        function = module.functions.get(name)
+        if function is None:
+            raise KeyError(f"module has no function @{name}")
+        env = walker.bind_root(function)
+        walker.reached = set()
+        walker.walk(function, env, _CacheState(config))
+        closures[name] = walker.reached
+
+    report = CacheCertificationReport(module=module.name, config=config)
+    for name in sorted(closures):
+        report.functions[name] = _certify_function(
+            name, closures[name], walker, taint
+        )
+
+    if OBS.enabled:
+        OBS.counter("statics.cache.analyses")
+        OBS.counter("statics.cache.functions", len(report.functions))
+        totals = {cls: 0 for cls in _CLASS_RANK}
+        for certificate in report.functions.values():
+            totals[CLASS_ALWAYS_HIT] += certificate.always_hit
+            totals[CLASS_ALWAYS_MISS] += certificate.always_miss
+            totals[CLASS_UNKNOWN] += certificate.unknown
+            totals[CLASS_NEUTRAL] += certificate.neutral_accesses
+            totals[CLASS_SECRET] += certificate.secret_accesses
+        OBS.counter("statics.cache.accesses", sum(totals.values()))
+        OBS.counter("statics.cache.always_hit", totals[CLASS_ALWAYS_HIT])
+        OBS.counter("statics.cache.always_miss", totals[CLASS_ALWAYS_MISS])
+        OBS.counter("statics.cache.unknown", totals[CLASS_UNKNOWN])
+        OBS.counter("statics.cache.neutral", totals[CLASS_NEUTRAL])
+        OBS.counter("statics.cache.secret_dependent", totals[CLASS_SECRET])
+        OBS.counter(
+            "statics.cache.certified",
+            sum(1 for c in report.functions.values() if c.certified),
+        )
+        OBS.counter(
+            "statics.cache.residual",
+            sum(1 for c in report.functions.values() if not c.certified),
+        )
+    return report

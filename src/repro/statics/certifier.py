@@ -23,7 +23,7 @@ the artifact store can cache them, and carry instruction-anchored
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Sequence
 
 from repro.ir.module import Module
 from repro.obs import OBS
@@ -35,6 +35,9 @@ from repro.statics.interproc import FunctionTaint, analyze_module_taint
 
 VERDICT_CERTIFIED = "CERTIFIED_CONSTANT_TIME"
 VERDICT_RESIDUAL = "RESIDUAL_LEAK"
+
+#: The certification channels, in matrix column order.
+CHANNELS = ("time", "cache", "power")
 
 _BRANCH_FIXIT = (
     "run the repair transform: linearise the branch into ctsel-selected "
@@ -251,6 +254,163 @@ def certify_entry(module: Module, entry: str) -> CertificationReport:
         entry: list(function.sensitive_params) or function.param_names()
     }
     return certify_module(module, roots, include_unreached=False)
+
+
+@dataclass
+class CertificationMatrix:
+    """Per-channel certification of one module (time / cache / power).
+
+    One interprocedural taint analysis feeds every requested channel:
+    the classic constant-time report (``time``), the abstract-cache
+    must/may verdicts (``cache``) and the transition-cost balance check
+    (``power``).  Absent channels (not requested) are ``None``.
+    """
+
+    module: str
+    channels: tuple = CHANNELS
+    time: Optional[CertificationReport] = None
+    cache: Optional[object] = None   # CacheCertificationReport
+    power: Optional[object] = None   # PowerCertificationReport
+
+    def report(self, channel: str):
+        if channel not in CHANNELS:
+            raise KeyError(f"unknown certification channel {channel!r}")
+        return getattr(self, channel)
+
+    def verdicts(self) -> dict:
+        """``{channel: {function: verdict}}`` for the channels present."""
+        matrix: dict = {}
+        for channel in self.channels:
+            report = self.report(channel)
+            if report is None:
+                continue
+            matrix[channel] = {
+                name: certificate.verdict
+                for name, certificate in sorted(report.functions.items())
+            }
+        return matrix
+
+    def diagnostics(self, channels: Optional[Sequence[str]] = None) -> list:
+        merged: list = []
+        for channel in channels if channels is not None else self.channels:
+            report = self.report(channel)
+            if report is not None:
+                merged.extend(report.diagnostics())
+        return sort_diagnostics(merged)
+
+    @property
+    def all_certified(self) -> bool:
+        return all(
+            self.report(channel) is None or self.report(channel).all_certified
+            for channel in self.channels
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "module": self.module,
+            "channels": list(self.channels),
+            "time": self.time.as_dict() if self.time is not None else None,
+            "cache": self.cache.as_dict() if self.cache is not None else None,
+            "power": self.power.as_dict() if self.power is not None else None,
+        }
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "CertificationMatrix":
+        from repro.statics.abscache import CacheCertificationReport
+        from repro.statics.power import PowerCertificationReport
+
+        return cls(
+            module=record["module"],
+            channels=tuple(record["channels"]),
+            time=(
+                CertificationReport.from_dict(record["time"])
+                if record.get("time") is not None else None
+            ),
+            cache=(
+                CacheCertificationReport.from_dict(record["cache"])
+                if record.get("cache") is not None else None
+            ),
+            power=(
+                PowerCertificationReport.from_dict(record["power"])
+                if record.get("power") is not None else None
+            ),
+        )
+
+
+def normalize_channels(channels) -> tuple:
+    """Validate and order a channel selection (strings or iterables)."""
+    if channels is None:
+        return CHANNELS
+    if isinstance(channels, str):
+        channels = [c.strip() for c in channels.split(",") if c.strip()]
+    selected = list(channels)
+    unknown = sorted(set(selected) - set(CHANNELS))
+    if unknown:
+        raise ValueError(
+            f"unknown certification channel(s) {', '.join(unknown)}; "
+            f"expected a subset of {', '.join(CHANNELS)}"
+        )
+    if not selected:
+        raise ValueError("at least one certification channel is required")
+    return tuple(c for c in CHANNELS if c in selected)
+
+
+def certify_matrix(
+    module: Module,
+    entry: Optional[str] = None,
+    channels=None,
+    arg_sizes: Optional[dict] = None,
+    cache_config=None,
+) -> CertificationMatrix:
+    """Run the multi-channel certifier and assemble the matrix.
+
+    With ``entry`` the analysis covers the entry point and its callees
+    (sensitive roots as in :func:`certify_entry`); without it every
+    function is a root.  ``arg_sizes`` maps the entry's pointer parameters
+    to array lengths, giving the cache channel concrete argument bases;
+    ``cache_config`` overrides the abstract cache geometry.
+    """
+    selected = normalize_channels(channels)
+    if entry is not None:
+        function = module.functions[entry]
+        roots = {
+            entry: list(function.sensitive_params) or function.param_names()
+        }
+        include_unreached = False
+    else:
+        roots = None
+        include_unreached = True
+    taint = analyze_module_taint(module, roots, include_unreached)
+
+    matrix = CertificationMatrix(module=module.name, channels=selected)
+    if "time" in selected:
+        matrix.time = _report_from_taint(module, taint)
+    if "cache" in selected:
+        from repro.statics.abscache import analyze_cache
+
+        walk_roots = sorted(roots) if roots is not None \
+            else sorted(module.functions)
+        matrix.cache = analyze_cache(
+            module, taint, walk_roots, arg_sizes=arg_sizes,
+            config=cache_config,
+        )
+        _count_rules(matrix.cache)
+    if "power" in selected:
+        from repro.statics.power import analyze_power
+
+        matrix.power = analyze_power(module, taint)
+        _count_rules(matrix.power)
+    return matrix
+
+
+def _count_rules(report) -> None:
+    """Per-rule firing counters (fuzz coverage keys), as the time channel
+    emits via ``_report_from_taint``."""
+    if not OBS.enabled:
+        return
+    for certificate in report.functions.values():
+        for diagnostic in certificate.diagnostics:
+            OBS.counter(f"statics.certifier.rule.{diagnostic.rule}")
 
 
 def _report_from_taint(module: Module, taint) -> CertificationReport:

@@ -48,11 +48,32 @@ RULES: dict[str, str] = {
     "CT-SELECTOR-INDEX": "memory index selected by a secret ctsel between "
                          "public values (bounded address set; imprecision "
                          "note, not a certified leak)",
+    # -- abstract cache certification (repro.statics.abscache) -------------
+    "CACHE-BRANCH-SECRET": "secret-steered branch varies the instruction "
+                           "fetch sequence, so the I-cache state is "
+                           "secret-dependent",
+    "CACHE-INDEX-SECRET": "secret-indexed access whose candidate addresses "
+                          "span more than one cache line and are not all "
+                          "abstract must-hits",
+    "CACHE-NEUTRAL-INDEX": "secret-indexed access is cache-neutral: every "
+                           "candidate address falls in one cache line (or "
+                           "every candidate line is a must-hit)",
+    # -- power balance certification (repro.statics.power) -----------------
+    "POWER-IMBALANCED-BRANCH": "sibling paths of a secret-steered branch "
+                               "have different transition-cost ranges",
+    "POWER-BALANCED-BRANCH": "secret-steered branch whose sibling paths "
+                             "have identical transition-cost ranges "
+                             "(timing leak remains; power cost balanced)",
+    "POWER-CTSEL-IMBALANCE": "secret ctsel selects between constants of "
+                             "different Hamming weight; the operand "
+                             "transition cost encodes the secret",
     # -- optimiser leakage sanitizer (repro.opt.sanitize) ------------------
     "OPT-LEAK-BRANCH": "an optimisation pass introduced a secret-dependent "
                        "branch the pre-pass IR lacked",
     "OPT-LEAK-INDEX": "an optimisation pass introduced a secret-indexed "
                       "access the pre-pass IR lacked",
+    "OPT-LEAK-POWER": "an optimisation pass introduced a secret-conditioned "
+                      "power imbalance the pre-pass IR lacked",
     "OPT-SSA-BROKEN": "an optimisation pass left the IR malformed",
 }
 

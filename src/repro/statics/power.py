@@ -1,0 +1,430 @@
+"""Static power-balance certification (Wang et al.-style cost model).
+
+A power side channel observes switching activity, which correlates with
+*which* operations execute and *which values* they toggle.  This module
+checks two secret-conditioned imbalances over the IR:
+
+* **Sibling-path cost imbalance** — for every secret-steered branch
+  (taint ``full`` channel, the same predicate set the time channel flags)
+  the transition cost of each successor path is summed up to the branch's
+  immediate postdominator.  If the two path cost *ranges* differ, the
+  consumed energy encodes the secret: ``POWER-IMBALANCED-BRANCH``.
+  Equal ranges still leak timing, but the power profile is balanced —
+  surfaced as ``POWER-BALANCED-BRANCH`` so the verdict is auditable.
+* **Ctsel operand imbalance** — an ordinary (non-guard) ``ctsel`` on a
+  secret condition whose arms are constants of different Hamming weight
+  produces a secret-dependent operand transition (the Hamming-distance
+  model's per-bit switching cost): ``POWER-CTSEL-IMBALANCE``.  Repair
+  guard selects are exempt — their condition is true on every real
+  execution (Covenant 1), so no secret-dependent transition occurs.
+
+The per-operation weights are a deterministic stand-in for a real
+technology-level Hamming-distance table; what the certificate asserts is
+*balance*, which only needs the weights to be identical for identical
+operation sequences.
+
+Verdicts: ``CERTIFIED_POWER_BALANCED`` when neither imbalance is present,
+``RESIDUAL_POWER_LEAK`` otherwise.  A residual function whose only
+findings are ctsel operand imbalances is flagged ``transition_only`` —
+the repair *must* produce such selects to encode secret-dependent
+results branch-free (they are the power-channel analogue of the time
+channel's inherently data-inconsistent lookups); a residual secret
+branch, by contrast, is a genuine failure the repair should have
+linearised away.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.analysis.dominators import VIRTUAL_EXIT, compute_postdominators
+from repro.ir.cfg import is_acyclic, topological_order
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    Alloc,
+    Br,
+    Call,
+    CtSel,
+    Jmp,
+    Load,
+    Mov,
+    Phi,
+    Ret,
+    Store,
+)
+from repro.ir.module import Module
+from repro.ir.values import Const, Var
+from repro.obs import OBS
+from repro.statics.diagnostics import Anchor, Diagnostic, sort_diagnostics
+from repro.statics.interproc import ModuleTaint
+
+POWER_VERDICT_CERTIFIED = "CERTIFIED_POWER_BALANCED"
+POWER_VERDICT_RESIDUAL = "RESIDUAL_POWER_LEAK"
+
+#: Transition-cost weights per operation kind.  Deterministic integers;
+#: memory traffic toggles long buses, so it weighs the most.
+POWER_WEIGHTS = {
+    Alloc: 2,
+    Mov: 1,
+    Load: 3,
+    Store: 3,
+    Phi: 1,
+    CtSel: 1,
+    Call: 2,
+    Jmp: 1,
+    Br: 2,
+    Ret: 1,
+}
+
+#: Path-cost bound used for recursive/unanalysable callees: wide enough
+#: that any comparison against a concrete sibling range reports imbalance.
+_UNBOUNDED = (0, 1 << 30)
+
+_BRANCH_FIXIT = (
+    "run the repair transform: linearising the branch executes both "
+    "sibling paths' operations unconditionally, equalising their cost"
+)
+_BALANCED_FIXIT = (
+    "power cost is balanced, but the branch still leaks through the "
+    "instruction trace; repair it for the time channel"
+)
+_CTSEL_FIXIT = (
+    "inherent to a branch-free encoding of a secret-dependent result; "
+    "mask the operands or accept the transition leak"
+)
+
+
+@dataclass(frozen=True)
+class FunctionPowerCertificate:
+    """The power-balance verdict for one function."""
+
+    function: str
+    verdict: str
+    transition_only: bool
+    imbalanced_branches: int
+    balanced_branches: int
+    ctsel_imbalances: int
+    diagnostics: tuple = ()
+
+    @property
+    def certified(self) -> bool:
+        return self.verdict == POWER_VERDICT_CERTIFIED
+
+    def as_dict(self) -> dict:
+        return {
+            "function": self.function,
+            "verdict": self.verdict,
+            "transition_only": self.transition_only,
+            "imbalanced_branches": self.imbalanced_branches,
+            "balanced_branches": self.balanced_branches,
+            "ctsel_imbalances": self.ctsel_imbalances,
+            "diagnostics": [d.as_dict() for d in self.diagnostics],
+        }
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "FunctionPowerCertificate":
+        return cls(
+            function=record["function"],
+            verdict=record["verdict"],
+            transition_only=record["transition_only"],
+            imbalanced_branches=record["imbalanced_branches"],
+            balanced_branches=record["balanced_branches"],
+            ctsel_imbalances=record["ctsel_imbalances"],
+            diagnostics=tuple(
+                Diagnostic.from_dict(d) for d in record["diagnostics"]
+            ),
+        )
+
+
+@dataclass
+class PowerCertificationReport:
+    """Whole-module power-balance certification."""
+
+    module: str
+    functions: dict = field(default_factory=dict)
+
+    @property
+    def all_certified(self) -> bool:
+        return all(c.certified for c in self.functions.values())
+
+    @property
+    def residual_functions(self) -> list:
+        return sorted(
+            name for name, c in self.functions.items() if not c.certified
+        )
+
+    @property
+    def genuine_failures(self) -> list:
+        """Residual functions with a cost-imbalanced secret branch."""
+        return sorted(
+            name
+            for name, c in self.functions.items()
+            if not c.certified and not c.transition_only
+        )
+
+    def diagnostics(self) -> list:
+        merged: list = []
+        for name in sorted(self.functions):
+            merged.extend(self.functions[name].diagnostics)
+        return sort_diagnostics(merged)
+
+    def as_dict(self) -> dict:
+        return {
+            "module": self.module,
+            "functions": {
+                name: certificate.as_dict()
+                for name, certificate in sorted(self.functions.items())
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "PowerCertificationReport":
+        return cls(
+            module=record["module"],
+            functions={
+                name: FunctionPowerCertificate.from_dict(sub)
+                for name, sub in record["functions"].items()
+            },
+        )
+
+
+def _popcount(value: int) -> int:
+    return bin(value & ((1 << 64) - 1)).count("1")
+
+
+class _CostModel:
+    """Per-function (min, max) whole-body cost ranges, call-aware."""
+
+    def __init__(self, module: Module) -> None:
+        self.module = module
+        self._function_ranges: dict = {}
+        self._in_progress: set = set()
+
+    def instruction_cost(self, instr, function: Optional[Function]) -> tuple:
+        weight = POWER_WEIGHTS.get(type(instr), 1)
+        if isinstance(instr, Call):
+            callee = self.module.functions.get(instr.callee)
+            if callee is None:
+                return (weight, _UNBOUNDED[1])
+            low, high = self.function_range(callee.name)
+            return (weight + low, weight + high)
+        return (weight, weight)
+
+    def block_cost(self, function: Function, label: str) -> tuple:
+        block = function.blocks[label]
+        low = high = 0
+        for instr in block.instructions:
+            step_low, step_high = self.instruction_cost(instr, function)
+            low += step_low
+            high += step_high
+        if block.terminator is not None:
+            weight = POWER_WEIGHTS.get(type(block.terminator), 1)
+            low += weight
+            high += weight
+        return (low, high)
+
+    def function_range(self, name: str) -> tuple:
+        cached = self._function_ranges.get(name)
+        if cached is not None:
+            return cached
+        if name in self._in_progress:
+            return _UNBOUNDED
+        self._in_progress.add(name)
+        try:
+            function = self.module.functions[name]
+            result = self.path_range(function, function.entry.label, None)
+        finally:
+            self._in_progress.discard(name)
+        self._function_ranges[name] = result
+        return result
+
+    def path_range(self, function: Function, start: str,
+                   stop: Optional[str]) -> tuple:
+        """(min, max) cost over paths from ``start`` up to (excl.) ``stop``.
+
+        ``stop=None`` means "to function exit".  Requires an acyclic CFG;
+        cyclic functions report the unbounded range.
+        """
+        if not is_acyclic(function):
+            return _UNBOUNDED
+        # Iterative reverse-topological DP — unrolled programs produce
+        # block chains far deeper than the recursion limit.
+        order = topological_order(function)
+        memo: dict = {}
+        for label in reversed(order):
+            if label == stop:
+                memo[label] = (0, 0)
+                continue
+            low, high = self.block_cost(function, label)
+            successors = function.blocks[label].successors()
+            succ_ranges = [
+                memo[succ] for succ in successors if succ in memo
+            ]
+            if succ_ranges:
+                low += min(r[0] for r in succ_ranges)
+                high += max(r[1] for r in succ_ranges)
+            memo[label] = (low, high)
+        return memo.get(start, _UNBOUNDED)
+
+
+def _immediate_postdominator(function: Function, label: str) -> Optional[str]:
+    try:
+        tree = compute_postdominators(function, virtual_exit=True)
+    except Exception:
+        return None
+    ipdom = tree.idom.get(label)
+    if ipdom is None or ipdom == VIRTUAL_EXIT or ipdom == label:
+        return None
+    return ipdom
+
+
+def _certify_function(
+    module: Module,
+    function: Function,
+    taint: ModuleTaint,
+    costs: _CostModel,
+) -> FunctionPowerCertificate:
+    diagnostics: list = []
+    fn_taint = taint.functions.get(function.name)
+    tainted_full = fn_taint.tainted_full if fn_taint is not None else set()
+    secret_branches = {
+        leak.anchor.block: leak
+        for leak in (fn_taint.branch_leaks if fn_taint is not None else ())
+        if leak.anchor.block is not None
+    }
+
+    imbalanced = balanced = 0
+    for label, leak in sorted(secret_branches.items()):
+        terminator = function.blocks[label].terminator
+        if not isinstance(terminator, Br):
+            continue
+        join = _immediate_postdominator(function, label)
+        taken = costs.path_range(function, terminator.if_true, join)
+        not_taken = costs.path_range(function, terminator.if_false, join)
+        if taken != not_taken:
+            imbalanced += 1
+            diagnostics.append(
+                Diagnostic(
+                    rule="POWER-IMBALANCED-BRANCH",
+                    severity="error",
+                    message=(
+                        f"secret branch on {leak.predicate}: sibling path "
+                        f"costs {taken[0]}..{taken[1]} vs "
+                        f"{not_taken[0]}..{not_taken[1]} differ"
+                    ),
+                    anchor=leak.anchor,
+                    fixit=_BRANCH_FIXIT,
+                )
+            )
+        else:
+            balanced += 1
+            diagnostics.append(
+                Diagnostic(
+                    rule="POWER-BALANCED-BRANCH",
+                    severity="note",
+                    message=(
+                        f"secret branch on {leak.predicate}: sibling path "
+                        f"costs {taken[0]}..{taken[1]} are balanced"
+                    ),
+                    anchor=leak.anchor,
+                    fixit=_BALANCED_FIXIT,
+                )
+            )
+
+    ctsel_imbalances = 0
+    for block in function.blocks.values():
+        for index, instr in enumerate(block.instructions):
+            if not isinstance(instr, CtSel) or instr.guard:
+                continue
+            if not (isinstance(instr.cond, Var)
+                    and instr.cond.name in tainted_full):
+                continue
+            if not (isinstance(instr.if_true, Const)
+                    and isinstance(instr.if_false, Const)):
+                continue
+            weight_true = _popcount(instr.if_true.value)
+            weight_false = _popcount(instr.if_false.value)
+            if weight_true == weight_false:
+                continue
+            ctsel_imbalances += 1
+            diagnostics.append(
+                Diagnostic(
+                    rule="POWER-CTSEL-IMBALANCE",
+                    severity="warning",
+                    message=(
+                        f"ctsel arms {instr.if_true.value} and "
+                        f"{instr.if_false.value} have Hamming weights "
+                        f"{weight_true} vs {weight_false}; the operand "
+                        "transition cost depends on the secret condition"
+                    ),
+                    anchor=Anchor(
+                        function.name, block.label, index, str(instr)
+                    ),
+                    fixit=_CTSEL_FIXIT,
+                )
+            )
+
+    residual = imbalanced > 0 or ctsel_imbalances > 0
+    return FunctionPowerCertificate(
+        function=function.name,
+        verdict=(
+            POWER_VERDICT_RESIDUAL if residual else POWER_VERDICT_CERTIFIED
+        ),
+        transition_only=residual and imbalanced == 0,
+        imbalanced_branches=imbalanced,
+        balanced_branches=balanced,
+        ctsel_imbalances=ctsel_imbalances,
+        diagnostics=tuple(sort_diagnostics(diagnostics)),
+    )
+
+
+def analyze_power(
+    module: Module,
+    taint: ModuleTaint,
+    functions: Optional[list] = None,
+) -> PowerCertificationReport:
+    """Certify the power channel for ``functions`` (default: all in taint).
+
+    ``taint`` must come from the interprocedural analysis over the same
+    module; branch secretness uses its ``full`` channel.
+    """
+    names = sorted(functions) if functions is not None \
+        else sorted(taint.functions)
+    costs = _CostModel(module)
+    report = PowerCertificationReport(module=module.name)
+    for name in names:
+        function = module.functions.get(name)
+        if function is None:
+            raise KeyError(f"module has no function @{name}")
+        report.functions[name] = _certify_function(
+            module, function, taint, costs
+        )
+
+    if OBS.enabled:
+        OBS.counter("statics.power.analyses")
+        OBS.counter("statics.power.functions", len(report.functions))
+        OBS.counter(
+            "statics.power.branches_checked",
+            sum(
+                c.imbalanced_branches + c.balanced_branches
+                for c in report.functions.values()
+            ),
+        )
+        OBS.counter(
+            "statics.power.imbalanced_branches",
+            sum(c.imbalanced_branches for c in report.functions.values()),
+        )
+        OBS.counter(
+            "statics.power.ctsel_imbalances",
+            sum(c.ctsel_imbalances for c in report.functions.values()),
+        )
+        OBS.counter(
+            "statics.power.certified",
+            sum(1 for c in report.functions.values() if c.certified),
+        )
+        OBS.counter(
+            "statics.power.residual",
+            sum(1 for c in report.functions.values() if not c.certified),
+        )
+    return report

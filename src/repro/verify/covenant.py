@@ -25,7 +25,11 @@ from repro.core.contracts import build_signature_map
 from repro.core.repair import RepairOptions, repair_module
 from repro.ir.module import Module
 from repro.obs import OBS
-from repro.verify.isochronicity import check_invariance, compare_semantics
+from repro.verify.isochronicity import (
+    check_cache_invariance,
+    check_invariance,
+    compare_semantics,
+)
 
 
 @dataclass
@@ -37,6 +41,13 @@ class CovenantReport:
     memory_safe: bool
     predicted_data_invariant: bool
     inherently_data_inconsistent: bool
+    #: cache-channel clauses (the paper's cachegrind methodology): the
+    #: repaired (and, when supplied, O1-optimised) function's hit/miss
+    #: signature is input-independent.  ``None`` = not checked.  Kept out
+    #: of :attr:`holds` — inherently data-inconsistent programs legitimately
+    #: vary their cache behaviour (whitelisted like the data clause).
+    cache_invariant: Optional[bool] = None
+    cache_invariant_o1: Optional[bool] = None
 
     @property
     def holds(self) -> bool:
@@ -90,8 +101,13 @@ def check_covenant(
     options: Optional[RepairOptions] = None,
     repaired: Optional[Module] = None,
     backend: Optional[str] = None,
+    repaired_o1: Optional[Module] = None,
 ) -> CovenantReport:
-    """Repair ``@name`` (unless ``repaired`` is given) and verify Covenant 1."""
+    """Repair ``@name`` (unless ``repaired`` is given) and verify Covenant 1.
+
+    When ``repaired_o1`` is given, the O1-optimised variant's cache
+    signatures are compared too (:attr:`CovenantReport.cache_invariant_o1`).
+    """
     if repaired is None:
         repaired = repair_module(module, options)
     repaired_inputs = adapt_inputs(module, name, inputs)
@@ -103,6 +119,14 @@ def check_covenant(
         repaired, name, repaired_inputs, backend=backend
     )
     consistency = classify_data_consistency(module, name)
+    cache = check_cache_invariance(
+        repaired, name, repaired_inputs, backend=backend
+    )
+    cache_o1: Optional[bool] = None
+    if repaired_o1 is not None:
+        cache_o1 = check_cache_invariance(
+            repaired_o1, name, repaired_inputs, backend=backend
+        ).cache_invariant
 
     report = CovenantReport(
         function=name,
@@ -112,6 +136,8 @@ def check_covenant(
         memory_safe=invariance.memory_safe,
         predicted_data_invariant=consistency.repaired_data_invariant,
         inherently_data_inconsistent=consistency.inherently_inconsistent,
+        cache_invariant=cache.cache_invariant,
+        cache_invariant_o1=cache_o1,
     )
     if OBS.enabled:
         OBS.counter("verify.covenant.checked")
@@ -123,6 +149,7 @@ def check_covenant(
             "operation_invariant",
             "data_invariant",
             "memory_safe",
+            "cache_invariant",
         ):
             if getattr(report, clause):
                 OBS.counter(f"verify.covenant.{clause}")
@@ -134,5 +161,7 @@ def check_covenant(
             operation_invariant=report.operation_invariant,
             data_invariant=report.data_invariant,
             memory_safe=report.memory_safe,
+            cache_invariant=report.cache_invariant,
+            cache_invariant_o1=report.cache_invariant_o1,
         )
     return report

@@ -120,18 +120,21 @@ def check_cache_invariance(
 ) -> CacheInvarianceReport:
     """Run under the cache simulator and compare hit/miss signatures."""
     report = CacheInvarianceReport(name)
-    # Each run needs a fresh CacheHierarchy (and therefore executor), but
-    # the backend name is resolved once for the whole loop.
+    # One executor and one CacheHierarchy for the whole family:
+    # ``Cache.reset()`` restores the cold-cache state between runs, so the
+    # per-run setup is a counter clear instead of a rebuild (the compiled
+    # backend pays ``builtins.compile`` per executor).
     resolved = resolve_backend(backend)
+    hierarchy = CacheHierarchy()
+    interpreter = make_executor(
+        module,
+        backend=resolved,
+        strict_memory=strict_memory,
+        record_trace=False,
+        cache=hierarchy,
+    )
     for args in inputs:
-        hierarchy = CacheHierarchy()
-        interpreter = make_executor(
-            module,
-            backend=resolved,
-            strict_memory=strict_memory,
-            record_trace=False,
-            cache=hierarchy,
-        )
+        hierarchy.reset()
         interpreter.run(name, list(args))
         report.signatures.append(hierarchy.report().signature())
     return report

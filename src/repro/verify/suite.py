@@ -47,6 +47,7 @@ def _verify_one(name: str, runs: int, cache_root: Optional[str]):
         bench.entry,
         bench.make_inputs(runs),
         repaired=artifacts.repaired,
+        repaired_o1=artifacts.repaired_o1,
     )
 
 

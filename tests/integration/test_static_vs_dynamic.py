@@ -78,6 +78,53 @@ class TestAgreementWithDynamicVerifier:
         )
         assert static.operation_leak_free == dynamic.operation_invariant
 
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_cache_verdicts_agree_with_the_simulator(self, name):
+        """The headline 48/48: static abstract-cache verdicts vs the
+        dynamic LRU simulator, every benchmark at O0 and O1.
+
+        Protocol: a static CERTIFIED_CACHE_INVARIANT must be confirmed by
+        an invariant hit/miss signature (the certificate is *sound*); a
+        static residual is only acceptable on benchmarks whose metadata
+        whitelists them as inherently data-inconsistent (the certificate
+        is *precise* up to the paper's S-box cases).
+        """
+        from repro.statics import CertificationMatrix
+        from repro.verify.covenant import adapt_inputs
+        from repro.verify.isochronicity import check_cache_invariance
+
+        bench = get_benchmark(name)
+        artifacts = get_artifacts(name)
+        built = artifacts.built
+        if not built.certification_matrix:  # pre-matrix cache entry
+            pytest.skip("artifact cache entry predates the matrix")
+        adapted = adapt_inputs(
+            artifacts.original, built.entry, bench.make_inputs(2)
+        )
+        for variant, module in (
+            ("repaired", artifacts.repaired),
+            ("repaired_o1", artifacts.repaired_o1),
+        ):
+            matrix = CertificationMatrix.from_dict(
+                built.certification_matrix[variant]
+            )
+            static = matrix.cache.functions[built.entry]
+            dynamic = check_cache_invariance(module, built.entry, adapted)
+            if static.certified:
+                assert dynamic.cache_invariant, (
+                    f"{name}/{variant}: statically certified cache-"
+                    "invariant but the simulator observed differing "
+                    "hit/miss signatures — the certificate is unsound"
+                )
+            else:
+                assert bench.inherently_inconsistent, (
+                    f"{name}/{variant}: residual cache verdict "
+                    f"({static.secret_accesses} secret accesses, "
+                    f"{static.branch_leaks} branch leaks) on a benchmark "
+                    "not whitelisted as inherently data-inconsistent"
+                )
+                assert static.inherently_data_inconsistent
+
     @pytest.mark.parametrize("name", ("ofdf", "ofdt", "loki91"))
     def test_leaky_originals_are_flagged_statically(self, name):
         # Benchmarks whose originals branch on secrets: the static verdict

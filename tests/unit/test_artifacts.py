@@ -113,3 +113,43 @@ class TestBuild:
             assert function.sensitive_params == fresh.function(
                 bench.entry
             ).sensitive_params
+
+
+class TestCertificationMatrix:
+    VARIANTS = ("original", "original_o1", "repaired", "repaired_o1")
+
+    def test_matrix_covers_all_variants_and_channels(self):
+        built = build_artifacts(_request("otdt"), store=None)
+        assert set(built.certification_matrix) == set(self.VARIANTS)
+        for variant in self.VARIANTS:
+            record = built.certification_matrix[variant]
+            assert set(record["channels"]) == {"time", "cache", "power"}
+            for channel in ("time", "cache", "power"):
+                assert record[channel] is not None, (variant, channel)
+        # The legacy single-channel certification mirrors the time channel.
+        assert (
+            built.certification["repaired"]
+            == built.certification_matrix["repaired"]["time"]
+        )
+
+    def test_warm_load_does_no_static_analysis(self, tmp_path):
+        from repro.obs import OBS
+        from repro.statics import CertificationMatrix
+
+        store = ArtifactStore(tmp_path)
+        with OBS.capture(force=True) as cold_cap:
+            cold = build_artifacts(_request("otdt"), store=store)
+        assert cold_cap.counters.get("statics.cache.analyses") == 4.0
+        assert cold_cap.counters.get("statics.power.analyses") == 4.0
+
+        with OBS.capture(force=True) as warm_cap:
+            warm = build_artifacts(_request("otdt"), store=store)
+        assert warm.cache_hit
+        assert warm.certification_matrix == cold.certification_matrix
+        assert "statics.cache.analyses" not in warm_cap.counters
+        assert "statics.power.analyses" not in warm_cap.counters
+        # The cached payload reconstructs into a live matrix.
+        matrix = CertificationMatrix.from_dict(
+            warm.certification_matrix["repaired"]
+        )
+        assert matrix.verdicts()["time"]

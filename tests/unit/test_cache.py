@@ -145,3 +145,67 @@ class TestHierarchy:
         hierarchy.data_access(0, is_write=True)
         hierarchy.reset()
         assert hierarchy.report().signature() == (0, 0, 0, 0, 0, 0)
+
+
+class TestGeometryDiagnostics:
+    """Validation errors must name the offending parameter and value."""
+
+    @pytest.mark.parametrize("kwargs, param, value", [
+        (dict(size=3000), "size", 3000),
+        (dict(line_size=48), "line_size", 48),
+        (dict(ways=3), "ways", 3),
+    ])
+    def test_error_names_parameter_and_value(self, kwargs, param, value):
+        with pytest.raises(ValueError) as excinfo:
+            Cache(**kwargs)
+        assert f"{param}={value!r}" in str(excinfo.value)
+
+    def test_inconsistent_geometry_error_names_all_three(self):
+        with pytest.raises(ValueError) as excinfo:
+            Cache(size=1024, line_size=64, ways=32)
+        message = str(excinfo.value)
+        assert "size=1024" in message
+        assert "line_size=64" in message
+        assert "ways=32" in message
+
+
+class TestEdgeGeometries:
+    def test_single_way_eviction_order(self):
+        # ways=1 is direct-mapped: two lines falling into the same set
+        # evict each other on every access — the strictest LRU case.
+        cache = Cache(size=128, line_size=64, ways=1)  # 2 sets
+        conflicting = [0, 128, 0, 128]  # both map to set 0
+        assert [cache.access(a) for a in conflicting] == [False] * 4
+        assert cache.stats.as_tuple() == (4, 0, 4)
+        # A line in the other set is undisturbed by the thrashing.
+        assert cache.access(64) is False
+        assert cache.access(64) is True
+
+    def test_line_boundary_accounting(self):
+        # Addresses within one line share it; the first byte of the next
+        # line is a distinct line even though the addresses differ by 1.
+        cache = Cache(size=256, line_size=64, ways=2)
+        assert cache.access(0) is False
+        assert cache.access(63) is True     # same line
+        assert cache.access(64) is False    # next line
+        assert cache.stats.as_tuple() == (3, 1, 2)
+
+    def test_stats_determinism_across_reset(self):
+        cache = Cache(size=256, line_size=64, ways=2)
+        addresses = [0, 64, 128, 0, 256, 64, 512, 0]
+        first = [cache.access(a) for a in addresses]
+        stats_first = cache.stats.as_tuple()
+        cache.reset()
+        second = [cache.access(a) for a in addresses]
+        assert first == second
+        assert cache.stats.as_tuple() == stats_first
+
+    def test_reset_reuses_set_objects(self):
+        # reset() is called once per run across whole input families; it
+        # must clear the per-set maps in place, not reallocate them.
+        cache = Cache(size=256, line_size=64, ways=2)
+        before = [id(entries) for entries in cache._sets]
+        cache.access(0)
+        cache.reset()
+        assert [id(entries) for entries in cache._sets] == before
+        assert all(len(entries) == 0 for entries in cache._sets)

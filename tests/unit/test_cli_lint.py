@@ -100,3 +100,38 @@ class TestLintSuite:
         # The original oFdF leaks through its early-exit branches.
         original = payload["ofdf"]["original"]
         assert "RESIDUAL_LEAK" in original["verdicts"].values()
+
+
+class TestLintChannels:
+    def test_json_carries_per_channel_verdicts(self, leaky_file, capsys):
+        main(["lint", leaky_file, "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        channels = payload["channels"]
+        assert channels["time"]["compare"] == "RESIDUAL_LEAK"
+        assert channels["cache"]["compare"] == "RESIDUAL_CACHE_LEAK"
+        assert channels["power"]["compare"] in (
+            "CERTIFIED_POWER_BALANCED", "RESIDUAL_POWER_LEAK"
+        )
+        # Back-compat: the flat map still mirrors the time channel.
+        assert payload["verdicts"] == channels["time"]
+
+    def test_channels_flag_filters_the_matrix(self, leaky_file, capsys):
+        main(["lint", leaky_file, "--channels", "cache", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload["channels"]) == {"cache"}
+        assert "verdicts" not in payload
+        rules = {d["rule"] for d in payload["diagnostics"]}
+        assert "CACHE-BRANCH-SECRET" in rules
+        assert "CT-BRANCH-SECRET" not in rules
+
+    def test_text_mode_prints_all_three_channels(self, clean_file, capsys):
+        assert main(["lint", clean_file]) == 0
+        out = capsys.readouterr().out
+        assert "time=CERTIFIED_CONSTANT_TIME" in out
+        assert "cache=CERTIFIED_CACHE_INVARIANT" in out
+        assert "power=CERTIFIED_POWER_BALANCED" in out
+
+    def test_unknown_channel_is_a_usage_error(self, clean_file, capsys):
+        assert main(["lint", clean_file, "--channels", "em"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown certification channel" in err

@@ -149,3 +149,98 @@ class TestCleanPipeline:
         assert not sanitize_enabled()
         monkeypatch.setenv(SANITIZE_ENV_VAR, "1")
         assert sanitize_enabled()
+
+
+# Balanced select (arms 1 and 2, equal Hamming weight)...
+BALANCED_SEL = """
+func @f(k: int) {
+entry:
+  p = mov k < 0
+  r = ctsel p, 1, 2
+  ret r
+}
+"""
+
+# ...rewritten with imbalanced constant arms (weights 8 vs 0).
+IMBALANCED_SEL = """
+func @f(k: int) {
+entry:
+  p = mov k < 0
+  r = ctsel p, 255, 0
+  ret r
+}
+"""
+
+# Variable arms: not provably balanced, counted the same before and
+# after a pass folds one arm to a constant.
+VAR_ARM_SEL = """
+func @f(k: int, x: int) {
+entry:
+  p = mov k < 0
+  y = mov x + 0
+  r = ctsel p, y, 0
+  ret r
+}
+"""
+
+FOLDED_ARM_SEL = """
+func @f(k: int, x: int) {
+entry:
+  p = mov k < 0
+  r = ctsel p, 255, 0
+  ret r
+}
+"""
+
+
+class TestPowerFingerprint:
+    def test_imbalance_introducing_pass_is_named(self):
+        module = parse_module(BALANCED_SEL)
+        function = module.functions["f"]
+
+        def imbalance(fn):
+            replace_body(fn, IMBALANCED_SEL)
+            return True
+
+        with pytest.raises(LeakSanitizerError) as exc:
+            optimize_function(
+                function,
+                passes=(("imbalance", imbalance),),
+                sanitize=True,
+                module=module,
+            )
+        assert exc.value.pass_name == "imbalance"
+        assert exc.value.diagnostic.rule == "OPT-LEAK-POWER"
+
+    def test_constant_folding_an_arm_is_not_a_violation(self):
+        # Folding a variable arm to an imbalanced constant only *reveals*
+        # a potential imbalance the fingerprint already counted.
+        module = parse_module(VAR_ARM_SEL)
+        function = module.functions["f"]
+        before = LeakFingerprint.of(function)
+        assert before.ctsel_imbalances == 1
+
+        def fold(fn):
+            replace_body(fn, FOLDED_ARM_SEL)
+            return True
+
+        fired = optimize_function(
+            function,
+            passes=(("fold", fold),),
+            sanitize=True,
+            module=module,
+        )
+        assert "fold" in fired
+        assert LeakFingerprint.of(function).ctsel_imbalances == 1
+
+    def test_guard_selects_are_not_counted(self):
+        module = parse_module("""
+        func @f(k: int) {
+        entry:
+          p = mov k < 0
+          r = ctsel p, 255, 0, guard
+          ret r
+        }
+        """)
+        fingerprint = LeakFingerprint.of(module.functions["f"])
+        assert fingerprint.ctsel_imbalances == 0

@@ -142,3 +142,78 @@ class TestSerialisation:
 
         report = certify_module(parse_module(SBOX_LOOKUP))
         assert json.loads(json.dumps(report.as_dict())) == report.as_dict()
+
+
+class TestChannelSelection:
+    def test_normalize_accepts_strings_and_iterables(self):
+        from repro.statics import CHANNELS, normalize_channels
+
+        assert normalize_channels(None) == CHANNELS
+        assert normalize_channels("cache") == ("cache",)
+        assert normalize_channels("power, time") == ("time", "power")
+        assert normalize_channels(["power", "cache"]) == ("cache", "power")
+
+    def test_normalize_rejects_unknown_and_empty(self):
+        import pytest
+
+        from repro.statics import normalize_channels
+
+        with pytest.raises(ValueError, match="bogus"):
+            normalize_channels("time,bogus")
+        with pytest.raises(ValueError, match="at least one"):
+            normalize_channels("")
+
+    def test_matrix_runs_only_selected_channels(self):
+        from repro.statics import certify_matrix
+
+        matrix = certify_matrix(parse_module(SBOX_LOOKUP), channels="cache")
+        assert matrix.channels == ("cache",)
+        assert matrix.time is None and matrix.power is None
+        assert matrix.cache.residual_functions == ["f"]
+        assert list(matrix.verdicts()) == ["cache"]
+
+    def test_unknown_channel_report_raises(self):
+        import pytest
+
+        from repro.statics import certify_matrix
+
+        matrix = certify_matrix(parse_module(CLEAN))
+        with pytest.raises(KeyError):
+            matrix.report("em")
+
+
+class TestMatrix:
+    def test_full_matrix_agrees_across_channels(self):
+        from repro.statics import certify_matrix
+
+        matrix = certify_matrix(parse_module(SBOX_LOOKUP), entry="f")
+        verdicts = matrix.verdicts()
+        # The s-box lookup is residual on time and cache (the secret index
+        # spans many lines) but clean on power (no branch, no ctsel).
+        assert verdicts["time"]["f"] == "RESIDUAL_LEAK"
+        assert verdicts["cache"]["f"] == "RESIDUAL_CACHE_LEAK"
+        assert verdicts["power"]["f"] == "CERTIFIED_POWER_BALANCED"
+        assert not matrix.all_certified
+
+    def test_matrix_round_trips_through_dict(self):
+        import json
+
+        from repro.statics import CertificationMatrix, certify_matrix
+
+        for text in (LEAKY_BRANCH, SBOX_LOOKUP, CLEAN, GUARDED):
+            matrix = certify_matrix(parse_module(text))
+            record = json.loads(json.dumps(matrix.as_dict()))
+            clone = CertificationMatrix.from_dict(record)
+            assert clone.as_dict() == matrix.as_dict()
+            assert clone.verdicts() == matrix.verdicts()
+
+    def test_matrix_diagnostics_merge_channels(self):
+        from repro.statics import certify_matrix
+
+        matrix = certify_matrix(parse_module(LEAKY_BRANCH))
+        rules = {d.rule for d in matrix.diagnostics()}
+        assert "CT-BRANCH-SECRET" in rules          # time
+        assert "CACHE-BRANCH-SECRET" in rules       # cache
+        assert {d.rule for d in matrix.diagnostics(channels=("time",))} == {
+            "CT-BRANCH-SECRET"
+        }

@@ -1,0 +1,161 @@
+"""Static power-balance certification (transition-cost model)."""
+
+import pytest
+
+from repro.ir import parse_module
+from repro.statics import (
+    POWER_VERDICT_CERTIFIED,
+    POWER_VERDICT_RESIDUAL,
+    PowerCertificationReport,
+    analyze_module_taint,
+    analyze_power,
+)
+
+IMBALANCED_BRANCH = """
+func @f(k: int, x: int) {
+entry:
+  p = mov k < 0
+  br p, heavy, light
+heavy:
+  a = mov x * 3
+  b = mov a + 1
+  c = mov b * 7
+  jmp join
+light:
+  d = mov x + 1
+  jmp join
+join:
+  r = phi [c, heavy], [d, light]
+  ret r
+}
+"""
+
+BALANCED_BRANCH = """
+func @f(k: int, x: int) {
+entry:
+  p = mov k < 0
+  br p, a, b
+a:
+  u = mov x + 1
+  jmp join
+b:
+  v = mov x - 1
+  jmp join
+join:
+  r = phi [u, a], [v, b]
+  ret r
+}
+"""
+
+CTSEL_IMBALANCE = """
+func @f(k: int) {
+entry:
+  p = mov k < 0
+  r = ctsel p, 255, 0
+  ret r
+}
+"""
+
+CTSEL_BALANCED = """
+func @f(k: int) {
+entry:
+  p = mov k < 0
+  r = ctsel p, 5, 6
+  ret r
+}
+"""
+
+GUARD_CTSEL = """
+func @f(k: int) {
+entry:
+  p = mov k < 0
+  r = ctsel p, 255, 0, guard
+  ret r
+}
+"""
+
+STRAIGHT_LINE = """
+func @f(k: int) {
+entry:
+  a = mov k * 3
+  b = mov a ^ 255
+  ret b
+}
+"""
+
+
+def _power_report(source, sensitive=("k",)):
+    module = parse_module(source)
+    taint = analyze_module_taint(module, {"f": list(sensitive)}, False)
+    return analyze_power(module, taint)
+
+
+class TestBranchBalance:
+    def test_imbalanced_secret_branch_is_genuine_failure(self):
+        report = _power_report(IMBALANCED_BRANCH)
+        cert = report.functions["f"]
+        assert cert.verdict == POWER_VERDICT_RESIDUAL
+        assert cert.imbalanced_branches == 1
+        assert not cert.transition_only
+        assert report.genuine_failures == ["f"]
+        rules = [d.rule for d in cert.diagnostics]
+        assert "POWER-IMBALANCED-BRANCH" in rules
+
+    def test_balanced_secret_branch_certifies_with_note(self):
+        # Sibling paths cost the same, so the power profile is balanced
+        # even though the branch still leaks on the time channel.
+        report = _power_report(BALANCED_BRANCH)
+        cert = report.functions["f"]
+        assert cert.verdict == POWER_VERDICT_CERTIFIED
+        assert cert.balanced_branches == 1
+        rules = [d.rule for d in cert.diagnostics]
+        assert "POWER-BALANCED-BRANCH" in rules
+        assert "POWER-IMBALANCED-BRANCH" not in rules
+
+
+class TestCtselBalance:
+    def test_unequal_hamming_weights_are_transition_only(self):
+        # 255 has weight 8, 0 has weight 0: secret-dependent operand
+        # transitions, but no cost-imbalanced branch — transition_only.
+        report = _power_report(CTSEL_IMBALANCE)
+        cert = report.functions["f"]
+        assert cert.verdict == POWER_VERDICT_RESIDUAL
+        assert cert.ctsel_imbalances == 1
+        assert cert.transition_only
+        assert report.genuine_failures == []
+        assert report.residual_functions == ["f"]
+        rules = [d.rule for d in cert.diagnostics]
+        assert "POWER-CTSEL-IMBALANCE" in rules
+
+    def test_equal_hamming_weights_certify(self):
+        # 5 (101) and 6 (110) both have weight 2.
+        report = _power_report(CTSEL_BALANCED)
+        assert report.functions["f"].verdict == POWER_VERDICT_CERTIFIED
+        assert report.functions["f"].ctsel_imbalances == 0
+
+    def test_repair_guard_selects_are_exempt(self):
+        # Covenant 1: a guard condition holds on every real execution,
+        # so the select never makes a secret-dependent transition.
+        report = _power_report(GUARD_CTSEL)
+        assert report.functions["f"].verdict == POWER_VERDICT_CERTIFIED
+
+
+class TestReport:
+    def test_straight_line_code_certifies(self):
+        report = _power_report(STRAIGHT_LINE)
+        cert = report.functions["f"]
+        assert cert.verdict == POWER_VERDICT_CERTIFIED
+        assert cert.diagnostics == ()
+        assert report.all_certified
+
+    def test_round_trips_through_dict(self):
+        report = _power_report(IMBALANCED_BRANCH)
+        clone = PowerCertificationReport.from_dict(report.as_dict())
+        assert clone.as_dict() == report.as_dict()
+        assert clone.genuine_failures == ["f"]
+
+    def test_missing_function_raises(self):
+        module = parse_module(STRAIGHT_LINE)
+        taint = analyze_module_taint(module, {"f": ["k"]}, False)
+        with pytest.raises(KeyError):
+            analyze_power(module, taint, ["nope"])
