@@ -1,0 +1,295 @@
+"""Sharded-serve soak: faults on, a shard killed mid-run, nothing lost.
+
+The full deployment under sustained hostile load, written to
+``BENCH_soak.json`` at the repository root:
+
+* ``REPRO_SOAK_SHARDS`` (default 2) real ``lif serve`` shard
+  subprocesses — each with its own crash-replay journal and a
+  deterministic fault plan (worker crashes, slow workers, dropped
+  submission responses) — behind the in-process consistent-hash router;
+* ``REPRO_SOAK_SUBMITTERS`` (default 1000) concurrent submitter threads
+  drawing from ``REPRO_SOAK_KEYS`` distinct job keys, so coalescing,
+  caching and cross-tenant dedup all stay hot;
+* unless ``REPRO_SOAK_KILL=0``, one shard is SIGKILLed mid-soak and
+  restarted against the same journal — accepted jobs must replay.
+
+Acceptance gates (all hard failures):
+
+* **zero lost jobs** — every submitter ends holding a result;
+* **zero failed jobs** — every observed terminal status is ``done``;
+* **zero duplicated results** — all submitters of a key got identical
+  bytes;
+* **byte-identity** — those bytes equal ``execute_job`` run directly in
+  this process, through the router hop, the shard hop, worker crashes,
+  a SIGKILL and a journal replay.
+
+CI runs a short fault-injected smoke (~60 s) via ``REPRO_SOAK_*`` knobs
+with ``REPRO_SOAK_OUT`` pointed at scratch so the committed record only
+ever comes from a full local run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Deterministic fault plan injected into every shard.
+SHARD_FAULTS = "crash@3,slow@5:0.05,drop@2,drop@9"
+
+
+def _env_int(name: str, default: int) -> int:
+    raw = os.environ.get(name, "").strip()
+    try:
+        return int(raw) if raw else default
+    except ValueError:
+        return default
+
+
+SUBMITTERS = _env_int("REPRO_SOAK_SUBMITTERS", 1000)
+SHARDS = _env_int("REPRO_SOAK_SHARDS", 2)
+KEYS = _env_int("REPRO_SOAK_KEYS", 48)
+WORKERS = _env_int("REPRO_SOAK_WORKERS", 2)
+KILL_A_SHARD = _env_int("REPRO_SOAK_KILL", 1) != 0
+RESULT_PATH = Path(
+    os.environ.get("REPRO_SOAK_OUT") or (_REPO_ROOT / "BENCH_soak.json")
+)
+
+GATE = """
+uint gate(secret uint s, uint p) {
+  uint y = 0;
+  if (s > p) {
+    y = 3;
+  } else {
+    y = 8;
+  }
+  return y;
+}
+"""
+
+
+def _spec(key_index, tenant_index):
+    from repro.serve import JobSpec
+
+    return JobSpec(
+        kind="repair",
+        source=GATE + f"// soak key {key_index}\n",
+        name=f"soak{key_index}",
+        tenant=f"t{tenant_index % 16}",
+        priority="gold" if key_index % 4 == 0 else "normal",
+    )
+
+
+def _submit_until_done(host, port, key_index, tenant_index,
+                       deadline) -> bytes:
+    """One submitter: converge on the key's result bytes, come what may.
+
+    Transport faults are retried inside the client; routing-level
+    failures (a killed shard answering 502 through the router, a shard
+    mid-drain answering 503) restart the idempotent submit loop — the
+    content-addressed key guarantees convergence onto one result.
+    """
+    from repro.serve.client import (
+        TRANSIENT_ERRORS,
+        ServeClient,
+        ServeError,
+    )
+
+    client = ServeClient(host, port, timeout=120)
+    spec = _spec(key_index, tenant_index)
+    last = None
+    while time.monotonic() < deadline:
+        try:
+            accepted = client.submit_retrying(spec, attempts=100)
+            if accepted.get("cached"):
+                from repro.serve import canonical_result_bytes
+
+                return canonical_result_bytes(accepted["result"])
+            job_id = accepted["job_id"]
+            view = client.wait(job_id, timeout=240)
+            if view["status"] != "done":
+                raise AssertionError(f"job {job_id} failed: {view}")
+            return client.result_bytes(job_id)
+        except (ServeError, *TRANSIENT_ERRORS, TimeoutError) as exc:
+            last = exc
+            time.sleep(0.1)
+    raise TimeoutError(f"submitter gave up on key {key_index}: {last}")
+
+
+def measure() -> dict:
+    from repro.serve import canonical_result_bytes, execute_job
+    from repro.serve.router import (
+        RouterConfig,
+        RouterThread,
+        ShardSupervisor,
+    )
+
+    scratch = tempfile.mkdtemp(prefix="bench-soak-")
+    os.environ["REPRO_CACHE_DIR"] = scratch
+    journal_dir = os.path.join(scratch, "journals")
+    os.makedirs(journal_dir, exist_ok=True)
+
+    shard_env = dict(os.environ)
+    shard_env["REPRO_SERVE_FAULTS"] = SHARD_FAULTS
+    supervisor = ShardSupervisor(
+        count=SHARDS, workers=WORKERS, journal_dir=journal_dir,
+        env=shard_env,
+    )
+    shards = supervisor.start()
+    router = RouterThread(
+        RouterConfig(port=0, health_interval=0.5), shards
+    )
+    router.start()
+    host, port = router.host, router.port
+
+    # Direct ground truth, computed before any serving.
+    direct = {
+        k: canonical_result_bytes(execute_job(_spec(k, 0)))
+        for k in range(KEYS)
+    }
+
+    results: "dict[int, list]" = {k: [] for k in range(KEYS)}
+    errors: list = []
+    lock = threading.Lock()
+    deadline = time.monotonic() + 600
+
+    def submitter(index):
+        key_index = index % KEYS
+        try:
+            blob = _submit_until_done(host, port, key_index, index,
+                                      deadline)
+            with lock:
+                results[key_index].append(blob)
+        except BaseException as exc:
+            with lock:
+                errors.append((index, f"{type(exc).__name__}: {exc}"))
+
+    started = time.perf_counter()
+    threads = [
+        threading.Thread(target=submitter, args=(i,))
+        for i in range(SUBMITTERS)
+    ]
+    for thread in threads:
+        thread.start()
+
+    killed = False
+    if KILL_A_SHARD:
+        # Let the fleet take load, then kill shard s0 outright and
+        # bring it back against the same journal.
+        time.sleep(2.0)
+        supervisor.kill("s0")
+        time.sleep(1.0)
+        supervisor.restart("s0")
+        router.probe_now()
+        killed = True
+
+    for thread in threads:
+        thread.join(timeout=700)
+    seconds = time.perf_counter() - started
+
+    from repro.serve.client import ServeClient
+
+    stats = ServeClient(host, port, timeout=60).stats()
+
+    router.request_drain()
+    router.join()
+    supervisor.stop()
+
+    completed = sum(len(blobs) for blobs in results.values())
+    lost = SUBMITTERS - completed
+    mismatched = [
+        k for k, blobs in results.items()
+        if any(blob != direct[k] for blob in blobs)
+    ]
+    divergent = [
+        k for k, blobs in results.items() if len(set(blobs)) > 1
+    ]
+    shard_counters: dict = {}
+    for sid, view in (stats.get("shard_stats") or {}).items():
+        if isinstance(view, dict):
+            shard_counters[sid] = {
+                name: count
+                for name, count in view.get("counters", {}).items()
+                if name.startswith(("serve.fault", "serve.journal",
+                                    "serve.retries", "serve.pool",
+                                    "serve.dropped"))
+            }
+    summary = {
+        "submitters": SUBMITTERS,
+        "shards": SHARDS,
+        "workers_per_shard": WORKERS,
+        "distinct_keys": KEYS,
+        "fault_plan": SHARD_FAULTS,
+        "shard_killed_and_restarted": killed,
+        "seconds": round(seconds, 3),
+        "submissions_per_second": round(SUBMITTERS / seconds, 2),
+        "completed": completed,
+        "lost_jobs": lost,
+        "errors": errors[:10],
+        "duplicated_results": len(divergent),
+        "byte_identical": not mismatched,
+        "mismatched_keys": mismatched[:10],
+        "router_counters": stats.get("counters", {}),
+        "shard_counters": shard_counters,
+    }
+    RESULT_PATH.write_text(json.dumps(summary, indent=2) + "\n")
+    return summary
+
+
+def _print_summary(summary: dict) -> None:
+    print("== Sharded serve soak ==")
+    print(
+        f"  {summary['submitters']} submitters over "
+        f"{summary['shards']} shards ({summary['workers_per_shard']} "
+        f"workers each), {summary['distinct_keys']} distinct keys"
+    )
+    print(
+        f"  faults: {summary['fault_plan']}"
+        + (", shard s0 SIGKILLed + restarted"
+           if summary["shard_killed_and_restarted"] else "")
+    )
+    print(
+        f"  {summary['completed']}/{summary['submitters']} completed in "
+        f"{summary['seconds']:.1f}s "
+        f"({summary['submissions_per_second']:.1f} submissions/s)"
+    )
+    print(
+        f"  lost: {summary['lost_jobs']}  duplicated: "
+        f"{summary['duplicated_results']}  byte-identical: "
+        f"{summary['byte_identical']}"
+    )
+    print(f"  written to {RESULT_PATH.name}")
+
+
+def test_serve_soak(capsys):
+    summary = measure()
+    with capsys.disabled():
+        print()
+        _print_summary(summary)
+    assert summary["lost_jobs"] == 0, (
+        f"{summary['lost_jobs']} submitters never got a result: "
+        f"{summary['errors']}"
+    )
+    assert summary["duplicated_results"] == 0, (
+        f"keys with divergent results: {summary['mismatched_keys']}"
+    )
+    assert summary["byte_identical"], (
+        f"served bytes diverged from the direct pipeline for keys "
+        f"{summary['mismatched_keys']}"
+    )
+
+
+if __name__ == "__main__":
+    result = measure()
+    _print_summary(result)
+    failed = (
+        result["lost_jobs"] != 0
+        or result["duplicated_results"] != 0
+        or not result["byte_identical"]
+    )
+    raise SystemExit(1 if failed else 0)

@@ -249,15 +249,22 @@ def serve(
     queue_limit: Optional[int] = None,
     tenant_rps: Optional[float] = None,
     use_cache: bool = True,
+    journal: Optional[str] = None,
+    classes: Optional[str] = None,
+    retries: Optional[int] = None,
 ) -> int:
     """Run the repair service until drained (what ``lif serve`` runs).
 
     Starts the warm worker pool and the local HTTP/JSONL front end and
     blocks until a graceful shutdown (``POST /v1/shutdown`` or SIGINT).
-    Unset arguments fall back to their ``REPRO_SERVE_*`` environment
-    knobs.  See ``docs/SERVE.md``.
+    ``journal`` enables the crash-replay ledger, ``classes`` sets
+    priority-class weights (``"gold=4,normal=1"``) and ``retries``
+    bounds re-dispatches after a worker death.  Unset arguments fall
+    back to their ``REPRO_SERVE_*`` environment knobs.  For the
+    horizontally sharded deployment use ``lif serve --shards N``
+    (:mod:`repro.serve.router`).  See ``docs/SERVE.md``.
     """
-    from repro.serve.server import ServeConfig, run_server
+    from repro.serve.server import ServeConfig, parse_class_weights, run_server
 
     config = ServeConfig.from_env(
         host=host,
@@ -267,6 +274,11 @@ def serve(
         queue_limit=queue_limit,
         tenant_rps=tenant_rps,
         use_cache=None if use_cache else False,
+        journal_path=journal,
+        class_weights=(
+            parse_class_weights(classes) if classes is not None else None
+        ),
+        max_retries=retries,
     )
     return run_server(config)
 

@@ -468,7 +468,7 @@ def _cmd_fuzz(args) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    from repro.serve.server import ServeConfig, run_server
+    from repro.serve.server import ServeConfig, parse_class_weights, run_server
 
     _check_backend(args.backend)
     if args.backend is not None:
@@ -477,6 +477,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         import os
 
         os.environ["REPRO_BACKEND"] = args.backend
+    if args.shards and args.shards > 0:
+        return _run_sharded(args)
     config = ServeConfig.from_env(
         host=args.host,
         port=args.port,
@@ -485,17 +487,63 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         queue_limit=args.queue_limit,
         tenant_rps=args.tenant_rps,
         use_cache=False if args.no_cache else None,
+        journal_path=args.journal,
+        class_weights=(
+            parse_class_weights(args.classes)
+            if args.classes is not None else None
+        ),
+        max_retries=args.retries,
     )
 
     def announce(server, host, port):
         pool = server.pool.stats()
+        journal = " journal on," if server.journal is not None else ""
         sys.stderr.write(
             f"lif serve: listening on http://{host}:{port} "
-            f"({pool['workers']} {pool['mode']} workers, "
+            f"({pool['workers']} {pool['mode']} workers,{journal} "
             f"queue limit {server.config.queue_limit})\n"
         )
 
     return run_server(config, announce)
+
+
+def _run_sharded(args: argparse.Namespace) -> int:
+    """``lif serve --shards N``: spawn N shard processes, run the router."""
+    import os
+
+    from repro.serve.router import (
+        RouterConfig,
+        ShardSupervisor,
+        run_router,
+    )
+
+    journal_dir = args.journal
+    if journal_dir:
+        os.makedirs(journal_dir, exist_ok=True)
+    supervisor = ShardSupervisor(
+        count=args.shards,
+        workers=args.workers,
+        journal_dir=journal_dir,
+    )
+    sys.stderr.write(f"lif serve: starting {args.shards} shards...\n")
+    shards = supervisor.start()
+    for shard in shards:
+        sys.stderr.write(
+            f"lif serve: shard {shard.shard_id} at "
+            f"http://{shard.host}:{shard.port}\n"
+        )
+    config = RouterConfig.from_env(host=args.host, port=args.port)
+
+    def announce(router, host, port):
+        sys.stderr.write(
+            f"lif serve: router listening on http://{host}:{port} "
+            f"({len(shards)} shards, consistent-hash routing)\n"
+        )
+
+    try:
+        return run_router(config, shards, announce)
+    finally:
+        supervisor.stop()
 
 
 def _cmd_submit(args: argparse.Namespace) -> int:
@@ -518,6 +566,7 @@ def _cmd_submit(args: argparse.Namespace) -> int:
             args=tuple(_parse_arg(a) for a in args.args),
             backend=args.backend,
             tenant=args.tenant,
+            priority=args.priority,
         )
         spec.to_payload()  # validate before touching the network
     except ProtocolError as exc:
@@ -737,6 +786,23 @@ def main(argv: "list[str] | None" = None) -> int:
                               "(default: $REPRO_SERVE_TENANT_RPS or 0)")
     p_serve.add_argument("--no-cache", action="store_true",
                          help="disable the sharded result cache")
+    p_serve.add_argument("--shards", type=int, default=None, metavar="N",
+                         help="run N shard processes behind a "
+                              "consistent-hash router on --port "
+                              "(default: single server)")
+    p_serve.add_argument("--journal", default=None, metavar="PATH",
+                         help="append-only job journal for crash replay: "
+                              "a file (single server) or a directory "
+                              "(one journal per shard with --shards) "
+                              "(default: $REPRO_SERVE_JOURNAL or off)")
+    p_serve.add_argument("--classes", default=None, metavar="SPEC",
+                         help="priority-class weights, e.g. "
+                              "'gold=4,normal=1' (default: "
+                              "$REPRO_SERVE_CLASSES or equal weights)")
+    p_serve.add_argument("--retries", type=int, default=None,
+                         help="re-dispatches after a worker death before "
+                              "a job fails (default: $REPRO_SERVE_RETRIES "
+                              "or 2)")
     p_serve.add_argument("--backend", default=None, metavar="NAME",
                          help=f"execution engine: {', '.join(BACKENDS)} "
                               "(published to workers via $REPRO_BACKEND)")
@@ -762,6 +828,9 @@ def main(argv: "list[str] | None" = None) -> int:
                           help=f"execution engine: {', '.join(BACKENDS)}")
     p_submit.add_argument("--tenant", default="cli",
                           help="tenant id for rate limiting (default: cli)")
+    p_submit.add_argument("--priority", default="normal",
+                          help="priority class for weighted dispatch "
+                               "(default: normal)")
     p_submit.add_argument("--host", default="127.0.0.1")
     p_submit.add_argument("--port", type=int, default=8765)
     p_submit.add_argument("--timeout", type=float, default=600.0,

@@ -24,13 +24,24 @@ a long-running local service:
   graceful drain that finishes in-flight jobs before exit.
 * :mod:`repro.serve.client` — the blocking stdlib client used by ``lif
   submit``, the tests and the throughput benchmark.
+* :mod:`repro.serve.ring` — the consistent-hash ring (SHA-256 virtual
+  points) that spreads job keys across shards with bounded movement.
+* :mod:`repro.serve.router` — the shard router (``lif serve --shards
+  N``): health-checked consistent-hash forwarding, per-shard draining,
+  deterministic failover, and the shard-process supervisor.
+* :mod:`repro.serve.journal` — the append-only crash-replay journal:
+  accepted jobs survive a SIGKILL and replay byte-identically.
+* :mod:`repro.serve.faults` — deterministic fault injection
+  (``REPRO_SERVE_FAULTS``) for the chaos suite and the soak benchmark.
 
 Protocol and operational semantics are documented in ``docs/SERVE.md``.
 """
 
 from repro.serve.cache import ResultCache, default_result_cache
 from repro.serve.client import ServeClient
+from repro.serve.faults import FaultPlan
 from repro.serve.jobs import canonical_result_bytes, execute_job
+from repro.serve.journal import JobJournal
 from repro.serve.pool import WarmPool
 from repro.serve.protocol import (
     JOB_KINDS,
@@ -38,16 +49,24 @@ from repro.serve.protocol import (
     ProtocolError,
     job_key,
 )
+from repro.serve.ring import HashRing
+from repro.serve.router import RouterServer, Shard, ShardSupervisor
 from repro.serve.server import RepairServer, ServeConfig
 
 __all__ = [
     "JOB_KINDS",
+    "FaultPlan",
+    "HashRing",
+    "JobJournal",
     "JobSpec",
     "ProtocolError",
     "RepairServer",
     "ResultCache",
+    "RouterServer",
     "ServeClient",
     "ServeConfig",
+    "Shard",
+    "ShardSupervisor",
     "WarmPool",
     "canonical_result_bytes",
     "default_result_cache",

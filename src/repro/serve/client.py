@@ -3,16 +3,40 @@
 One :class:`ServeClient` per server address; every call opens its own
 ``http.client`` connection, so a client instance is safe to share across
 threads (the throughput benchmark submits from a thread pool).
+
+Submissions are *idempotent*: jobs are content-addressed by
+:func:`repro.serve.protocol.job_key`, so re-posting the same spec after
+a severed connection re-attaches to the original job (or its cached
+result) instead of duplicating work.  That is what lets
+:meth:`ServeClient.submit_retrying` treat a connection reset mid-response
+— the server accepted the job but the acknowledgement never arrived —
+exactly like back-pressure: wait briefly, submit again.
 """
 
 from __future__ import annotations
 
 import http.client
 import json
+import socket
 import time
 from typing import Iterator, Optional
 
 from repro.serve.protocol import JobSpec, ProtocolError
+
+#: Transport failures that are safe to retry against an idempotent,
+#: content-addressed endpoint: the connection died before a complete
+#: response arrived, so the only unknown is whether the server got the
+#: request — and re-sending it is harmless either way.
+TRANSIENT_ERRORS = (
+    ConnectionResetError,
+    ConnectionAbortedError,
+    ConnectionRefusedError,
+    BrokenPipeError,
+    http.client.RemoteDisconnected,
+    http.client.BadStatusLine,
+    http.client.IncompleteRead,
+    socket.timeout,
+)
 
 
 class ServeError(RuntimeError):
@@ -74,9 +98,15 @@ class ServeClient:
 
     def submit_retrying(self, spec: "JobSpec | dict",
                         attempts: int = 50) -> dict:
-        """Submit, honouring 429 back-pressure/rate-limit retry hints."""
-        last: Optional[ServeError] = None
-        for _ in range(attempts):
+        """Submit, riding out 429 back-pressure *and* severed connections.
+
+        A reset mid-response leaves the job accepted server-side with no
+        acknowledgement delivered; because submissions are idempotent by
+        job key, re-posting converges on the same job id / cached result
+        rather than duplicating the work.
+        """
+        last: Optional[BaseException] = None
+        for attempt in range(attempts):
             try:
                 return self.submit(spec)
             except ServeError as exc:
@@ -84,6 +114,9 @@ class ServeClient:
                     raise
                 last = exc
                 time.sleep(min(exc.retry_after, 1.0))
+            except TRANSIENT_ERRORS as exc:
+                last = exc
+                time.sleep(min(0.05 * (attempt + 1), 0.5))
         raise last  # pragma: no cover - pathological contention only
 
     def status(self, job_id: str) -> dict:
@@ -96,17 +129,32 @@ class ServeClient:
             remaining = deadline - time.monotonic()
             if remaining <= 0:
                 raise TimeoutError(f"job {job_id} still running")
-            view = self._json(
-                "GET",
-                f"/v1/jobs/{job_id}?wait=1&timeout={min(remaining, 60):.0f}",
-                timeout=min(remaining, 60) + self.timeout,
-            )
+            try:
+                view = self._json(
+                    "GET",
+                    f"/v1/jobs/{job_id}?wait=1"
+                    f"&timeout={min(remaining, 60):.0f}",
+                    timeout=min(remaining, 60) + self.timeout,
+                )
+            except TRANSIENT_ERRORS:
+                # Long-poll reads are pure queries — always re-askable.
+                time.sleep(0.05)
+                continue
             if view["status"] in ("done", "failed"):
                 return view
 
-    def result_bytes(self, job_id: str) -> bytes:
+    def result_bytes(self, job_id: str, attempts: int = 3) -> bytes:
         """The job's canonical result, byte-exact as the worker wrote it."""
-        status, blob = self._request("GET", f"/v1/jobs/{job_id}/result")
+        for attempt in range(attempts):
+            try:
+                status, blob = self._request(
+                    "GET", f"/v1/jobs/{job_id}/result"
+                )
+                break
+            except TRANSIENT_ERRORS:
+                if attempt == attempts - 1:
+                    raise
+                time.sleep(0.05 * (attempt + 1))
         if status != 200:
             raise ServeError(status, json.loads(blob.decode() or "{}"))
         return blob

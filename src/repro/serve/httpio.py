@@ -1,0 +1,128 @@
+"""Shared asyncio HTTP/1.1 plumbing for the serve front ends.
+
+The repair server (:mod:`repro.serve.server`) and the shard router
+(:mod:`repro.serve.router`) speak the same deliberately tiny dialect:
+``Connection: close``, JSON bodies, explicit ``Content-Length``.  This
+module is the one copy of the reader/writer code, plus the async
+client side the router forwards with.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Optional
+
+from repro.serve.protocol import ProtocolError, encode_json
+
+#: Largest accepted request body (submissions are capped far below this).
+MAX_BODY_BYTES = 2 << 20
+
+_REASONS = {
+    200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
+    429: "Too Many Requests", 500: "Internal Server Error",
+    502: "Bad Gateway", 503: "Service Unavailable",
+}
+
+
+async def read_request(reader) -> Optional[tuple]:
+    """``(method, target, body)`` of one request, or None on EOF."""
+    request_line = await reader.readline()
+    if not request_line:
+        return None
+    parts = request_line.decode("latin-1").split()
+    if len(parts) < 2:
+        raise ProtocolError("malformed request line")
+    method, target = parts[0].upper(), parts[1]
+    headers = await read_headers(reader)
+    length = int(headers.get("content-length", "0") or "0")
+    if length > MAX_BODY_BYTES:
+        raise ProtocolError("request body too large")
+    body = await reader.readexactly(length) if length else b""
+    return method, target, body
+
+
+async def read_headers(reader) -> dict:
+    headers: dict[str, str] = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            return headers
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+
+
+async def respond(writer, status: int, payload: dict,
+                  extra_headers=()) -> None:
+    await respond_raw(writer, status, encode_json(payload), extra_headers)
+
+
+async def respond_raw(writer, status: int, body: bytes,
+                      extra_headers=()) -> None:
+    reason = _REASONS.get(status, "OK")
+    lines = [
+        f"HTTP/1.1 {status} {reason}",
+        "Content-Type: application/json",
+        f"Content-Length: {len(body)}",
+        "Connection: close",
+    ]
+    for name, value in extra_headers:
+        lines.append(f"{name}: {value}")
+    head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+    writer.write(head + body)
+    await writer.drain()
+
+
+def parse_query(query: str) -> dict:
+    params = {}
+    for pair in query.split("&"):
+        if not pair:
+            continue
+        name, _, value = pair.partition("=")
+        params[name] = value
+    return params
+
+
+async def fetch(host: str, port: int, method: str, target: str,
+                body: bytes = b"", timeout: float = 60.0) -> tuple:
+    """One ``Connection: close`` request; returns ``(status, body bytes)``.
+
+    The router's forwarding primitive.  Raises ``OSError`` /
+    ``asyncio.TimeoutError`` on transport failure — the caller decides
+    whether that demotes a shard.
+    """
+
+    async def _exchange() -> tuple:
+        reader, writer = await asyncio.open_connection(host, port)
+        try:
+            head = (
+                f"{method} {target} HTTP/1.1\r\n"
+                f"Host: {host}:{port}\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                "Content-Type: application/json\r\n"
+                "Connection: close\r\n\r\n"
+            ).encode("latin-1")
+            writer.write(head + body)
+            await writer.drain()
+            status_line = await reader.readline()
+            parts = status_line.decode("latin-1").split(None, 2)
+            if len(parts) < 2 or not parts[1].isdigit():
+                raise ConnectionError(
+                    f"malformed status line from {host}:{port}: "
+                    f"{status_line!r}"
+                )
+            status = int(parts[1])
+            headers = await read_headers(reader)
+            length = headers.get("content-length")
+            if length is not None:
+                blob = await reader.readexactly(int(length))
+            else:
+                blob = await reader.read()
+            return status, blob
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except OSError:
+                pass
+
+    return await asyncio.wait_for(_exchange(), timeout)

@@ -28,6 +28,7 @@ import os
 from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Optional
 
+from repro.serve.faults import apply_worker_fault
 from repro.serve.jobs import canonical_result_bytes, execute_job
 from repro.serve.protocol import JobSpec
 
@@ -63,17 +64,20 @@ def _worker_init() -> None:
     import repro.verify  # noqa: F401
 
 
-def _process_job(payload: dict, events_path: Optional[str]):
+def _process_job(payload: dict, events_path: Optional[str],
+                 fault: Optional[str] = None):
     """Run one job in a pool process; returns (result bytes, obs delta).
 
     The worker's collector is retargeted at the job's JSONL event file,
     so every ``repro.obs`` span/event of the run streams to the client
     tailing ``GET /v1/jobs/<id>/events``; counters ride back as a
     snapshot for the parent-side merge, same discipline as the parallel
-    build fan-out.
+    build fan-out.  ``fault`` is an injected-failure token from the
+    server's :class:`repro.serve.faults.FaultPlan` (None in production).
     """
     from repro.obs import OBS, configure
 
+    apply_worker_fault(fault, process_mode=True)
     configure(enabled=True, trace_file=events_path)
     spec = JobSpec.from_payload(payload)
     result = execute_job(spec)
@@ -83,7 +87,9 @@ def _process_job(payload: dict, events_path: Optional[str]):
     return blob, snapshot
 
 
-def _thread_job(payload: dict, events_path: Optional[str]):
+def _thread_job(payload: dict, events_path: Optional[str],
+                fault: Optional[str] = None):
+    apply_worker_fault(fault, process_mode=False)
     spec = JobSpec.from_payload(payload)
     result = execute_job(spec)
     return canonical_result_bytes(result), None
@@ -103,34 +109,64 @@ class WarmPool:
             if recycle is None
             else recycle
         )
+        self.rebuilds = 0
         if self.workers == 0:
             self.mode = "thread"
             self.slots = 1
-            self._executor = ThreadPoolExecutor(
-                max_workers=1, thread_name_prefix="serve-worker"
-            )
             self._job = _thread_job
         else:
             self.mode = "process"
             self.slots = self.workers
-            kwargs: dict = {"initializer": _worker_init}
-            if self.recycle > 0:
-                # max_tasks_per_child implies the spawn start method.
-                kwargs["max_tasks_per_child"] = self.recycle
-            self._executor = ProcessPoolExecutor(
-                max_workers=self.workers, **kwargs
-            )
             self._job = _process_job
+        self._executor = self._make_executor()
 
-    def submit(self, payload: dict, events_path: Optional[str]) -> Future:
-        """Dispatch one validated job payload; future of (bytes, snapshot)."""
-        return self._executor.submit(self._job, payload, events_path)
+    def _make_executor(self):
+        if self.mode == "thread":
+            return ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="serve-worker"
+            )
+        kwargs: dict = {"initializer": _worker_init}
+        if self.recycle > 0:
+            # max_tasks_per_child implies the spawn start method.
+            kwargs["max_tasks_per_child"] = self.recycle
+        return ProcessPoolExecutor(max_workers=self.workers, **kwargs)
+
+    def submit(self, payload: dict, events_path: Optional[str],
+               fault: Optional[str] = None) -> Future:
+        """Dispatch one validated job payload; future of (bytes, snapshot).
+
+        The fault token is only threaded through when one is planned, so
+        the production path keeps the two-argument job signature (which
+        tests are free to wrap).
+        """
+        if fault is None:
+            return self._executor.submit(self._job, payload, events_path)
+        return self._executor.submit(self._job, payload, events_path, fault)
+
+    def rebuild(self) -> bool:
+        """Replace a broken process executor; True when a swap happened.
+
+        A worker process dying (crashed, OOM-killed, fault-injected)
+        marks the whole ``ProcessPoolExecutor`` broken; the server calls
+        this to swap in a fresh pool and re-dispatch.  A healthy pool is
+        left alone, so concurrent dispatchers reacting to the same break
+        rebuild once.
+        """
+        if self.mode != "process":
+            return False
+        if not getattr(self._executor, "_broken", False):
+            return False
+        self._executor.shutdown(wait=False)
+        self._executor = self._make_executor()
+        self.rebuilds += 1
+        return True
 
     def stats(self) -> dict:
         return {
             "mode": self.mode,
             "workers": self.workers,
             "recycle_after_jobs": self.recycle if self.mode == "process" else 0,
+            "rebuilds": self.rebuilds,
         }
 
     def shutdown(self, wait: bool = True) -> None:

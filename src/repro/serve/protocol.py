@@ -27,6 +27,9 @@ JOB_KINDS = ("repair", "verify", "certify", "run")
 #: Tenant id used when a submission names none.
 DEFAULT_TENANT = "anon"
 
+#: Priority class used when a submission names none.
+DEFAULT_PRIORITY = "normal"
+
 _MAX_SOURCE_BYTES = 1 << 20  # 1 MiB of MiniC is far beyond any benchmark.
 
 
@@ -54,9 +57,14 @@ class JobSpec:
     backend: Optional[str] = None
     #: Who is asking.  Only used for rate limiting and stats.
     tenant: str = DEFAULT_TENANT
+    #: Scheduling class for the weighted dispatcher.  Like the tenant,
+    #: a scheduling label only — never part of the job key.
+    priority: str = DEFAULT_PRIORITY
 
     def options(self) -> dict:
-        """The deterministic option set — everything but source and tenant.
+        """The deterministic option set — everything that determines the
+        result.  Source, tenant and priority are excluded: the first is
+        hashed separately, the other two are scheduling labels.
 
         This dict is the ``options`` half of the cache key; its JSON
         canonicalisation makes keys stable across processes.
@@ -78,6 +86,7 @@ class JobSpec:
         payload = dict(self.options())
         payload["source"] = self.source
         payload["tenant"] = self.tenant
+        payload["priority"] = self.priority
         return payload
 
     @classmethod
@@ -107,6 +116,9 @@ class JobSpec:
         tenant = payload.get("tenant", DEFAULT_TENANT)
         if not isinstance(tenant, str) or not tenant:
             raise ProtocolError("'tenant' must be a non-empty string")
+        priority = payload.get("priority", DEFAULT_PRIORITY)
+        if not isinstance(priority, str) or not priority:
+            raise ProtocolError("'priority' must be a non-empty string")
         backend = payload.get("backend")
         if backend is not None and not isinstance(backend, str):
             raise ProtocolError("'backend' must be a string")
@@ -137,6 +149,7 @@ class JobSpec:
             args=tuple(frozen_args),
             backend=backend,
             tenant=tenant,
+            priority=priority,
         )
         return spec
 

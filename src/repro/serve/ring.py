@@ -1,0 +1,150 @@
+"""The consistent-hash ring that spreads job keys across shards.
+
+Routing must satisfy three properties the deployment leans on (all
+property-tested in ``tests/property/test_serve_ring.py``):
+
+* **Deterministic across processes.**  Points are SHA-256 of
+  ``"<shard>#<replica>"`` and keys hash the same way, so every router
+  replica — and every test — routes a key identically.  Python's salted
+  ``hash()`` never appears.
+* **Bounded key movement.**  Each shard owns ``replicas`` virtual points
+  on a 64-bit ring; adding or removing one shard only reassigns the keys
+  that fall in the arcs that shard's points own — about ``1/N`` of the
+  population, never a full reshuffle.
+* **Live failover.**  :meth:`HashRing.route` takes the set of currently
+  usable shards and walks the ring past dead ones, so a key's fallback
+  order is itself deterministic (:meth:`preference` exposes the whole
+  order).
+
+The ring stores shard *ids* only; the router keeps the id → address and
+health bookkeeping (:mod:`repro.serve.router`).
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Iterable, Optional, Sequence
+
+#: Virtual points per shard.  More points tighten the load balance and
+#: the 1/N movement bound at O(replicas * shards) ring-build cost.
+DEFAULT_REPLICAS = 96
+
+_POINT_BYTES = 8  # 64-bit ring positions
+
+
+def _digest64(text: str) -> int:
+    return int.from_bytes(
+        hashlib.sha256(text.encode()).digest()[:_POINT_BYTES], "big"
+    )
+
+
+def key_point(key: str) -> int:
+    """The ring position of a job key (deterministic, process-stable)."""
+    return _digest64(key)
+
+
+class HashRing:
+    """Consistent hashing over shard ids with virtual replicas."""
+
+    def __init__(self, shards: Iterable[str] = (),
+                 replicas: int = DEFAULT_REPLICAS) -> None:
+        if replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {replicas}")
+        self.replicas = replicas
+        self._shards: list[str] = []
+        self._points: list[int] = []
+        self._owners: list[str] = []
+        for shard in shards:
+            self.add(shard)
+
+    # -- membership ----------------------------------------------------------
+
+    @property
+    def shards(self) -> tuple:
+        return tuple(self._shards)
+
+    def __len__(self) -> int:
+        return len(self._shards)
+
+    def __contains__(self, shard: str) -> bool:
+        return shard in self._shards
+
+    def add(self, shard: str) -> None:
+        """Add one shard's virtual points (idempotent-hostile: no dups)."""
+        if shard in self._shards:
+            raise ValueError(f"shard {shard!r} already on the ring")
+        self._shards.append(shard)
+        self._shards.sort()
+        for replica in range(self.replicas):
+            point = _digest64(f"{shard}#{replica}")
+            index = bisect.bisect(self._points, point)
+            self._points.insert(index, point)
+            self._owners.insert(index, shard)
+
+    def remove(self, shard: str) -> None:
+        if shard not in self._shards:
+            raise ValueError(f"shard {shard!r} not on the ring")
+        self._shards.remove(shard)
+        keep = [
+            (point, owner)
+            for point, owner in zip(self._points, self._owners)
+            if owner != shard
+        ]
+        self._points = [point for point, _ in keep]
+        self._owners = [owner for _, owner in keep]
+
+    # -- routing -------------------------------------------------------------
+
+    def route(self, key: str,
+              live: "Optional[Sequence[str]] | None" = None) -> str:
+        """The shard owning ``key``, skipping shards not in ``live``.
+
+        ``live=None`` means every shard is usable.  Raises ``LookupError``
+        when the ring is empty or no live shard remains — callers turn
+        that into a 503.
+        """
+        usable = self._shards if live is None else [
+            shard for shard in self._shards if shard in set(live)
+        ]
+        if not usable:
+            raise LookupError("no live shard on the ring")
+        usable_set = set(usable)
+        count = len(self._points)
+        start = bisect.bisect(self._points, key_point(key)) % count
+        for offset in range(count):
+            owner = self._owners[(start + offset) % count]
+            if owner in usable_set:
+                return owner
+        raise LookupError("no live shard on the ring")  # pragma: no cover
+
+    def preference(self, key: str, count: Optional[int] = None) -> list:
+        """The deterministic failover order of distinct shards for ``key``."""
+        if not self._points:
+            return []
+        want = len(self._shards) if count is None else min(count,
+                                                          len(self._shards))
+        order: list[str] = []
+        total = len(self._points)
+        start = bisect.bisect(self._points, key_point(key)) % total
+        for offset in range(total):
+            owner = self._owners[(start + offset) % total]
+            if owner not in order:
+                order.append(owner)
+                if len(order) == want:
+                    break
+        return order
+
+    def stats(self) -> dict:
+        return {
+            "shards": list(self._shards),
+            "replicas": self.replicas,
+            "points": len(self._points),
+        }
+
+    def spread(self, keys: Iterable[str]) -> dict:
+        """Shard → key count over a sample population (diagnostics)."""
+        counts: dict[str, int] = {shard: 0 for shard in self._shards}
+        for key in keys:
+            counts[self.route(key)] += 1
+        return counts

@@ -1,7 +1,8 @@
-"""The asyncio front end: intake, back-pressure, streaming, drain.
+"""The asyncio front end: intake, back-pressure, durability, streaming, drain.
 
 One process runs a small HTTP/1.1 server (hand-rolled over asyncio
-streams — zero dependencies) in front of the warm worker pool:
+streams — zero dependencies, shared plumbing in
+:mod:`repro.serve.httpio`) in front of the warm worker pool:
 
 * **Bounded intake.**  Admission is controlled by the number of jobs
   submitted-but-not-finished; past ``REPRO_SERVE_QUEUE`` the server
@@ -10,6 +11,20 @@ streams — zero dependencies) in front of the warm worker pool:
 * **Per-tenant rate limiting.**  A token bucket per tenant id
   (``REPRO_SERVE_TENANT_RPS`` tokens/second, burst of twice that);
   ``0`` disables the limiter.
+* **Priority classes.**  Jobs carry a priority class label; dispatch is
+  deficit-round-robin over the per-class queues with
+  ``REPRO_SERVE_CLASSES`` weights, so a heavy class gets proportionally
+  more slots while every non-empty class is served each cycle —
+  starvation-free by construction.
+* **Crash durability.**  With ``REPRO_SERVE_JOURNAL`` set, every
+  accepted job is journalled before it is acknowledged and marked done
+  when it finishes; a restarted server replays accepted-but-incomplete
+  jobs under their original ids and re-serves byte-identical results
+  (:mod:`repro.serve.journal`).
+* **Self-healing dispatch.**  A worker death (including the injected
+  kind, :mod:`repro.serve.faults`) breaks the process pool; the server
+  rebuilds the pool and re-dispatches the job up to
+  ``REPRO_SERVE_RETRIES`` times before declaring it failed.
 * **Content-addressed dedup.**  A submission whose job key is already
   in the sharded result cache is answered immediately (``cached:
   true``); one whose key is currently *in flight* coalesces onto the
@@ -23,7 +38,9 @@ streams — zero dependencies) in front of the warm worker pool:
   job before the process exits; status and result endpoints keep
   answering during the drain.
 
-Endpoints, wire examples and semantics: ``docs/SERVE.md``.
+Horizontal scale-out — N of these processes behind the consistent-hash
+router — lives in :mod:`repro.serve.router`.  Endpoints, wire examples
+and semantics: ``docs/SERVE.md``.
 """
 
 from __future__ import annotations
@@ -32,19 +49,28 @@ import asyncio
 import json
 import os
 import time
+from collections import OrderedDict, deque
+from concurrent.futures import BrokenExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Optional
 
 from repro.obs import OBS
+from repro.serve import httpio
 from repro.serve.cache import ResultCache, default_result_cache
+from repro.serve.faults import (
+    FaultPlan,
+    make_torn_append_fault,
+    worker_fault_token,
+)
+from repro.serve.journal import JobJournal
 from repro.serve.pool import WarmPool
 from repro.serve.protocol import (
+    DEFAULT_PRIORITY,
     JobSpec,
     ProtocolError,
     decode_json,
     encode_event,
-    encode_json,
     job_key,
 )
 
@@ -53,9 +79,13 @@ PORT_ENV_VAR = "REPRO_SERVE_PORT"
 QUEUE_ENV_VAR = "REPRO_SERVE_QUEUE"
 TENANT_RPS_ENV_VAR = "REPRO_SERVE_TENANT_RPS"
 SPOOL_ENV_VAR = "REPRO_SERVE_SPOOL"
+JOURNAL_ENV_VAR = "REPRO_SERVE_JOURNAL"
+CLASSES_ENV_VAR = "REPRO_SERVE_CLASSES"
+RETRIES_ENV_VAR = "REPRO_SERVE_RETRIES"
 
 DEFAULT_PORT = 8765
 DEFAULT_QUEUE_LIMIT = 512
+DEFAULT_MAX_RETRIES = 2
 
 
 def _env_int(name: str, default: int) -> int:
@@ -74,6 +104,32 @@ def _env_float(name: str, default: float) -> float:
         return default
 
 
+def parse_class_weights(text: Optional[str]) -> dict:
+    """``"gold=4,normal=1"`` → ``{"gold": 4, "normal": 1}``.
+
+    Unknown classes default to weight 1 at dispatch time, so the map
+    only needs the classes that deserve more (or, at 0-is-invalid, no
+    fewer) slots.  Malformed entries are ignored rather than fatal — a
+    scheduling knob must never take the service down.
+    """
+    weights: dict[str, int] = {}
+    for chunk in (text or "").split(","):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        name, sep, value = chunk.partition("=")
+        name = name.strip()
+        if not sep or not name:
+            continue
+        try:
+            weight = int(value)
+        except ValueError:
+            continue
+        if weight >= 1:
+            weights[name] = weight
+    return weights
+
+
 @dataclass
 class ServeConfig:
     """Everything ``lif serve`` can tune (flags override the environment)."""
@@ -86,6 +142,12 @@ class ServeConfig:
     tenant_rps: float = 0.0  # 0 = rate limiting off
     spool_dir: Optional[str] = None
     use_cache: bool = True
+    #: Append-only accept/done ledger; None disables crash replay.
+    journal_path: Optional[str] = None
+    #: Priority-class weights for the deficit-round-robin dispatcher.
+    class_weights: dict = field(default_factory=dict)
+    #: Re-dispatches after a transport failure before a job is failed.
+    max_retries: int = DEFAULT_MAX_RETRIES
     #: Seconds a ``?wait=1`` status request may block before answering.
     wait_timeout: float = 600.0
     #: After the last in-flight job drains, keep answering status/result
@@ -101,6 +163,11 @@ class ServeConfig:
             queue_limit=_env_int(QUEUE_ENV_VAR, DEFAULT_QUEUE_LIMIT),
             tenant_rps=_env_float(TENANT_RPS_ENV_VAR, 0.0),
             spool_dir=os.environ.get(SPOOL_ENV_VAR) or None,
+            journal_path=os.environ.get(JOURNAL_ENV_VAR) or None,
+            class_weights=parse_class_weights(
+                os.environ.get(CLASSES_ENV_VAR)
+            ),
+            max_retries=_env_int(RETRIES_ENV_VAR, DEFAULT_MAX_RETRIES),
         )
         for name, value in overrides.items():
             if value is not None:
@@ -130,6 +197,72 @@ class TokenBucket:
         return (1.0 - self.tokens) / self.rate
 
 
+class WeightedQueue:
+    """Per-class FIFOs drained by deficit round robin.
+
+    Each refill cycle grants every *non-empty* class ``weight`` serves
+    (classes absent from the weight map get 1), so a class with weight 4
+    gets 4x the slots of a weight-1 class under contention and no
+    non-empty class ever waits more than one cycle — the
+    starvation-freedom property ``tests/unit/test_serve_priority.py``
+    asserts.  Control items (dispatcher stop tokens) bypass the classes.
+    """
+
+    def __init__(self, weights: Optional[dict] = None) -> None:
+        self.weights = dict(weights or {})
+        self._buckets: "OrderedDict[str, deque]" = OrderedDict()
+        self._credit: dict[str, float] = {}
+        self._control: deque = deque()
+        self._size = 0
+        self._event = asyncio.Event()
+        self.served: dict[str, int] = {}
+
+    def weight_of(self, cls: str) -> int:
+        return max(1, int(self.weights.get(cls, 1)))
+
+    def qsize(self) -> int:
+        return self._size
+
+    def put_nowait(self, item, cls: str = DEFAULT_PRIORITY) -> None:
+        bucket = self._buckets.get(cls)
+        if bucket is None:
+            bucket = self._buckets[cls] = deque()
+        bucket.append(item)
+        self._size += 1
+        self._event.set()
+
+    def put_control(self, item) -> None:
+        self._control.append(item)
+        self._event.set()
+
+    async def get(self):
+        while True:
+            if self._control:
+                return self._control.popleft()
+            if self._size:
+                return self._pop()
+            self._event.clear()
+            await self._event.wait()
+
+    def _pop(self):
+        while True:
+            nonempty = [
+                cls for cls, bucket in self._buckets.items() if bucket
+            ]
+            for cls in sorted(nonempty):
+                if self._credit.get(cls, 0.0) >= 1.0:
+                    self._credit[cls] -= 1.0
+                    item = self._buckets[cls].popleft()
+                    self._size -= 1
+                    self.served[cls] = self.served.get(cls, 0) + 1
+                    return item
+            # No class holds credit: start a new cycle.  Credit never
+            # accumulates past one cycle (empty classes get none), so a
+            # burst cannot be starved by banked credit.
+            for cls in sorted(nonempty):
+                self._credit[cls] = float(self.weight_of(cls))
+
+
 @dataclass
 class JobRecord:
     """Server-side state of one accepted job."""
@@ -138,7 +271,9 @@ class JobRecord:
     key: str
     tenant: str
     payload: dict
+    priority: str = DEFAULT_PRIORITY
     status: str = "queued"  # queued | running | done | failed
+    attempts: int = 0
     result: Optional[bytes] = None
     error: Optional[str] = None
     events_path: Optional[Path] = None
@@ -176,7 +311,7 @@ class RepairServer:
         self.spool_dir = Path(spool)
         self.jobs: dict[str, JobRecord] = {}
         self.by_key: dict[str, str] = {}  # in-flight key -> job_id
-        self.queue: "asyncio.Queue" = asyncio.Queue()
+        self.queue = WeightedQueue(self.config.class_weights)
         self.buckets: dict[str, TokenBucket] = {}
         self.counters: dict[str, int] = {}
         self.tenant_jobs: dict[str, int] = {}
@@ -184,9 +319,14 @@ class RepairServer:
         self.running = 0
         self.peak_in_flight = 0
         self.draining = False
+        self.faults = FaultPlan.from_env()
+        self.journal: Optional[JobJournal] = None
         self._active_connections = 0
         self._drained = asyncio.Event()
         self._seq = 0
+        self._journal_seq = 0
+        self._dispatch_seq = 0
+        self._response_seq = 0
         self._server: Optional[asyncio.AbstractServer] = None
         self._dispatchers: list = []
         self.started = time.monotonic()
@@ -200,6 +340,11 @@ class RepairServer:
 
     async def start(self) -> None:
         self.spool_dir.mkdir(parents=True, exist_ok=True)
+        if self.config.journal_path:
+            self.journal = JobJournal(self.config.journal_path)
+            self.journal.append_fault = make_torn_append_fault(self.faults)
+            for record in self.journal.recover():
+                self._replay(record)
         self._server = await asyncio.start_server(
             self._handle_connection, self.config.host, self.config.port
         )
@@ -215,11 +360,13 @@ class RepairServer:
         while self._active_connections > 0 and time.monotonic() < deadline:
             await asyncio.sleep(0.02)
         for _ in self._dispatchers:
-            self.queue.put_nowait(_STOP)
+            self.queue.put_control(_STOP)
         await asyncio.gather(*self._dispatchers, return_exceptions=True)
         self._server.close()
         await self._server.wait_closed()
         self.pool.shutdown(wait=True)
+        if self.journal is not None:
+            self.journal.close()
 
     async def drain(self) -> None:
         """Stop intake; the drained flag trips when in-flight hits zero."""
@@ -227,6 +374,67 @@ class RepairServer:
         self._count("serve.drain_requested")
         if self.pending == 0:
             self._drained.set()
+
+    # -- crash replay --------------------------------------------------------
+
+    def _replay(self, journalled: dict) -> None:
+        """Re-enqueue one accepted-but-incomplete job from the journal.
+
+        The original job id is kept, so a client that submitted before
+        the crash can still collect its result after the restart.  A job
+        whose result already reached the content-addressed cache (the
+        crash fell between the cache write and the ``done`` append) is
+        completed from the cache without re-execution.
+        """
+        payload = journalled.get("payload")
+        job_id = journalled.get("job_id", "")
+        key = journalled.get("key", "")
+        try:
+            spec = JobSpec.from_payload(payload)
+        except ProtocolError:
+            self._count("serve.journal.replay_rejected")
+            return
+        self._journal_seq = max(self._journal_seq,
+                                int(journalled.get("seq", 0)))
+        numeric = job_id[1:] if job_id[:1] == "j" else ""
+        if numeric.isdigit():
+            self._seq = max(self._seq, int(numeric))
+        record = JobRecord(
+            job_id=job_id,
+            key=key,
+            tenant=spec.tenant,
+            payload=spec.to_payload(),
+            priority=spec.priority,
+            events_path=self.spool_dir / f"{job_id}.jsonl",
+        )
+        self.jobs[job_id] = record
+        cached = self.cache.get(key) if self.cache is not None else None
+        if cached is not None:
+            record.result = cached
+            record.status = "done"
+            record.finished_event.set()
+            self._count("serve.journal.replay_cache_hits")
+            self._journal_done(record)
+            return
+        self.by_key.setdefault(key, job_id)
+        self.pending += 1
+        self._count("serve.journal.replayed_jobs")
+        self._append_event(
+            record,
+            {"event": "job.replayed", "job_id": job_id, "key": key},
+        )
+        self.queue.put_nowait(record, record.priority)
+
+    def _journal_done(self, record: JobRecord) -> None:
+        if self.journal is None:
+            return
+        self._journal_seq += 1
+        try:
+            self.journal.append_done(
+                self._journal_seq, record.job_id, record.key, record.status
+            )
+        except OSError:
+            self._count("serve.journal.append_errors")
 
     # -- dispatch ------------------------------------------------------------
 
@@ -237,15 +445,19 @@ class RepairServer:
             if record is _STOP:
                 return
             record.status = "running"
+            record.attempts += 1
             self.running += 1
             self._append_event(record, {"event": "job.started",
-                                        "job_id": record.job_id})
+                                        "job_id": record.job_id,
+                                        "attempt": record.attempts})
             events = (
                 str(record.events_path)
                 if self.pool.mode == "process" else None
             )
+            self._dispatch_seq += 1
+            fault = worker_fault_token(self.faults, self._dispatch_seq)
             try:
-                future = self.pool.submit(record.payload, events)
+                future = self._pool_submit(record.payload, events, fault)
                 blob, snapshot = await asyncio.wrap_future(future, loop=loop)
                 OBS.merge(snapshot)
                 record.result = blob
@@ -254,22 +466,55 @@ class RepairServer:
                 if self.cache is not None:
                     self.cache.put(record.key, blob)
             except Exception as exc:  # transport/pool failure, not a result
+                self.running -= 1
+                if isinstance(exc, BrokenExecutor):
+                    self._rebuild_pool()
+                if record.attempts <= self.config.max_retries:
+                    record.status = "queued"
+                    self._count("serve.retries")
+                    self._append_event(
+                        record,
+                        {"event": "job.retried", "job_id": record.job_id,
+                         "attempt": record.attempts,
+                         "error": f"{type(exc).__name__}: {exc}"},
+                    )
+                    self.queue.put_nowait(record, record.priority)
+                    continue
                 record.status = "failed"
                 record.error = f"{type(exc).__name__}: {exc}"
                 self._count("serve.transport_failures")
-            finally:
-                self.running -= 1
-                self.pending -= 1
-                if self.by_key.get(record.key) == record.job_id:
-                    del self.by_key[record.key]
-                self._append_event(
-                    record,
-                    {"event": "job.done", "job_id": record.job_id,
-                     "status": record.status},
-                )
-                record.finished_event.set()
-                if self.draining and self.pending == 0:
-                    self._drained.set()
+                self._finish(record)
+                continue
+            self.running -= 1
+            self._finish(record)
+
+    def _pool_submit(self, payload: dict, events: Optional[str], fault):
+        """Submit to the pool, rebuilding it once if it arrives broken."""
+        try:
+            return self.pool.submit(payload, events, fault=fault)
+        except (BrokenExecutor, RuntimeError):
+            self._rebuild_pool()
+            return self.pool.submit(payload, events, fault=fault)
+
+    def _rebuild_pool(self) -> None:
+        """Replace a broken process pool (a worker died mid-job)."""
+        if self.pool.rebuild():
+            self._count("serve.pool.rebuilds")
+
+    def _finish(self, record: JobRecord) -> None:
+        """Terminal bookkeeping shared by the done and failed paths."""
+        self.pending -= 1
+        if self.by_key.get(record.key) == record.job_id:
+            del self.by_key[record.key]
+        self._journal_done(record)
+        self._append_event(
+            record,
+            {"event": "job.done", "job_id": record.job_id,
+             "status": record.status},
+        )
+        record.finished_event.set()
+        if self.draining and self.pending == 0:
+            self._drained.set()
 
     # -- submission ----------------------------------------------------------
 
@@ -320,14 +565,25 @@ class RepairServer:
             return 429, {"error": "backpressure",
                          "queued": self.pending, "retry_after": 1}
         record = self._new_record(spec, key, register=True)
+        if self.journal is not None:
+            # Durability before acknowledgement: the accept record must
+            # be on disk before the client can observe the acceptance.
+            self._journal_seq += 1
+            try:
+                self.journal.append_accept(
+                    self._journal_seq, record.job_id, key, record.payload
+                )
+            except OSError:
+                self._count("serve.journal.append_errors")
         self.pending += 1
         self.peak_in_flight = max(self.peak_in_flight, self.pending)
         self._append_event(
             record,
             {"event": "job.queued", "job_id": record.job_id, "key": key,
-             "kind": spec.kind, "tenant": spec.tenant},
+             "kind": spec.kind, "tenant": spec.tenant,
+             "priority": spec.priority},
         )
-        self.queue.put_nowait(record)
+        self.queue.put_nowait(record, record.priority)
         return 202, {"job_id": record.job_id, "key": key,
                      "status": "queued", "cached": False}
 
@@ -339,6 +595,7 @@ class RepairServer:
             key=key,
             tenant=spec.tenant,
             payload=spec.to_payload(),
+            priority=spec.priority,
             events_path=self.spool_dir / f"{job_id}.jsonl",
         )
         try:
@@ -391,10 +648,17 @@ class RepairServer:
             "draining": self.draining,
             "queue_limit": self.config.queue_limit,
             "tenant_rps": self.config.tenant_rps,
+            "max_retries": self.config.max_retries,
             "counters": dict(sorted(self.counters.items())),
             "tenants": dict(sorted(self.tenant_jobs.items())),
+            "classes": {
+                "weights": dict(sorted(self.queue.weights.items())),
+                "served": dict(sorted(self.queue.served.items())),
+            },
             "pool": self.pool.stats(),
             "result_cache": self.cache.stats() if self.cache else None,
+            "journal": self.journal.stats() if self.journal else None,
+            "faults": self.faults.stats() if self.faults else None,
             "exec_caches": executor_cache_stats(),
             "warm_modules": warm_module_stats(),
         }
@@ -404,7 +668,7 @@ class RepairServer:
     async def _handle_connection(self, reader, writer) -> None:
         self._active_connections += 1
         try:
-            request = await self._read_request(reader)
+            request = await httpio.read_request(reader)
             if request is None:
                 return
             method, target, body = request
@@ -431,32 +695,20 @@ class RepairServer:
             except (OSError, asyncio.CancelledError):
                 pass
 
-    async def _read_request(self, reader):
-        request_line = await reader.readline()
-        if not request_line:
-            return None
-        parts = request_line.decode("latin-1").split()
-        if len(parts) < 2:
-            raise ProtocolError("malformed request line")
-        method, target = parts[0].upper(), parts[1]
-        headers = {}
-        while True:
-            line = await reader.readline()
-            if line in (b"\r\n", b"\n", b""):
-                break
-            name, _, value = line.decode("latin-1").partition(":")
-            headers[name.strip().lower()] = value.strip()
-        length = int(headers.get("content-length", "0") or "0")
-        if length > (2 << 20):
-            raise ProtocolError("request body too large")
-        body = await reader.readexactly(length) if length else b""
-        return method, target, body
-
     async def _route(self, method: str, target: str, body: bytes, writer):
         path, _, query = target.partition("?")
-        params = _parse_query(query)
+        params = httpio.parse_query(query)
         if method == "POST" and path == "/v1/jobs":
             status, payload = self._submit(decode_json(body))
+            if status in (200, 202):
+                self._response_seq += 1
+                if self.faults.take("drop", self._response_seq):
+                    # Injected mid-response connection loss: the job (if
+                    # accepted) stays in flight; the client must recover
+                    # idempotently through its job key.
+                    self._count("serve.dropped_responses")
+                    writer.transport.abort()
+                    return
             extra = ()
             if status == 429:
                 extra = (("Retry-After", str(max(1, int(payload.get(
@@ -550,37 +802,11 @@ class RepairServer:
 
     async def _respond(self, writer, status: int, payload: dict,
                        extra_headers=()) -> None:
-        await self._respond_raw(
-            writer, status, encode_json(payload), extra_headers
-        )
+        await httpio.respond(writer, status, payload, extra_headers)
 
     async def _respond_raw(self, writer, status: int, body: bytes,
                            extra_headers=()) -> None:
-        reason = {200: "OK", 202: "Accepted", 400: "Bad Request",
-                  404: "Not Found", 429: "Too Many Requests",
-                  500: "Internal Server Error",
-                  503: "Service Unavailable"}.get(status, "OK")
-        lines = [
-            f"HTTP/1.1 {status} {reason}",
-            "Content-Type: application/json",
-            f"Content-Length: {len(body)}",
-            "Connection: close",
-        ]
-        for name, value in extra_headers:
-            lines.append(f"{name}: {value}")
-        head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
-        writer.write(head + body)
-        await writer.drain()
-
-
-def _parse_query(query: str) -> dict:
-    params = {}
-    for pair in query.split("&"):
-        if not pair:
-            continue
-        name, _, value = pair.partition("=")
-        params[name] = value
-    return params
+        await httpio.respond_raw(writer, status, body, extra_headers)
 
 
 async def _amain(config: ServeConfig, announce=None) -> None:

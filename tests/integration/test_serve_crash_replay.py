@@ -1,0 +1,225 @@
+"""Crash-replay integration tests: SIGKILL a shard, restart, replay.
+
+Real ``lif serve`` subprocesses with the journal enabled.  A killed
+server must replay every accepted-but-incomplete job under its original
+job id and re-serve byte-identical results; a kill *during* a journal
+append must leave a torn tail that recovery detects and truncates.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.serve import JobSpec, canonical_result_bytes, execute_job
+from repro.serve.client import TRANSIENT_ERRORS, ServeClient
+from repro.serve.faults import TORN_EXIT_CODE
+from repro.serve.jobs import clear_warm_modules
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+GATE = """
+uint gate(secret uint s, uint p) {
+  uint y = 0;
+  if (s > p) {
+    y = 3;
+  } else {
+    y = 8;
+  }
+  return y;
+}
+"""
+
+
+def _variant(index):
+    return JobSpec(
+        kind="repair", source=GATE + f"// crash {index}\n", name=f"c{index}"
+    )
+
+
+@pytest.fixture()
+def isolated_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    clear_warm_modules()
+    yield tmp_path
+    clear_warm_modules()
+
+
+def _spawn(tmp_path, journal, faults=None):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    env["PYTHONUNBUFFERED"] = "1"
+    env["REPRO_CACHE_DIR"] = str(tmp_path / "cache")
+    if faults:
+        env["REPRO_SERVE_FAULTS"] = faults
+    else:
+        env.pop("REPRO_SERVE_FAULTS", None)
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", "--workers", "0",
+         "--port", "0", "--journal", str(journal)],
+        env=env, cwd=tmp_path, stderr=subprocess.PIPE, text=True,
+    )
+    deadline = time.monotonic() + 60
+    while True:
+        line = process.stderr.readline()
+        if "listening on http://" in line:
+            port = int(line.split("http://")[1].split()[0].rsplit(":", 1)[1])
+            return process, port
+        if not line and process.poll() is not None:
+            raise RuntimeError(
+                f"server died before announcing: {process.returncode}"
+            )
+        if time.monotonic() > deadline:
+            process.kill()
+            raise TimeoutError("server did not announce")
+
+
+def _await_done(client, job_id, timeout=120):
+    view = client.wait(job_id, timeout=timeout)
+    assert view["status"] == "done", view
+    return client.result_bytes(job_id)
+
+
+def test_sigkill_mid_queue_replays_all_accepted_jobs(isolated_cache,
+                                                     tmp_path):
+    journal = tmp_path / "journal.jsonl"
+    # slow@1:120 parks the first dispatched job in the worker, so every
+    # submission behind it is accepted + journalled but incomplete.
+    server, port = _spawn(tmp_path, journal, faults="slow@1:120")
+    ids = []
+    try:
+        client = ServeClient("127.0.0.1", port)
+        for i in range(3):
+            accepted = client.submit(_variant(i))
+            assert accepted["status"] == "queued"
+            ids.append(accepted["job_id"])
+        # Everything is accepted; nothing can have finished (job 1 is
+        # asleep and the thread pool is single-lane behind it).
+        server.send_signal(signal.SIGKILL)
+        server.wait(timeout=30)
+    finally:
+        if server.poll() is None:
+            server.kill()
+            server.wait(timeout=30)
+
+    assert journal.exists()
+    restarted, port = _spawn(tmp_path, journal)
+    try:
+        client = ServeClient("127.0.0.1", port)
+        # Original job ids answer after the restart — replayed, not lost.
+        for i, job_id in enumerate(ids):
+            blob = _await_done(client, job_id)
+            direct = canonical_result_bytes(execute_job(_variant(i)))
+            assert blob == direct, f"job {job_id} not byte-identical"
+        counters = client.stats()["counters"]
+        replayed = counters.get("serve.journal.replayed_jobs", 0)
+        cached = counters.get("serve.journal.replay_cache_hits", 0)
+        assert replayed + cached == 3
+        client.shutdown()
+        restarted.wait(timeout=60)
+    finally:
+        if restarted.poll() is None:
+            restarted.kill()
+            restarted.wait(timeout=30)
+
+
+def test_replay_is_idempotent_across_double_restart(isolated_cache,
+                                                    tmp_path):
+    journal = tmp_path / "journal.jsonl"
+    server, port = _spawn(tmp_path, journal, faults="slow@1:120")
+    try:
+        client = ServeClient("127.0.0.1", port)
+        job_id = client.submit(_variant(0))["job_id"]
+        server.send_signal(signal.SIGKILL)
+        server.wait(timeout=30)
+    finally:
+        if server.poll() is None:
+            server.kill()
+
+    # First restart completes the job; the done record lands in the
+    # journal, so a second restart replays nothing.
+    restarted, port = _spawn(tmp_path, journal)
+    try:
+        client = ServeClient("127.0.0.1", port)
+        blob = _await_done(client, job_id)
+        client.shutdown()
+        restarted.wait(timeout=60)
+    finally:
+        if restarted.poll() is None:
+            restarted.kill()
+            restarted.wait(timeout=30)
+
+    final, port = _spawn(tmp_path, journal)
+    try:
+        client = ServeClient("127.0.0.1", port)
+        counters = client.stats()["counters"]
+        assert counters.get("serve.journal.replayed_jobs", 0) == 0
+        # The result is still served (content-addressed cache), so the
+        # client that knows the key gets identical bytes via re-submit.
+        again = client.submit(_variant(0))
+        assert again["cached"] is True
+        assert canonical_result_bytes(again["result"]) == blob
+        client.shutdown()
+        final.wait(timeout=60)
+    finally:
+        if final.poll() is None:
+            final.kill()
+            final.wait(timeout=30)
+
+
+def test_kill_during_journal_append_truncates_torn_tail(isolated_cache,
+                                                        tmp_path):
+    journal = tmp_path / "journal.jsonl"
+    # Append 1 = accept of job 1 (parked by slow@1).  Append 2 = accept
+    # of job 2: the torn fault writes half the record, fsyncs, and kills
+    # the process mid-append — the classic torn tail.
+    server, port = _spawn(tmp_path, journal, faults="slow@1:120,torn@2")
+    try:
+        client = ServeClient("127.0.0.1", port)
+        first = client.submit(_variant(0))
+        assert first["status"] == "queued"
+        with pytest.raises(TRANSIENT_ERRORS):
+            client.submit(_variant(1))  # dies mid-append, no response
+        server.wait(timeout=30)
+        assert server.returncode == TORN_EXIT_CODE
+    finally:
+        if server.poll() is None:
+            server.kill()
+            server.wait(timeout=30)
+
+    raw = journal.read_bytes()
+    assert raw and not raw.endswith(b"\n"), "expected a torn last record"
+
+    restarted, port = _spawn(tmp_path, journal)
+    try:
+        client = ServeClient("127.0.0.1", port)
+        # Job 1 (intact accept) replays and completes byte-identically;
+        # job 2's torn accept is truncated — it was never acknowledged,
+        # so nothing observable is lost.
+        blob = _await_done(client, first["job_id"])
+        assert blob == canonical_result_bytes(execute_job(_variant(0)))
+        stats = client.stats()
+        assert stats["journal"]["torn_tail"] == 1
+        replay_total = (
+            stats["counters"].get("serve.journal.replayed_jobs", 0)
+            + stats["counters"].get("serve.journal.replay_cache_hits", 0)
+        )
+        assert replay_total == 1
+        # The compacted journal is whole lines again.
+        assert journal.read_bytes().endswith(b"\n")
+        # The un-acknowledged job can simply be resubmitted.
+        resubmitted = client.submit(_variant(1))
+        job_id = resubmitted["job_id"]
+        if not resubmitted.get("cached"):
+            _await_done(client, job_id)
+        client.shutdown()
+        restarted.wait(timeout=60)
+    finally:
+        if restarted.poll() is None:
+            restarted.kill()
+            restarted.wait(timeout=30)

@@ -1,0 +1,213 @@
+"""Chaos tests: deterministic fault injection under contention.
+
+Each test runs a contended burst with ``REPRO_SERVE_FAULTS`` set for one
+(or several) fault modes and asserts the system converges — every job
+completes exactly once, byte-identical to the direct pipeline — and the
+``serve.fault.*`` bookkeeping matches the injected plan *exactly*.
+"""
+
+import threading
+
+import pytest
+
+from repro.serve import JobSpec, canonical_result_bytes, execute_job
+from repro.serve.client import ServeClient
+from repro.serve.faults import FaultPlan, FaultPlanError
+from repro.serve.jobs import clear_warm_modules
+from repro.serve.server import ServeConfig, ServerThread
+
+GATE = """
+uint gate(secret uint s, uint p) {
+  uint y = 0;
+  if (s > p) {
+    y = 3;
+  } else {
+    y = 8;
+  }
+  return y;
+}
+"""
+
+
+def _variant(index):
+    return JobSpec(
+        kind="repair", source=GATE + f"// chaos {index}\n", name=f"x{index}"
+    )
+
+
+@pytest.fixture()
+def isolated_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    clear_warm_modules()
+    yield tmp_path
+    clear_warm_modules()
+
+
+def _faulty_server(monkeypatch, faults, **overrides):
+    monkeypatch.setenv("REPRO_SERVE_FAULTS", faults)
+    defaults = dict(port=0, workers=0)
+    defaults.update(overrides)
+    return ServerThread(ServeConfig.from_env(**defaults))
+
+
+class TestPlanParsing:
+    def test_parse_and_shape(self):
+        plan = FaultPlan.parse("crash@2,slow@4:0.1,drop@1,drop@5")
+        assert plan.planned() == {"crash": 1, "slow": 1, "drop": 2}
+        assert bool(plan)
+
+    def test_empty_plan_is_falsy(self):
+        assert not FaultPlan.parse("")
+        assert not FaultPlan.parse(None)
+
+    def test_malformed_directives_raise(self):
+        for bad in ("explode@1", "crash", "crash@zero", "crash@0",
+                    "slow@1:fast"):
+            with pytest.raises(FaultPlanError):
+                FaultPlan.parse(bad)
+
+    def test_take_consumes_once(self):
+        plan = FaultPlan.parse("crash@2")
+        assert plan.take("crash", 1) is None
+        assert plan.take("crash", 2) == ("crash", None)
+        assert plan.take("crash", 2) is None  # consumed: retry runs clean
+        assert plan.fired == {"crash": 1}
+
+
+class TestSingleModes:
+    def test_crash_fault_is_retried_to_completion(self, isolated_cache,
+                                                  monkeypatch):
+        with _faulty_server(monkeypatch, "crash@1") as srv:
+            client = ServeClient(srv.host, srv.port)
+            accepted = client.submit(_variant(0))
+            view = client.wait(accepted["job_id"], timeout=120)
+            assert view["status"] == "done"
+            blob = client.result_bytes(accepted["job_id"])
+            assert blob == canonical_result_bytes(execute_job(_variant(0)))
+            stats = client.stats()
+            assert stats["faults"]["fired"] == {"crash": 1}
+            assert stats["faults"]["pending"] == 0
+            assert stats["counters"]["serve.retries"] == 1
+            assert stats["counters"]["serve.completed"] == 1
+
+    def test_crash_exhausting_retries_fails_the_job(self, isolated_cache,
+                                                    monkeypatch):
+        # Three crashes against max_retries=2: attempts 1..3 all die.
+        plan = "crash@1,crash@2,crash@3"
+        with _faulty_server(monkeypatch, plan) as srv:
+            client = ServeClient(srv.host, srv.port)
+            accepted = client.submit(_variant(1))
+            view = client.wait(accepted["job_id"], timeout=120)
+            assert view["status"] == "failed"
+            assert "WorkerCrashed" in view["error"]
+            stats = client.stats()
+            assert stats["faults"]["fired"] == {"crash": 3}
+            assert stats["counters"]["serve.transport_failures"] == 1
+
+    def test_slow_fault_delays_but_completes(self, isolated_cache,
+                                             monkeypatch):
+        with _faulty_server(monkeypatch, "slow@1:0.05") as srv:
+            client = ServeClient(srv.host, srv.port)
+            accepted = client.submit(_variant(2))
+            assert client.wait(accepted["job_id"],
+                               timeout=120)["status"] == "done"
+            stats = client.stats()
+            assert stats["faults"]["fired"] == {"slow": 1}
+            assert stats["counters"].get("serve.retries", 0) == 0
+
+    def test_dropped_response_converges_idempotently(self, isolated_cache,
+                                                     monkeypatch):
+        with _faulty_server(monkeypatch, "drop@1") as srv:
+            client = ServeClient(srv.host, srv.port)
+            # The first response is severed after acceptance; the client
+            # re-posts and coalesces onto the in-flight job by key.
+            accepted = client.submit_retrying(_variant(3), attempts=10)
+            job_id = accepted["job_id"]
+            if not accepted.get("cached"):
+                assert client.wait(job_id, timeout=120)["status"] == "done"
+                blob = client.result_bytes(job_id)
+                assert blob == canonical_result_bytes(
+                    execute_job(_variant(3))
+                )
+            stats = client.stats()
+            assert stats["faults"]["fired"] == {"drop": 1}
+            assert stats["counters"]["serve.dropped_responses"] == 1
+            # Exactly one execution: no duplicated work from the retry.
+            assert stats["counters"]["serve.completed"] == 1
+
+
+class TestContendedBurst:
+    def test_mixed_plan_under_contention_matches_exactly(self,
+                                                         isolated_cache,
+                                                         monkeypatch):
+        plan = "crash@2,slow@3:0.05,drop@1,drop@4"
+        burst = 8
+        with _faulty_server(monkeypatch, plan) as srv:
+            client = ServeClient(srv.host, srv.port)
+            results: dict = {}
+            errors: list = []
+
+            def submit(i):
+                try:
+                    worker = ServeClient(srv.host, srv.port)
+                    accepted = worker.submit_retrying(_variant(100 + i),
+                                                      attempts=50)
+                    job_id = accepted["job_id"]
+                    if accepted.get("cached"):
+                        results[i] = canonical_result_bytes(
+                            accepted["result"]
+                        )
+                        return
+                    view = worker.wait(job_id, timeout=180)
+                    assert view["status"] == "done", view
+                    results[i] = worker.result_bytes(job_id)
+                except BaseException as exc:  # surfaced below
+                    errors.append((i, exc))
+
+            threads = [
+                threading.Thread(target=submit, args=(i,))
+                for i in range(burst)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=300)
+            assert not errors, errors
+            assert len(results) == burst
+            for i in range(burst):
+                direct = canonical_result_bytes(
+                    execute_job(_variant(100 + i))
+                )
+                assert results[i] == direct, f"job {i} diverged"
+            stats = client.stats()
+            # The fired ledger matches the plan exactly — every planned
+            # fault fired, nothing fired twice.
+            assert stats["faults"]["fired"] == {
+                "crash": 1, "slow": 1, "drop": 2,
+            }
+            assert stats["faults"]["pending"] == 0
+            counters = stats["counters"]
+            assert counters["serve.dropped_responses"] == 2
+            assert counters["serve.retries"] == 1
+            # No lost or duplicated completions: distinct jobs complete
+            # exactly once each.
+            assert counters["serve.completed"] == burst
+
+
+class TestProcessPoolCrash:
+    def test_worker_process_death_rebuilds_pool_and_retries(
+            self, isolated_cache, monkeypatch):
+        with _faulty_server(monkeypatch, "crash@1", workers=1) as srv:
+            client = ServeClient(srv.host, srv.port)
+            accepted = client.submit(_variant(200))
+            view = client.wait(accepted["job_id"], timeout=300)
+            assert view["status"] == "done"
+            blob = client.result_bytes(accepted["job_id"])
+            assert blob == canonical_result_bytes(
+                execute_job(_variant(200))
+            )
+            stats = client.stats()
+            assert stats["faults"]["fired"] == {"crash": 1}
+            assert stats["counters"]["serve.retries"] >= 1
+            assert stats["counters"]["serve.pool.rebuilds"] >= 1
+            assert stats["pool"]["rebuilds"] >= 1

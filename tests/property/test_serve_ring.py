@@ -1,0 +1,152 @@
+"""Property tests of the consistent-hash ring the shard router rides on.
+
+The deployment leans on three guarantees (``docs/SERVE.md``):
+determinism across processes and insertion orders, bounded key movement
+on membership change (~1/N, never a reshuffle), and deterministic
+failover that only touches the dead shard's keys.
+"""
+
+import subprocess
+import sys
+
+from hypothesis import given, settings, strategies as st
+
+from repro.serve.ring import DEFAULT_REPLICAS, HashRing, key_point
+
+shard_names = st.lists(
+    st.text(alphabet="abcdefghij0123456789-", min_size=1, max_size=12),
+    min_size=1, max_size=8, unique=True,
+)
+
+keys = st.lists(
+    st.text(alphabet="0123456789abcdef", min_size=8, max_size=16),
+    min_size=1, max_size=64, unique=True,
+)
+
+
+class TestDeterminism:
+    @given(shard_names, keys)
+    def test_insertion_order_is_irrelevant(self, shards, sample):
+        forward = HashRing(shards)
+        backward = HashRing(reversed(shards))
+        for key in sample:
+            assert forward.route(key) == backward.route(key)
+            assert forward.preference(key) == backward.preference(key)
+
+    @given(keys)
+    def test_key_points_never_use_salted_hash(self, sample):
+        # sha256-derived, so stable across runs and interpreters by
+        # construction; spot-check stability within this process too.
+        for key in sample:
+            assert key_point(key) == key_point(key)
+
+    def test_routing_is_identical_in_a_fresh_process(self):
+        shards = [f"s{i}" for i in range(5)]
+        sample = [f"key-{i}" for i in range(200)]
+        ring = HashRing(shards)
+        local = {key: ring.route(key) for key in sample}
+        script = (
+            "import json, sys\n"
+            "from repro.serve.ring import HashRing\n"
+            f"ring = HashRing({shards!r})\n"
+            f"sample = {sample!r}\n"
+            "print(json.dumps({k: ring.route(k) for k in sample}))\n"
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True, text=True, check=True,
+        )
+        import json
+
+        assert json.loads(out.stdout) == local
+
+
+class TestBoundedMovement:
+    @given(
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_adding_a_shard_moves_about_one_nth(self, n, salt):
+        shards = [f"m{salt}-s{i}" for i in range(n)]
+        sample = [f"m{salt}-key-{i}" for i in range(400)]
+        ring = HashRing(shards)
+        before = {key: ring.route(key) for key in sample}
+        ring.add(f"m{salt}-new")
+        moved = sum(1 for key in sample if ring.route(key) != before[key])
+        # Ideal is len/ (n+1); 96 virtual points keep the variance well
+        # under 2x ideal (plus slack for the small sample).
+        bound = 2.0 * len(sample) / (n + 1) + 20
+        assert moved <= bound, f"{moved} of {len(sample)} moved (n={n})"
+        # And every moved key moved TO the new shard, nowhere else.
+        for key in sample:
+            owner = ring.route(key)
+            if owner != before[key]:
+                assert owner == f"m{salt}-new"
+
+    @given(
+        st.integers(min_value=2, max_value=8),
+        st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_removing_a_shard_only_moves_its_keys(self, n, salt):
+        shards = [f"r{salt}-s{i}" for i in range(n)]
+        sample = [f"r{salt}-key-{i}" for i in range(400)]
+        ring = HashRing(shards)
+        before = {key: ring.route(key) for key in sample}
+        victim = shards[salt % n]
+        ring.remove(victim)
+        for key in sample:
+            if before[key] != victim:
+                assert ring.route(key) == before[key], (
+                    f"{key} moved although {victim} did not own it"
+                )
+            else:
+                assert ring.route(key) != victim
+
+
+class TestFailover:
+    @given(st.integers(min_value=2, max_value=8), keys)
+    @settings(max_examples=40, deadline=None)
+    def test_keys_land_on_live_shards_after_failure(self, n, sample):
+        shards = [f"f-s{i}" for i in range(n)]
+        ring = HashRing(shards)
+        for key in sample:
+            owner = ring.route(key)
+            live = [s for s in shards if s != owner]
+            fallback = ring.route(key, live=live)
+            assert fallback in live
+            # The fallback is the first live entry of the preference
+            # order — the router and every replica agree on it.
+            order = ring.preference(key)
+            assert order[0] == owner
+            assert fallback == next(s for s in order if s != owner)
+
+    @given(st.integers(min_value=2, max_value=6))
+    @settings(max_examples=10, deadline=None)
+    def test_survivor_keys_stay_put_under_failure(self, n):
+        shards = [f"p-s{i}" for i in range(n)]
+        ring = HashRing(shards)
+        sample = [f"p-key-{i}" for i in range(300)]
+        dead = shards[0]
+        live = shards[1:]
+        for key in sample:
+            owner = ring.route(key)
+            if owner != dead:
+                assert ring.route(key, live=live) == owner
+
+    def test_preference_is_a_permutation_of_shards(self):
+        shards = [f"perm-s{i}" for i in range(6)]
+        ring = HashRing(shards)
+        for i in range(50):
+            order = ring.preference(f"perm-key-{i}")
+            assert sorted(order) == sorted(shards)
+
+    def test_no_live_shard_raises(self):
+        ring = HashRing(["a", "b"])
+        try:
+            ring.route("key", live=[])
+        except LookupError:
+            pass
+        else:  # pragma: no cover
+            raise AssertionError("expected LookupError")

@@ -1,0 +1,169 @@
+"""The client must survive a connection reset mid-response.
+
+A submission can be *accepted* by the server and still fail on the wire
+— the response never arrives because the connection died (the ``drop``
+fault in :mod:`repro.serve.faults` injects exactly this).  Because jobs
+are content-addressed, re-posting the same spec is idempotent, so
+:meth:`ServeClient.submit_retrying` treats transport death as retryable.
+
+These tests reproduce the reset against a real socket (SO_LINGER=0
+forces an RST on close) without needing the full server.
+"""
+
+import json
+import socket
+import struct
+import threading
+
+import pytest
+
+from repro.serve.client import TRANSIENT_ERRORS, ServeClient, ServeError
+from repro.serve.protocol import JobSpec
+
+SPEC = JobSpec(kind="repair", source="int f() { return 1; }", name="f")
+
+
+class FlakyServer:
+    """Accepts connections; resets the first N, then answers properly."""
+
+    def __init__(self, resets: int, response: dict, status: int = 202):
+        self.resets = resets
+        self.response = response
+        self.status = status
+        self.connections = 0
+        self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._sock.bind(("127.0.0.1", 0))
+        self._sock.listen(8)
+        self.host, self.port = self._sock.getsockname()
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    def _serve(self):
+        while True:
+            try:
+                conn, _ = self._sock.accept()
+            except OSError:
+                return
+            self.connections += 1
+            try:
+                conn.settimeout(10)
+                self._read_request(conn)
+                if self.connections <= self.resets:
+                    # SO_LINGER with zero timeout: close() sends RST,
+                    # the reset-mid-response the drop fault injects.
+                    conn.setsockopt(
+                        socket.SOL_SOCKET, socket.SO_LINGER,
+                        struct.pack("ii", 1, 0),
+                    )
+                    conn.close()
+                    continue
+                body = (json.dumps(self.response) + "\n").encode()
+                conn.sendall(
+                    (
+                        f"HTTP/1.1 {self.status} OK\r\n"
+                        "Content-Type: application/json\r\n"
+                        f"Content-Length: {len(body)}\r\n"
+                        "Connection: close\r\n\r\n"
+                    ).encode() + body
+                )
+                conn.close()
+            except OSError:
+                pass
+
+    @staticmethod
+    def _read_request(conn):
+        data = b""
+        while b"\r\n\r\n" not in data:
+            chunk = conn.recv(4096)
+            if not chunk:
+                return data
+            data += chunk
+        head, _, rest = data.partition(b"\r\n\r\n")
+        length = 0
+        for line in head.decode("latin-1").split("\r\n"):
+            name, _, value = line.partition(":")
+            if name.strip().lower() == "content-length":
+                length = int(value.strip())
+        while len(rest) < length:
+            chunk = conn.recv(4096)
+            if not chunk:
+                break
+            rest += chunk
+        return data
+
+    def close(self):
+        self._sock.close()
+
+
+@pytest.fixture()
+def accepted():
+    return {"job_id": "j00000001", "key": "k", "status": "queued",
+            "cached": False}
+
+
+def test_plain_submit_surfaces_the_reset(accepted):
+    server = FlakyServer(resets=1, response=accepted)
+    try:
+        client = ServeClient(server.host, server.port, timeout=10)
+        with pytest.raises(TRANSIENT_ERRORS):
+            client.submit(SPEC)
+    finally:
+        server.close()
+
+
+def test_submit_retrying_rides_out_one_reset(accepted):
+    server = FlakyServer(resets=1, response=accepted)
+    try:
+        client = ServeClient(server.host, server.port, timeout=10)
+        result = client.submit_retrying(SPEC, attempts=5)
+        assert result["job_id"] == "j00000001"
+        assert server.connections == 2
+    finally:
+        server.close()
+
+
+def test_submit_retrying_rides_out_consecutive_resets(accepted):
+    server = FlakyServer(resets=3, response=accepted)
+    try:
+        client = ServeClient(server.host, server.port, timeout=10)
+        result = client.submit_retrying(SPEC, attempts=10)
+        assert result["job_id"] == "j00000001"
+        assert server.connections == 4
+    finally:
+        server.close()
+
+
+def test_submit_retrying_gives_up_after_attempts(accepted):
+    server = FlakyServer(resets=10 ** 6, response=accepted)
+    try:
+        client = ServeClient(server.host, server.port, timeout=10)
+        with pytest.raises(TRANSIENT_ERRORS):
+            client.submit_retrying(SPEC, attempts=3)
+        assert server.connections == 3
+    finally:
+        server.close()
+
+
+def test_http_errors_are_not_retried_as_transport_faults(accepted):
+    server = FlakyServer(resets=0, response={"error": "bad_request"},
+                         status=400)
+    try:
+        client = ServeClient(server.host, server.port, timeout=10)
+        with pytest.raises(ServeError) as excinfo:
+            client.submit_retrying(SPEC, attempts=5)
+        assert excinfo.value.status == 400
+        assert server.connections == 1
+    finally:
+        server.close()
+
+
+def test_wait_rides_out_a_reset(accepted):
+    done = {"job_id": "j00000001", "key": "k", "status": "done"}
+    server = FlakyServer(resets=1, response=done, status=200)
+    try:
+        client = ServeClient(server.host, server.port, timeout=10)
+        view = client.wait("j00000001", timeout=30)
+        assert view["status"] == "done"
+        assert server.connections == 2
+    finally:
+        server.close()
